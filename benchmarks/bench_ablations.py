@@ -1,0 +1,114 @@
+"""Ablations over the design choices DESIGN.md calls out (paper §III /
+§V-D): chaining+IBTC, loop unrolling, memory speculation, optimization
+passes, promotion thresholds (startup delay), and the wide-in-order design
+point (issue width vs performance/watt)."""
+
+from repro.harness.ablations import (
+    ablate_background_translation, ablate_chaining, ablate_optimizations,
+    ablate_speculation, ablate_startup_delay, ablate_unrolling,
+    format_rows, sweep_alias_table, sweep_issue_width, sweep_thresholds,
+)
+
+
+def test_ablation_chaining_and_ibtc(benchmark):
+    rows = benchmark.pedantic(ablate_chaining, rounds=1, iterations=1)
+    print("\n=== Ablation: chaining / IBTC ===")
+    print(format_rows(rows))
+    on = rows[0].metrics
+    off = rows[3].metrics
+    # Without linking, every transition pays a code-cache lookup.
+    assert off["cc_lookups"] > 3 * on["cc_lookups"]
+    assert off["tol_overhead"] > on["tol_overhead"]
+
+
+def test_ablation_unrolling(benchmark):
+    rows = benchmark.pedantic(
+        ablate_unrolling, kwargs={"workload_name": "462.libquantum"},
+        rounds=1, iterations=1)
+    print("\n=== Ablation: loop unrolling ===")
+    print(format_rows(rows))
+    on, off = rows[0].metrics, rows[1].metrics
+    assert on["loops_unrolled"] >= 1
+    assert off["loops_unrolled"] == 0
+    # Unrolling amortizes back-edge and bookkeeping work.
+    assert on["emulation_cost_sbm"] < off["emulation_cost_sbm"]
+
+
+def test_ablation_speculation(benchmark):
+    rows = benchmark.pedantic(ablate_speculation, rounds=1, iterations=1)
+    print("\n=== Ablation: memory speculation ===")
+    print(format_rows(rows))
+    on, off = rows[0].metrics, rows[1].metrics
+    assert off["speculated_pairs"] == 0
+    assert off["spec_failures"] == 0
+
+
+def test_ablation_optimizations(benchmark):
+    rows = benchmark.pedantic(ablate_optimizations, rounds=1, iterations=1)
+    print("\n=== Ablation: optimization passes ===")
+    print(format_rows(rows))
+    by_label = {r.label: r.metrics for r in rows}
+    # Removing the optimizer raises the emulation cost monotonically-ish.
+    assert by_label["full pipeline"]["emulation_cost_sbm"] <= \
+        by_label["no CSE/RLE"]["emulation_cost_sbm"] + 1e-9
+    assert by_label["no CSE/RLE"]["emulation_cost_sbm"] < \
+        by_label["no optimization"]["emulation_cost_sbm"]
+
+
+def test_threshold_sweep_startup_tradeoff(benchmark):
+    rows = benchmark.pedantic(sweep_thresholds, rounds=1, iterations=1)
+    print("\n=== Sweep: promotion thresholds (startup delay trade-off) "
+          "===")
+    print(format_rows(rows))
+    aggressive, conservative = rows[0].metrics, rows[-1].metrics
+    # Aggressive promotion: less interpretation, more translation work.
+    assert aggressive["im_share"] < conservative["im_share"]
+    assert aggressive["translator_overhead"] > \
+        conservative["translator_overhead"]
+
+
+def test_issue_width_perf_per_watt(benchmark):
+    rows = benchmark.pedantic(sweep_issue_width, rounds=1, iterations=1)
+    print("\n=== Sweep: issue width (wide in-order design point) ===")
+    print(format_rows(rows))
+    ipc = [r.metrics["ipc"] for r in rows]
+    # Wider in-order cores gain IPC with diminishing returns.
+    assert ipc[1] > ipc[0]
+    gain_12 = ipc[1] / ipc[0]
+    gain_24 = ipc[2] / ipc[1]
+    assert gain_24 < gain_12
+
+
+def test_ablation_startup_delay_dual_decoder(benchmark):
+    rows = benchmark.pedantic(ablate_startup_delay, rounds=1, iterations=1)
+    print("\n=== Ablation: startup delay (software interp vs dual "
+          "decoder) ===")
+    print(format_rows(rows))
+    soft, dual = rows[0].metrics, rows[1].metrics
+    # Denver's design point: interpretation overhead all but disappears.
+    assert dual["interp_overhead"] < soft["interp_overhead"] / 3
+    assert dual["tol_overhead"] < soft["tol_overhead"]
+
+
+def test_sweep_alias_table_size_and_policy(benchmark):
+    rows = benchmark.pedantic(sweep_alias_table, rounds=1, iterations=1)
+    print("\n=== Sweep: alias table size x search policy ===")
+    print(format_rows(rows))
+    by_label = {r.label: r.metrics for r in rows}
+    # Tiny tables overflow conservatively -> at least as many failures.
+    assert by_label["1 parallel"]["spec_failures"] >= \
+        by_label["32 parallel"]["spec_failures"]
+    # Serial search is never cheaper, and costs grow with table size.
+    assert by_label["32 serial"]["search_insns"] >= \
+        by_label["1 serial"]["search_insns"]
+
+
+def test_ablation_background_translation(benchmark):
+    rows = benchmark.pedantic(ablate_background_translation,
+                              rounds=1, iterations=1)
+    print("\n=== Ablation: background translation core ===")
+    print(format_rows(rows))
+    inline, background = rows[0].metrics, rows[1].metrics
+    assert background["background_insns"] > 0
+    assert background["main_stream_insns"] < inline["main_stream_insns"]
+    assert background["tol_overhead"] < inline["tol_overhead"]

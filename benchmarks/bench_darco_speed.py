@@ -1,0 +1,23 @@
+"""Section VI-A: DARCO speed.
+
+Paper: guest 3.4 MIPS functional / 370 KIPS with timing; host 20 MIPS
+functional / 2 MIPS with timing.  Our absolute speeds are Python-bound;
+the functional-vs-timing slowdown ratio is the comparable shape.
+"""
+
+from repro.harness.speed import measure_speed
+
+
+def test_darco_speed(benchmark):
+    report = benchmark.pedantic(
+        measure_speed, kwargs={"workload_name": "429.mcf", "scale": 0.4},
+        rounds=1, iterations=1)
+    print("\n=== DARCO speed (paper section VI-A) ===")
+    print(report.table())
+
+    assert report.guest_emulation_ips > 0
+    # Host stream is several times denser than the guest stream.
+    assert report.host_emulation_ips > 2 * report.guest_emulation_ips
+    # Timing simulation is substantially slower than functional emulation
+    # (the paper sees ~9x for the guest stream).
+    assert report.guest_timing_ips < report.guest_emulation_ips / 2

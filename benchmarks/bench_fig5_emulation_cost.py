@@ -1,0 +1,37 @@
+"""Figure 5: host instructions per guest instruction in SBM.
+
+Paper result: ~4 / 2.6 / 3.1 for SPECINT2006 / SPECFP2006 / Physicsbench.
+SPECINT pays for branch emulation in small basic blocks; Physicsbench pays
+for software-emulated trigonometry.
+"""
+
+from repro.harness.figures import (
+    PAPER_EMULATION_COST, fig5_table, run_workload_metrics, suite_average,
+)
+from repro.workloads import PHYSICS, SPECFP, SPECINT, get_workload
+
+
+def test_fig5_emulation_cost(benchmark, suite_metrics, suite_scale):
+    benchmark.pedantic(
+        run_workload_metrics, args=(get_workload("470.lbm"),),
+        kwargs={"scale": min(0.2, suite_scale), "validate": False},
+        rounds=1, iterations=1)
+
+    print("\n=== Figure 5: emulation cost (host insns / guest insn, "
+          "SBM) ===")
+    print(fig5_table(suite_metrics))
+
+    cost = {s: suite_average(suite_metrics, s,
+                             lambda m: m.emulation_cost_sbm)
+            for s in (SPECINT, SPECFP, PHYSICS)}
+    # Shape: SPECINT most expensive, SPECFP cheapest, Physicsbench between.
+    assert cost[SPECINT] > cost[PHYSICS] > cost[SPECFP]
+    # Magnitudes within a factor of ~1.5 of the paper.
+    for suite, value in cost.items():
+        paper = PAPER_EMULATION_COST[suite]
+        assert 0.5 < value / paper < 1.6, (
+            f"{suite}: emulation cost {value:.2f} vs paper {paper}")
+    # Trig-heavy physics kernels exceed the pure-FP SPECFP stencils.
+    povray = next(m for m in suite_metrics if m.name == "453.povray")
+    lbm = next(m for m in suite_metrics if m.name == "470.lbm")
+    assert povray.emulation_cost_sbm > lbm.emulation_cost_sbm

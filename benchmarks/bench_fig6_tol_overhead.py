@@ -1,0 +1,36 @@
+"""Figure 6: TOL overhead vs application instructions in the dynamic host
+stream.
+
+Paper result: 16% / 13% / 41% TOL overhead for SPECINT2006 / SPECFP2006 /
+Physicsbench — the high dynamic-to-static ratio of SPEC amortizes the
+overhead; Physicsbench's does not.
+"""
+
+from repro.harness.figures import (
+    PAPER_TOL_OVERHEAD, fig6_table, run_workload_metrics, suite_average,
+)
+from repro.workloads import PHYSICS, SPECFP, SPECINT, get_workload
+
+
+def test_fig6_tol_overhead(benchmark, suite_metrics, suite_scale):
+    benchmark.pedantic(
+        run_workload_metrics, args=(get_workload("ragdoll"),),
+        kwargs={"scale": min(0.4, suite_scale), "validate": False},
+        rounds=1, iterations=1)
+
+    print("\n=== Figure 6: TOL overhead share of the host dynamic "
+          "stream ===")
+    print(fig6_table(suite_metrics))
+
+    ovh = {s: suite_average(suite_metrics, s,
+                            lambda m: m.tol_overhead_fraction)
+           for s in (SPECINT, SPECFP, PHYSICS)}
+    # Shape: Physicsbench overhead dominates by a wide margin.
+    assert ovh[PHYSICS] > 2 * ovh[SPECINT]
+    assert ovh[PHYSICS] > 2 * ovh[SPECFP]
+    assert ovh[SPECFP] < ovh[SPECINT]
+    # Magnitudes in the paper's neighbourhood.
+    for suite, value in ovh.items():
+        paper = PAPER_TOL_OVERHEAD[suite]
+        assert abs(value - paper) < 0.10, (
+            f"{suite}: overhead {value:.2%} vs paper {paper:.0%}")

@@ -1,0 +1,63 @@
+"""Figure 7: dynamic TOL overhead distribution over seven categories
+(interpreter, BB translator, SB translator, prologue, chaining, code-cache
+lookup, others).
+
+Paper result: in Physicsbench, interpretation + BB-translation overhead
+dominate (low reuse means translation work is never amortized); for
+SPECFP2006 those components are comparatively small, and SB-translator
+overhead is relatively small everywhere.
+"""
+
+from repro.harness.figures import (
+    fig7_table, run_workload_metrics, suite_average,
+)
+from repro.workloads import PHYSICS, SPECFP, SPECINT, get_workload
+
+
+def _suite_avg_breakdown(metrics, suite):
+    rows = [m for m in metrics if m.suite == suite]
+    keys = rows[0].overhead_breakdown.keys()
+    return {k: sum(m.overhead_breakdown[k] for m in rows) / len(rows)
+            for k in keys}
+
+
+def test_fig7_overhead_breakdown(benchmark, suite_metrics, suite_scale):
+    benchmark.pedantic(
+        run_workload_metrics, args=(get_workload("continuous"),),
+        kwargs={"scale": min(0.5, suite_scale), "validate": False},
+        rounds=1, iterations=1)
+
+    print("\n=== Figure 7: TOL overhead breakdown by category ===")
+    print(fig7_table(suite_metrics))
+
+    phys = _suite_avg_breakdown(suite_metrics, PHYSICS)
+    fp = _suite_avg_breakdown(suite_metrics, SPECFP)
+    intb = _suite_avg_breakdown(suite_metrics, SPECINT)
+
+    # Physicsbench: interpreter + BB translator dominate the overhead.
+    front = phys["interpreter"] + phys["bb_translator"]
+    assert front > 0.5, f"physics front-end overhead only {front:.2%}"
+
+    # The substantive claim behind the figure: as a share of the whole
+    # dynamic host stream, Physicsbench's interpretation + BB-translation
+    # work dwarfs SPEC's (it is never amortized).
+    def front_of_stream(suite, breakdown):
+        ovh = suite_average(suite_metrics, suite,
+                            lambda m: m.tol_overhead_fraction)
+        return ovh * (breakdown["interpreter"]
+                      + breakdown["bb_translator"])
+
+    phys_stream = front_of_stream(PHYSICS, phys)
+    assert phys_stream > 3 * front_of_stream(SPECFP, fp)
+    assert phys_stream > 1.8 * front_of_stream(SPECINT, intb)
+    # SB translator overhead is comparatively small everywhere (the most
+    # aggressive optimizer runs only on the hottest, amortized code).
+    for suite_breakdown in (phys, fp, intb):
+        assert suite_breakdown["sb_translator"] < 0.45
+    # Every category is exercised somewhere.
+    total = {}
+    for m in suite_metrics:
+        for key, value in m.overhead_breakdown.items():
+            total[key] = total.get(key, 0) + value
+    for key, value in total.items():
+        assert value > 0, f"category {key} never charged"

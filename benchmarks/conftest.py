@@ -1,0 +1,30 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+The full 31-workload functional sweep feeds Figures 4-7, so it runs once
+per session.  ``REPRO_SCALE`` (default 1.0) scales workload dynamic sizes;
+``REPRO_VALIDATE=1`` enables full state validation during the sweep.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.figures import run_suite_metrics
+
+
+def _env_float(name, default):
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def suite_scale():
+    return _env_float("REPRO_SCALE", 1.0)
+
+
+@pytest.fixture(scope="session")
+def suite_metrics(suite_scale):
+    validate = os.environ.get("REPRO_VALIDATE", "0") == "1"
+    return run_suite_metrics(scale=suite_scale, validate=validate)

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""The debug toolchain in action (paper §V-D).
+
+"An erroneous behaviour could be caused by a bug in distinct modules of
+TOL such as translator, optimizer, instruction scheduler, register
+allocator, code generator ... a powerful debug toolchain becomes essential
+to quickly locate and fix any bugs."
+
+This example *injects* a miscompilation into the optimizer (a deliberately
+broken optimization pass), then walks DARCO's three debugging stages:
+
+1. validation catches the divergence at a synchronization point;
+2. the divergence finder pinpoints the exact code unit that produced it;
+3. per-stage replay blames the pipeline stage that introduced the bug.
+
+Run:  python examples/debugging_a_miscompilation.py
+"""
+
+from repro.guest.assembler import Assembler, EAX, ECX, EDI
+from repro.debug.divergence import find_divergence
+from repro.tol.config import TolConfig
+from repro.tol.ir import Const
+from repro.tol.opt.passes import PassStats, register_pass
+from repro.system.controller import Controller, ValidationError
+
+
+def build_program():
+    asm = Assembler()
+    asm.mov(EAX, 0)
+    with asm.counted_loop(ECX, 500):
+        asm.add(EAX, 3)
+    asm.mov(EDI, EAX)
+    asm.exit(0)
+    return asm.program()
+
+
+@register_pass("example_buggy_strength_reduction")
+def buggy_strength_reduction(ops):
+    """A plausible-looking but WRONG optimization: 'strength-reduce'
+    add-constant into shift — with an off-by-one in the constant check."""
+    stats = PassStats("example_buggy_strength_reduction", ops_in=len(ops))
+    out = []
+    for instr in ops:
+        if (instr.op == "add" and len(instr.srcs) == 2
+                and isinstance(instr.srcs[1], Const)
+                and instr.srcs[1].value == 3):
+            # BUG: 'add x, 3' is not 'shl x, 1 + add x, 1'... the author
+            # meant 4 -> shl 2. Replace with add 4 to keep it subtle.
+            instr = instr.with_changes(srcs=(instr.srcs[0], Const(4)))
+        out.append(instr)
+    stats.ops_out = len(out)
+    return out, stats
+
+
+def main():
+    config = TolConfig(
+        bbm_threshold=3, sbm_threshold=8,
+        sbm_passes=("constfold", "constprop",
+                    "example_buggy_strength_reduction", "cse",
+                    "constprop", "dce"))
+
+    print("stage 1: validation ---------------------------------------")
+    controller = Controller(build_program(), config=config)
+    try:
+        controller.run()
+        print("  run completed cleanly?! (unexpected)")
+        return
+    except ValidationError as error:
+        print(f"  ValidationError after {error.guest_icount} guest "
+              f"instructions")
+        print(f"  state diff: {error.state_diff}")
+
+    print("\nstage 2: pinpoint the culpable unit -----------------------")
+    divergence = find_divergence(build_program(), config=config)
+    print(f"  {divergence}")
+    assert divergence.unit is not None
+
+    print("\nstage 3: blame the pipeline stage -------------------------")
+    # Re-run with per-stage IR capture and replay each stage.
+    from repro.debug.divergence import blame_stage
+    from repro.guest.emulator import GuestEmulator
+    from repro.guest.memory import PagedMemory
+
+    program = build_program()
+    capture_controller = Controller(program, config=config,
+                                    validate=False)
+    translator = capture_controller.codesigned.tol.translator
+    translator.capture = {}
+    try:
+        capture_controller.run()
+    except ValidationError:
+        pass
+    entry_pc = divergence.entry_pc
+    stages = translator.capture.get(entry_pc)
+    if stages is None:
+        entry_pc, stages = next(iter(translator.capture.items()))
+
+    reference = GuestEmulator(program)
+    while reference.state.eip != entry_pc:
+        reference.step()
+    entry_state = reference.state.copy()
+    unit = capture_controller.codesigned.tol.cache.lookup(entry_pc)
+    n_guest = unit.guest_insn_count if unit else 4
+
+    def memory_factory():
+        memory = PagedMemory()
+        program.load_into(memory)
+        return memory
+
+    def reference_stepper(state, memory):
+        ref = GuestEmulator(program)
+        ref.state.restore(entry_state.snapshot())
+        ref.state.eip = entry_pc
+        for _ in range(n_guest):
+            ref.step()
+        return ref.state, ref.state.eip
+
+    blame = blame_stage(stages, entry_state, memory_factory,
+                        reference_stepper)
+    for stage, ok in blame.per_stage_ok.items():
+        print(f"  {stage:<10}: {'OK' if ok else 'DIVERGES'}")
+    print(f"  => first bad stage: {blame.first_bad_stage}")
+    print("\nconclusion: the bug was introduced by an optimization pass "
+          "(between 'ssa' and 'optimized'),\nnot by the decoder, "
+          "scheduler, register allocator or code generator.")
+
+
+if __name__ == "__main__":
+    main()

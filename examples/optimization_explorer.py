@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Optimization explorer: watch the TOL pipeline transform a superblock.
+
+Uses the translator's per-stage capture (the debug toolchain hook) to print
+a hot region's IR after decode, SSA, the optimization passes and
+scheduling, then the final host code — and shows the plug-and-play pass
+registry by re-running with optimizations disabled.
+
+Run:  python examples/optimization_explorer.py
+"""
+
+from repro.guest.assembler import Assembler, EAX, EBX, ECX, EDX, M
+from repro.guest.program import pack_u32s
+from repro.system.controller import Controller
+from repro.tol.config import TolConfig
+from repro.tol.opt.passes import available_passes
+
+
+def build_program():
+    asm = Assembler()
+    asm.data(0x4000, pack_u32s(range(64)))
+    asm.mov(EDX, 0)
+    with asm.counted_loop(ECX, 2000):
+        asm.mov(EAX, M(None, disp=0x4000))   # redundant load (RLE bait)
+        asm.mov(EBX, M(None, disp=0x4000))   # ... same address
+        asm.add(EAX, EBX)
+        asm.add(EAX, 0)                      # dead-ish arithmetic
+        asm.emit("XOR", EBX, EBX)            # constant result
+        asm.add(EDX, EAX)
+    asm.exit(0)
+    return asm.program()
+
+
+def run_with(config):
+    controller = Controller(build_program(), config=config)
+    translator = controller.codesigned.tol.translator
+    translator.capture = {}
+    controller.run()
+    return controller, translator.capture
+
+
+def main():
+    print(f"registered passes: {', '.join(available_passes())}\n")
+
+    controller, capture = run_with(TolConfig())
+    entry_pc, stages = max(
+        capture.items(),
+        key=lambda item: len(item[1].get("decoded", [])))
+    print(f"=== superblock at {entry_pc:#x} ===")
+    for stage in ("decoded", "ssa", "optimized", "scheduled"):
+        ops = stages[stage]
+        print(f"\n--- {stage} ({len(ops)} IR ops) ---")
+        for op in ops:
+            print(f"    {op!r}")
+
+    unit = controller.codesigned.tol.cache.lookup(entry_pc)
+    print(f"\n--- final host code ({len(unit.instrs)} instructions, "
+          f"mode {unit.mode}) ---")
+    for i, instr in enumerate(unit.instrs):
+        print(f"    [{i:3d}] {instr!r}")
+
+    # Plug-and-play: disable the optimizer and compare emulation cost.
+    tuned = controller.codesigned.tol.emulation_cost_sbm()
+    controller2, _ = run_with(TolConfig(sbm_passes=(), bbm_passes=()))
+    raw = controller2.codesigned.tol.emulation_cost_sbm()
+    print(f"\nemulation cost (host insns / guest insn, SBM):")
+    print(f"    full pipeline : {tuned:.2f}")
+    print(f"    no passes     : {raw:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The warm-up simulation methodology case study (paper §VI-E).
+
+Shows why sampled simulation of a co-designed processor must warm up the
+*TOL state*, and how downscaling promotion thresholds during warm-up plus
+the offline distribution-matching heuristic recovers accuracy cheaply.
+
+Run:  python examples/warmup_methodology.py
+"""
+
+from repro.harness.warmup_case import run_case_study
+from repro.sampling.warmup import (
+    WarmupSimulator, collect_bb_frequencies, distribution_similarity,
+)
+from repro.tol.config import TolConfig
+from repro.workloads import get_workload
+
+
+def main():
+    name = "473.astar"
+    program = get_workload(name).program(scale=0.5)
+    config = TolConfig()
+
+    # 1. Show the heuristic's raw material: how well does the TOL state
+    #    reached by different warm-up configurations match the
+    #    authoritative hot-code distribution?
+    sim = WarmupSimulator(program, tol_config=config)
+    start = 30_000
+    authoritative = collect_bb_frequencies(
+        get_workload(name).program(scale=0.5), 0, start)
+    print("warm-up configuration -> similarity to authoritative "
+          "hot-code distribution")
+    for scale, warmup in ((1.0, 300), (4.0, 300), (8.0, 300), (8.0, 3000)):
+        achieved = sim.warmup_bb_distribution(start, warmup, scale)
+        sim_score = distribution_similarity(achieved, authoritative)
+        print(f"  scale {scale:>4.0f}x, warm-up {warmup:>5} insns : "
+              f"{sim_score:.3f}")
+
+    # 2. Run the full case study: full detailed run vs sampled simulation.
+    print("\nrunning full detailed simulation vs sampled methodology...")
+    result = run_case_study(workload_name=name, scale=0.5, n_samples=4,
+                            sample_length=3000, tol_config=config)
+    print(result.table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""DARCO — a simulation infrastructure for HW/SW co-designed processors.
+
+Reproduction of Kumar et al., "HW/SW Co-designed Processors: Challenges,
+Design Choices and a Simulation Infrastructure for Evaluation", ISPASS 2017.
+
+Public API highlights:
+
+- :mod:`repro.guest` — guest ISA, assembler, reference emulator.
+- :mod:`repro.host` — host RISC ISA and functional emulator.
+- :mod:`repro.tol` — the Translation Optimization Layer.
+- :mod:`repro.system` — the controller tying components together.
+- :mod:`repro.timing` — the parameterized in-order timing simulator.
+- :mod:`repro.power` — the analytic power/energy model.
+- :mod:`repro.workloads` — the SPEC2006/Physicsbench-shaped kernel suite.
+- :mod:`repro.harness` — per-figure experiment drivers.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,202 @@
+"""The ``darco`` command line interface.
+
+Mirrors the paper's description of the controller as "the main user
+interface of DARCO": run guest programs (assembly files or named
+workloads) on the co-designed stack, optionally with timing/power
+simulation, inspect TOL statistics, list workloads, and regenerate the
+paper's figures.
+
+Examples::
+
+    darco list
+    darco run program.s --stats
+    darco run 429.mcf --scale 0.2 --timing --power
+    darco figures --scale 0.5 --fig 4
+    darco speed
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import fields, replace
+
+from repro.guest.asmtext import assemble_text
+from repro.tol.config import TolConfig
+
+
+def _load_program(target: str, scale: float):
+    """A path ending in .s is assembled; anything else is a workload."""
+    if target.endswith(".s"):
+        with open(target, "r", encoding="utf-8") as handle:
+            return assemble_text(handle.read()), target
+    from repro.workloads import get_workload
+    workload = get_workload(target)
+    return workload.program(scale=scale), workload.name
+
+
+def _apply_config_overrides(config: TolConfig, pairs) -> TolConfig:
+    valid = {f.name: f.type for f in fields(TolConfig)}
+    overrides = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        if key not in valid:
+            raise SystemExit(
+                f"unknown TolConfig field {key!r}; valid: "
+                f"{', '.join(sorted(valid))}")
+        current = getattr(config, key)
+        if isinstance(current, bool):
+            overrides[key] = value.lower() in ("1", "true", "yes", "on")
+        elif isinstance(current, int):
+            overrides[key] = int(value, 0)
+        elif isinstance(current, float):
+            overrides[key] = float(value)
+        elif isinstance(current, tuple):
+            overrides[key] = tuple(v for v in value.split(",") if v)
+        else:
+            overrides[key] = value
+    return replace(config, **overrides)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands.
+# ---------------------------------------------------------------------------
+
+
+def cmd_run(args) -> int:
+    program, name = _load_program(args.target, args.scale)
+    config = _apply_config_overrides(TolConfig(), args.set)
+
+    if args.timing or args.power:
+        from repro.timing.run import run_with_timing
+        result, controller, core = run_with_timing(
+            program, tol_config=config, validate=not args.no_validate)
+    else:
+        from repro.system.controller import run_codesigned
+        result, controller = run_codesigned(
+            program, config=config, validate=not args.no_validate)
+        core = None
+
+    print(f"{name}: exit={result.exit_code} "
+          f"guest_insns={result.guest_icount} "
+          f"syscalls={result.syscalls} "
+          f"data_requests={result.data_requests} "
+          f"validations={result.validations}")
+    if result.stdout:
+        sys.stdout.write("--- guest stdout ---\n")
+        sys.stdout.write(result.stdout.decode("utf-8", "replace"))
+        sys.stdout.write("\n--------------------\n")
+    if args.stats:
+        from repro.debug.tracing import tol_stats_dump
+        for key, value in tol_stats_dump(
+                controller.codesigned.tol).items():
+            print(f"  {key:26s}: {value}")
+    if core is not None and args.timing:
+        print("timing:")
+        for key, value in core.report().items():
+            print(f"  {key:26s}: {value}")
+    if core is not None and args.power:
+        from repro.power.model import PowerModel
+        report = PowerModel(core.config).report(core)
+        print("power:")
+        print(f"  average power (W)         : "
+              f"{report.average_power_w:.3f}")
+        print(f"  energy per instr (pJ)     : "
+              f"{report.energy_per_instruction_pj:.2f}")
+        for key, fraction in sorted(report.breakdown().items(),
+                                    key=lambda kv: -kv[1]):
+            print(f"  dynamic {key:18s}: {fraction:.1%}")
+    return 0 if result.exit_code == 0 else int(result.exit_code or 1)
+
+
+def cmd_list(args) -> int:
+    from repro.workloads import all_workloads
+    by_suite = {}
+    for workload in all_workloads():
+        by_suite.setdefault(workload.suite, []).append(workload)
+    for suite, items in by_suite.items():
+        print(f"{suite}:")
+        for w in items:
+            print(f"  {w.name:<18} {w.description}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.harness.figures import (
+        fig4_table, fig5_table, fig6_table, fig7_table,
+        run_suite_metrics, shape_checks,
+    )
+    metrics = run_suite_metrics(scale=args.scale,
+                                validate=args.validate)
+    tables = {"4": ("Figure 4: mode distribution", fig4_table),
+              "5": ("Figure 5: emulation cost", fig5_table),
+              "6": ("Figure 6: TOL overhead", fig6_table),
+              "7": ("Figure 7: overhead breakdown", fig7_table)}
+    wanted = tables.keys() if args.fig == "all" else [args.fig]
+    for key in wanted:
+        title, fn = tables[key]
+        print(f"\n=== {title} ===")
+        print(fn(metrics))
+    print("\nshape checks:")
+    for name, ok in shape_checks(metrics).items():
+        print(f"  {'PASS' if ok else 'FAIL'}  {name}")
+    return 0
+
+
+def cmd_speed(args) -> int:
+    from repro.harness.speed import measure_speed
+    report = measure_speed(args.workload, scale=args.scale)
+    print(report.table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="darco",
+        description="DARCO: simulation infrastructure for HW/SW "
+                    "co-designed processors (ISPASS 2017 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a .s file or named workload")
+    run_p.add_argument("target", help="assembly file (*.s) or workload")
+    run_p.add_argument("--scale", type=float, default=1.0,
+                       help="workload scale factor")
+    run_p.add_argument("--timing", action="store_true",
+                       help="attach the timing simulator")
+    run_p.add_argument("--power", action="store_true",
+                       help="report power/energy (implies timing model)")
+    run_p.add_argument("--stats", action="store_true",
+                       help="print TOL statistics")
+    run_p.add_argument("--no-validate", action="store_true",
+                       help="skip authoritative state validation")
+    run_p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                       help="override a TolConfig field (repeatable)")
+    run_p.set_defaults(fn=cmd_run)
+
+    list_p = sub.add_parser("list", help="list the workload suite")
+    list_p.set_defaults(fn=cmd_list)
+
+    fig_p = sub.add_parser("figures",
+                           help="regenerate the paper's figures")
+    fig_p.add_argument("--fig", choices=["4", "5", "6", "7", "all"],
+                       default="all")
+    fig_p.add_argument("--scale", type=float, default=1.0)
+    fig_p.add_argument("--validate", action="store_true")
+    fig_p.set_defaults(fn=cmd_figures)
+
+    speed_p = sub.add_parser("speed", help="measure simulation speed")
+    speed_p.add_argument("--workload", default="429.mcf")
+    speed_p.add_argument("--scale", type=float, default=0.4)
+    speed_p.set_defaults(fn=cmd_speed)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

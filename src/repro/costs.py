@@ -1,0 +1,66 @@
+"""Cost-model constants (in host instructions).
+
+DARCO's TOL is itself compiled to the host ISA, so its activity shows up as
+host instructions in the dynamic stream (paper Fig. 6/7).  Our TOL runs in
+Python; every TOL activity therefore *charges* a host-instruction cost from
+this table, proportional to the work actually performed.  The constants were
+calibrated once against the paper's reported overhead distribution and are
+deliberately centralized so ablation studies can scale them.
+"""
+
+# --- Interpreter (IM) -------------------------------------------------------
+#: Dispatch + decode overhead per interpreted guest instruction.
+INTERP_DISPATCH = 12
+#: Additional cost per IR operation evaluated by the interpreter.
+INTERP_PER_IR_OP = 2
+#: Extra cost for interpreter-only complex instructions (per element for
+#: string ops, flat for syscall marshalling).
+INTERP_COMPLEX_ELEMENT = 6
+#: Profiling cost per interpreted basic-block boundary (repetition counters).
+INTERP_PROFILE_BB = 10
+
+# --- Basic block translator (BBM) ------------------------------------------
+#: Fixed per-translation cost (allocation, bookkeeping, code cache insert).
+BB_TRANSLATE_FIXED = 400
+#: Per guest instruction decoded and translated.
+BB_TRANSLATE_PER_GUEST_INSN = 60
+#: Per IR op processed by the basic optimizer and code generator.
+BB_TRANSLATE_PER_IR_OP = 14
+
+# --- Superblock translator (SBM) --------------------------------------------
+#: Fixed per-superblock cost (region selection, buffers, cache insert).
+SB_TRANSLATE_FIXED = 550
+#: Per guest instruction included in the superblock.
+SB_TRANSLATE_PER_GUEST_INSN = 28
+#: Per IR op, per optimization pass that processed it.
+SB_TRANSLATE_PER_IR_OP_PASS = 3
+#: Scheduler/register allocator cost per IR op (list scheduling dominates).
+SB_SCHEDULE_PER_IR_OP = 8
+
+# --- Control transfer between TOL and the code cache ------------------------
+#: Prologue: stack switch and state handoff when TOL dispatches to the
+#: code cache (paper category "Prologue").
+PROLOGUE = 14
+#: Epilogue: returning control to TOL (charged to the same category).
+EPILOGUE = 12
+#: Code cache hash lookup (paper category "Code $ lookup").
+CC_LOOKUP = 16
+#: Checking whether an exit can be chained, and patching it.
+CHAIN_ATTEMPT = 22
+#: Filling an IBTC entry after a miss (charged to chaining, per paper's
+#: grouping of translation linking work).
+IBTC_FILL = 26
+
+# --- "Others" ----------------------------------------------------------------
+#: TOL one-time initialization.
+TOL_INIT = 4000
+#: Main-loop control flow per TOL invocation.
+TOL_MAINLOOP = 8
+#: Statistics collection per synchronization event.
+TOL_STATS_EVENT = 30
+
+# --- Costs modelled inside the code cache (application stream) ---------------
+#: An IBTC hit executes an inline lookup sequence (hash, compare, load).
+IBTC_HIT_INLINE = 4
+#: Inline profiling counter update per BBM unit execution.
+BBM_PROFILE_INLINE = 3

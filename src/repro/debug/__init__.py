@@ -1,0 +1,13 @@
+"""Debug toolchain: divergence pinpointing, stage blaming, monitoring."""
+
+from repro.debug.divergence import (
+    Divergence, StageBlame, blame_stage, find_divergence,
+)
+from repro.debug.export import metrics_csv, run_record, to_json, units_csv
+from repro.debug.tracing import DispatchTracer, ModeTracer, tol_stats_dump
+
+__all__ = [
+    "Divergence", "StageBlame", "blame_stage", "find_divergence",
+    "DispatchTracer", "ModeTracer", "tol_stats_dump",
+    "metrics_csv", "run_record", "to_json", "units_csv",
+]

@@ -1,0 +1,147 @@
+"""Divergence finder (paper §V-D, debug toolchain).
+
+When validation detects a mismatch, DARCO "first of all pinpoints the exact
+basic block where the problem was originated.  Then it traces back to find
+out the particular step where the bug first appeared".  This module
+implements both stages:
+
+1. :func:`find_divergence` re-runs the application with a per-dispatch
+   probe: after every translated-unit execution and every interpreted
+   basic block, the emulated state is compared against a private reference
+   emulator advanced to the same instruction count.  The first mismatching
+   dispatch names the culpable code unit (or the interpreter).
+2. :func:`blame_stage` replays the culpable region at every TOL pipeline
+   stage (decoded IR, SSA, optimized, scheduled) with the IR evaluator and
+   reports the first stage whose result diverges from stepping the
+   reference — separating decoder bugs from optimizer bugs from scheduler
+   bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.guest.emulator import GuestEmulator
+from repro.guest.program import GuestProgram
+from repro.guest.state import GuestState
+from repro.guest.syscalls import GuestOS
+from repro.host.isa import CodeUnit
+from repro.tol.config import TolConfig
+from repro.tol.ir_eval import EXIT, IRAssertFailure, JUMP, eval_ops
+from repro.system.controller import Controller
+
+
+@dataclass
+class Divergence:
+    """First detected mismatch between emulated and authoritative state."""
+
+    guest_icount: int
+    state_diff: Dict[str, tuple]
+    #: The code unit whose execution produced the mismatch (None when the
+    #: divergence appeared during interpretation).
+    unit: Optional[CodeUnit]
+    entry_pc: Optional[int]
+    mode: str
+
+    def __str__(self):
+        where = (f"unit {self.unit.uid} ({self.mode}) at "
+                 f"{self.entry_pc:#x}" if self.unit is not None
+                 else "interpreter")
+        return (f"divergence after {self.guest_icount} guest instructions "
+                f"in {where}: {self.state_diff}")
+
+
+class _ProbeHit(Exception):
+    def __init__(self, divergence: Divergence):
+        self.divergence = divergence
+
+
+def find_divergence(program: GuestProgram,
+                    config: Optional[TolConfig] = None,
+                    max_events: int = 10_000_000) -> Optional[Divergence]:
+    """Locate the first dispatch step whose result state mismatches a
+    lockstep reference.  Returns None for a clean run."""
+    reference = GuestEmulator(program, os=GuestOS())
+    controller = Controller(program, config=config, validate=False)
+
+    def probe(tol, unit) -> None:
+        reference.run_to_icount(tol.guest_icount)
+        diff = tol.state.diff(reference.state)
+        if diff:
+            raise _ProbeHit(Divergence(
+                guest_icount=tol.guest_icount,
+                state_diff=diff,
+                unit=unit,
+                entry_pc=unit.entry_pc if unit is not None else None,
+                mode=unit.mode if unit is not None else "IM",
+            ))
+
+    controller.codesigned.tol.probe = probe
+    try:
+        controller.run(max_events=max_events)
+    except _ProbeHit as hit:
+        return hit.divergence
+    return None
+
+
+@dataclass
+class StageBlame:
+    """Result of per-stage replay of a culpable region."""
+
+    entry_pc: int
+    #: First pipeline stage whose IR evaluation diverges from the
+    #: reference ("decoded", "ssa", "optimized", "scheduled"), or None if
+    #: every stage matched (pointing at codegen / the host emulator).
+    first_bad_stage: Optional[str]
+    per_stage_ok: Dict[str, bool]
+
+    def __str__(self):
+        stage = self.first_bad_stage or "codegen/host"
+        return f"region {self.entry_pc:#x}: first bad stage = {stage}"
+
+
+STAGE_ORDER = ("decoded", "ssa", "optimized", "scheduled")
+
+
+def blame_stage(stages: Dict[str, List], entry_state: GuestState,
+                memory_factory, reference_stepper) -> StageBlame:
+    """Replay captured per-stage IR against a reference.
+
+    ``stages`` comes from ``Translator.capture[entry_pc]``;
+    ``memory_factory()`` returns a fresh guest memory image at region
+    entry; ``reference_stepper(state, memory)`` executes the same guest
+    instructions on reference semantics and returns the expected state.
+    """
+    expected_state, expected_exit = reference_stepper(
+        entry_state.copy(), memory_factory())
+    per_stage_ok: Dict[str, bool] = {}
+    first_bad: Optional[str] = None
+    entry_pc = None
+    for stage in STAGE_ORDER:
+        ops = stages.get(stage)
+        if ops is None:
+            continue
+        if entry_pc is None and ops:
+            entry_pc = ops[0].guest_pc
+        state = entry_state.copy()
+        memory = memory_factory()
+        try:
+            outcome, target = eval_ops(ops, state, memory)
+        except IRAssertFailure:
+            per_stage_ok[stage] = True  # rollback: no state to compare
+            continue
+        ok = (outcome in (EXIT, JUMP)
+              and target == expected_exit
+              and not _diff_ignoring_eip(state, expected_state))
+        per_stage_ok[stage] = ok
+        if not ok and first_bad is None:
+            first_bad = stage
+    return StageBlame(entry_pc=entry_pc or 0, first_bad_stage=first_bad,
+                      per_stage_ok=per_stage_ok)
+
+
+def _diff_ignoring_eip(state: GuestState, expected: GuestState) -> dict:
+    diff = state.diff(expected)
+    diff.pop("EIP", None)
+    return diff

@@ -1,0 +1,103 @@
+"""Statistics export: JSON/CSV dumps of run results (monitoring tools).
+
+The paper lists "monitoring tools" among DARCO's components; these helpers
+serialize everything a run produced — TOL statistics, per-unit code-cache
+data, timing and power reports — for offline analysis."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Optional
+
+from repro.debug.tracing import tol_stats_dump
+from repro.tol.tol import Tol
+
+
+def run_record(tol: Tol, result=None, timing_core=None,
+               power_report=None) -> dict:
+    """One JSON-serializable record describing a finished run."""
+    record = {"tol": tol_stats_dump(tol)}
+    if result is not None:
+        record["run"] = {
+            "exit_code": result.exit_code,
+            "guest_icount": result.guest_icount,
+            "syscalls": result.syscalls,
+            "data_requests": result.data_requests,
+            "validations": result.validations,
+        }
+    if timing_core is not None:
+        record["timing"] = timing_core.report()
+    if power_report is not None:
+        record["power"] = {
+            "average_power_w": power_report.average_power_w,
+            "energy_per_instruction_pj":
+                power_report.energy_per_instruction_pj,
+            "leakage_power_mw": power_report.leakage_power_mw,
+            "dynamic_breakdown": power_report.breakdown(),
+        }
+    return record
+
+
+def to_json(record: dict, path: Optional[str] = None) -> str:
+    text = json.dumps(record, indent=2, sort_keys=True, default=str)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return text
+
+
+#: Columns of the per-unit code cache export.
+UNIT_COLUMNS = (
+    "uid", "mode", "entry_pc", "size_insns", "guest_insns",
+    "guest_bbs", "unrolled", "exec_count", "guest_retired",
+    "host_committed", "host_wasted", "assert_failures", "spec_failures",
+)
+
+
+def units_csv(tol: Tol, path: Optional[str] = None) -> str:
+    """CSV of every unit in the code cache (hotness/failure analysis)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(UNIT_COLUMNS)
+    for unit in sorted(tol.cache.units(), key=lambda u: u.uid):
+        writer.writerow([
+            unit.uid, unit.mode, f"{unit.entry_pc:#x}", unit.size(),
+            unit.guest_insn_count, unit.guest_bb_count,
+            int(unit.unrolled), unit.exec_count,
+            unit.guest_insns_retired, unit.host_insns_committed,
+            unit.host_insns_wasted, unit.assert_failures,
+            unit.spec_failures,
+        ])
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+    return text
+
+
+def metrics_csv(metrics, path: Optional[str] = None) -> str:
+    """CSV of harness KernelMetrics (one row per workload)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([
+        "name", "suite", "guest_icount", "im", "bbm", "sbm",
+        "emulation_cost_sbm", "tol_overhead_fraction",
+        "app_host_insns", "tol_host_insns", "static_code_bytes",
+    ])
+    for m in metrics:
+        writer.writerow([
+            m.name, m.suite, m.guest_icount,
+            round(m.mode_fraction.get("IM", 0), 6),
+            round(m.mode_fraction.get("BBM", 0), 6),
+            round(m.mode_fraction.get("SBM", 0), 6),
+            round(m.emulation_cost_sbm, 4),
+            round(m.tol_overhead_fraction, 6),
+            m.app_host_insns, m.tol_host_insns, m.static_code_bytes,
+        ])
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+    return text

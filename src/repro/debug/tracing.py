@@ -1,0 +1,99 @@
+"""Monitoring tools: mode-transition logs, dispatch traces, stats dumps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.tol.tol import Tol
+
+
+@dataclass
+class ModeTransition:
+    guest_icount: int
+    entry_pc: Optional[int]
+    mode: str
+
+
+class ModeTracer:
+    """Records the sequence of execution-mode transitions (IM/BBM/SBM/SBX)
+    a run goes through — the raw data behind paper Fig. 3/4 discussions."""
+
+    def __init__(self, tol: Tol):
+        self.transitions: List[ModeTransition] = []
+        self._last_mode: Optional[str] = None
+        self._chain(tol)
+
+    def _chain(self, tol: Tol) -> None:
+        previous = tol.probe
+
+        def probe(tol_, unit):
+            mode = unit.mode if unit is not None else "IM"
+            if mode != self._last_mode:
+                self.transitions.append(ModeTransition(
+                    guest_icount=tol_.guest_icount,
+                    entry_pc=unit.entry_pc if unit is not None else None,
+                    mode=mode))
+                self._last_mode = mode
+            if previous is not None:
+                previous(tol_, unit)
+
+        tol.probe = probe
+
+    def mode_sequence(self) -> List[str]:
+        return [t.mode for t in self.transitions]
+
+
+class DispatchTracer:
+    """Collects one line per dispatch: (icount, mode, entry_pc, execs)."""
+
+    def __init__(self, tol: Tol, limit: int = 100_000):
+        self.records: List[tuple] = []
+        self.limit = limit
+        previous = tol.probe
+
+        def probe(tol_, unit):
+            if len(self.records) < self.limit:
+                if unit is None:
+                    self.records.append((tol_.guest_icount, "IM", None, 1))
+                else:
+                    self.records.append((
+                        tol_.guest_icount, unit.mode, unit.entry_pc,
+                        unit.exec_count))
+            if previous is not None:
+                previous(tol_, unit)
+
+        tol.probe = probe
+
+    def format(self, n: int = 50) -> str:
+        lines = []
+        for (icount, mode, pc, execs) in self.records[:n]:
+            where = f"{pc:#x}" if pc is not None else "-"
+            lines.append(f"{icount:>10} {mode:<4} {where:<10} x{execs}")
+        return "\n".join(lines)
+
+
+def tol_stats_dump(tol: Tol) -> Dict[str, object]:
+    """A monitoring snapshot of every interesting TOL statistic."""
+    dist = tol.mode_distribution()
+    total = sum(dist.values()) or 1
+    return {
+        "guest_icount": tol.guest_icount,
+        "mode_distribution": {k: v / total for k, v in dist.items()},
+        "emulation_cost_sbm": round(tol.emulation_cost_sbm(), 3),
+        "tol_overhead_fraction": round(tol.overhead_fraction(), 4),
+        "overhead_breakdown": tol.overhead.breakdown(),
+        "code_cache_units": len(tol.cache),
+        "code_cache_insns": tol.cache.size_insns,
+        "bb_translations": tol.translator.bb_translations,
+        "sb_translations": tol.translator.sb_translations,
+        "loops_unrolled": tol.translator.loops_unrolled,
+        "assert_failures": tol.stats.assert_failures,
+        "spec_failures": tol.stats.spec_failures,
+        "demotions": tol.stats.demotions,
+        "chains_made": tol.stats.chains_made,
+        "ibtc_hits": tol.host.ibtc.hits,
+        "ibtc_misses": tol.host.ibtc.misses,
+        "host_insns_committed": tol.host.host_insns_committed,
+        "host_insns_wasted": tol.host.host_insns_wasted,
+    }

@@ -1,0 +1,16 @@
+"""Guest ISA (GISA): definition, assembler, memory, and reference emulator."""
+
+from repro.guest.asmtext import assemble_text
+from repro.guest.assembler import Assembler, M
+from repro.guest.emulator import GuestEmulator
+from repro.guest.isa import FReg, GuestInstr, Imm, Mem, Reg, VReg
+from repro.guest.memory import PAGE_SIZE, PagedMemory, PageFault
+from repro.guest.program import GuestProgram
+from repro.guest.state import GuestState
+from repro.guest.syscalls import GuestOS
+
+__all__ = [
+    "assemble_text", "Assembler", "M", "GuestEmulator", "FReg", "GuestInstr", "Imm", "Mem",
+    "Reg", "VReg", "PAGE_SIZE", "PagedMemory", "PageFault", "GuestProgram",
+    "GuestState", "GuestOS",
+]

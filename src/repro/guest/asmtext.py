@@ -1,0 +1,212 @@
+"""Text-format assembler for the guest ISA.
+
+The builder API (:mod:`repro.guest.assembler`) is the programmatic way to
+construct guest code; this module adds the conventional textual syntax so
+programs can live in ``.s`` files::
+
+    ; sum the numbers 1..n
+        mov  eax, 0
+        mov  ecx, 100
+    top:
+        add  eax, ecx
+        dec  ecx
+        jne  top
+        mov  edi, eax
+        mov  eax, 1          ; SYS_EXIT
+        mov  ebx, 0
+        syscall
+
+    .data 0x4000 u32 1 2 3 0xff
+    .data 0x5000 f64 1.5 -2.25
+    .entry top
+
+Operands: registers (``eax``/``f3``/``v2``, case-insensitive), immediates
+(decimal, hex, ``'c'`` char, or a label name), and memory operands
+``[base + index*scale + disp]`` in any order with a single ``[...]`` pair.
+Directives: ``.entry <label>``, ``.base <addr>``, ``.data <addr> u32|f64
+<values...>``, ``.ascii <addr> "text"``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.guest.assembler import Assembler, AssemblyError, M
+from repro.guest.isa import (
+    FPR_NAMES, GPR_NAMES, INSN_SPECS, VR_NAMES, FReg, Imm, Reg, VReg,
+)
+from repro.guest.program import (
+    DEFAULT_CODE_BASE, GuestProgram, pack_f64s, pack_u32s,
+)
+
+_GPR = {name.lower(): name for name in GPR_NAMES}
+_FPR = {name.lower(): name for name in FPR_NAMES}
+_VR = {name.lower(): name for name in VR_NAMES}
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$]*):$")
+_NAME_RE = re.compile(r"^[A-Za-z_][\w.$]*$")
+
+
+class AsmSyntaxError(AssemblyError):
+    """Raised with a line number on malformed assembly text."""
+
+    def __init__(self, message: str, line_no: int, line: str):
+        super().__init__(f"line {line_no}: {message}\n    {line}")
+        self.line_no = line_no
+
+
+def assemble_text(source: str,
+                  base: Optional[int] = None) -> GuestProgram:
+    """Assemble guest assembly text into a program image."""
+    asm = Assembler(base=base if base is not None else DEFAULT_CODE_BASE)
+    entry: Optional[str] = None
+    pending_base: Optional[int] = None
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            if line.startswith("."):
+                entry, pending_base = _directive(
+                    asm, line, entry, pending_base)
+                continue
+            match = _LABEL_RE.match(line)
+            if match:
+                asm.label(match.group(1))
+                continue
+            _instruction(asm, line)
+        except AsmSyntaxError:
+            raise
+        except (AssemblyError, ValueError) as exc:
+            raise AsmSyntaxError(str(exc), line_no, raw) from exc
+    if pending_base is not None:
+        asm.base = pending_base
+    return asm.program(entry=entry)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _directive(asm: Assembler, line: str, entry, pending_base):
+    parts = line.split(None, 2)
+    name = parts[0]
+    if name == ".entry":
+        return parts[1], pending_base
+    if name == ".base":
+        return entry, _int(parts[1])
+    if name == ".data":
+        addr_s, rest = parts[1], parts[2]
+        kind, values = rest.split(None, 1)
+        addr = _int(addr_s)
+        items = values.split()
+        if kind == "u32":
+            asm.data(addr, pack_u32s([_int(v) for v in items]))
+        elif kind == "f64":
+            asm.data(addr, pack_f64s([float(v) for v in items]))
+        else:
+            raise AssemblyError(f"unknown .data kind {kind!r}")
+        return entry, pending_base
+    if name == ".ascii":
+        addr_s, rest = parts[1], parts[2]
+        text = rest.strip()
+        if not (text.startswith('"') and text.endswith('"')):
+            raise AssemblyError(".ascii needs a double-quoted string")
+        asm.data(_int(addr_s), text[1:-1].encode("utf-8"))
+        return entry, pending_base
+    raise AssemblyError(f"unknown directive {name!r}")
+
+
+def _instruction(asm: Assembler, line: str) -> None:
+    match = re.match(r"^(\S+)\s*(.*)$", line)
+    mnemonic = match.group(1).upper()
+    if mnemonic not in INSN_SPECS:
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}")
+    rest = match.group(2).strip()
+    operands = _split_operands(rest) if rest else []
+    asm.emit(mnemonic, *[_operand(text) for text in operands])
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas not inside brackets."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current).strip())
+    return [p for p in parts if p]
+
+
+def _operand(text: str):
+    lowered = text.lower()
+    if lowered in _GPR:
+        return Reg(_GPR[lowered])
+    if lowered in _FPR:
+        return FReg(_FPR[lowered])
+    if lowered in _VR:
+        return VReg(_VR[lowered])
+    if text.startswith("["):
+        return _memory(text)
+    if len(text) == 3 and text[0] == "'" and text[2] == "'":
+        return Imm(ord(text[1]))
+    try:
+        return Imm(_int(text))
+    except ValueError:
+        pass
+    if _NAME_RE.match(text):
+        return text  # label reference, fixed up by the builder
+    raise AssemblyError(f"cannot parse operand {text!r}")
+
+
+def _memory(text: str):
+    if not text.endswith("]"):
+        raise AssemblyError(f"unterminated memory operand {text!r}")
+    inner = text[1:-1].strip()
+    base = index = None
+    scale = 1
+    disp = 0
+    # Normalize "a - b" into "+-b" then split on '+'.
+    inner = inner.replace("-", "+-")
+    for term in (t.strip() for t in inner.split("+")):
+        if not term:
+            continue
+        negative = term.startswith("-")
+        if negative:
+            term = term[1:].strip()
+        if "*" in term:
+            reg_s, scale_s = (p.strip() for p in term.split("*", 1))
+            if negative:
+                raise AssemblyError("negative index is not encodable")
+            if reg_s.lower() not in _GPR:
+                raise AssemblyError(f"bad index register {reg_s!r}")
+            if index is not None:
+                raise AssemblyError("two index terms in memory operand")
+            index = _GPR[reg_s.lower()]
+            scale = _int(scale_s)
+        elif term.lower() in _GPR:
+            if negative:
+                raise AssemblyError("negative base is not encodable")
+            if base is None:
+                base = _GPR[term.lower()]
+            elif index is None:
+                index = _GPR[term.lower()]
+            else:
+                raise AssemblyError("three registers in memory operand")
+        else:
+            value = _int(term)
+            disp += -value if negative else value
+    from repro.guest.isa import Mem
+    return Mem(base=base, index=index, scale=scale, disp=disp)
+
+
+def _int(text: str) -> int:
+    return int(text, 0)

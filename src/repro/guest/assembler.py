@@ -1,0 +1,202 @@
+"""A small builder-style assembler for guest programs.
+
+Workloads and tests construct guest code through this API rather than a text
+assembler: it is explicit, checkable, and supports labels with fixups::
+
+    asm = Assembler()
+    asm.label("top")
+    asm.mov(EAX, 10)
+    asm.add(EAX, EBX)
+    asm.dec(ECX)
+    asm.jne("top")
+    asm.exit(0)
+    program = asm.program()
+
+Branch/call targets may be label names (fixed up at layout time) or absolute
+integer addresses.  Instruction methods are the lower-cased mnemonics from
+:mod:`repro.guest.isa`.
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Union
+
+from repro.guest.encoding import encode_instr
+from repro.guest.isa import (
+    INSN_SPECS, FReg, GuestInstr, Imm, Mem, Reg, VReg,
+)
+from repro.guest.program import (
+    DEFAULT_CODE_BASE, DEFAULT_STACK_TOP, GuestProgram,
+)
+from repro.guest.syscalls import SYS_EXIT
+
+# Register operand singletons for convenient importing.
+EAX, ECX, EDX, EBX = Reg("EAX"), Reg("ECX"), Reg("EDX"), Reg("EBX")
+ESP, EBP, ESI, EDI = Reg("ESP"), Reg("EBP"), Reg("ESI"), Reg("EDI")
+F0, F1, F2, F3 = FReg("F0"), FReg("F1"), FReg("F2"), FReg("F3")
+F4, F5, F6, F7 = FReg("F4"), FReg("F5"), FReg("F6"), FReg("F7")
+V0, V1, V2, V3 = VReg("V0"), VReg("V1"), VReg("V2"), VReg("V3")
+V4, V5, V6, V7 = VReg("V4"), VReg("V5"), VReg("V6"), VReg("V7")
+
+
+def M(base: Optional[Reg] = None, index: Optional[Reg] = None,
+      scale: int = 1, disp: int = 0) -> Mem:
+    """Build a memory operand: ``[base + index*scale + disp]``."""
+    return Mem(
+        base=base.name if base is not None else None,
+        index=index.name if index is not None else None,
+        scale=scale,
+        disp=disp,
+    )
+
+
+class AssemblyError(Exception):
+    """Raised for malformed assembly (unknown label, bad operand...)."""
+
+
+class Assembler:
+    """Accumulates instructions and lays them out into a GuestProgram."""
+
+    def __init__(self, base: int = DEFAULT_CODE_BASE):
+        self.base = base
+        self._instrs: List[GuestInstr] = []
+        self._labels: Dict[str, int] = {}        # label -> instruction index
+        self._fixups: List[tuple] = []           # (instr idx, operand idx, label)
+        self._data: Dict[int, bytes] = {}
+        self._unique = 0
+
+    # -- labels --------------------------------------------------------------
+
+    def label(self, name: str) -> str:
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+        return name
+
+    def fresh_label(self, stem: str = "L") -> str:
+        self._unique += 1
+        return f"{stem}_{self._unique}"
+
+    # -- data segments -------------------------------------------------------
+
+    def data(self, addr: int, blob: bytes) -> int:
+        """Place raw bytes at an absolute address; returns the address."""
+        self._data[addr] = bytes(blob)
+        return addr
+
+    # -- instruction emission ------------------------------------------------
+
+    def emit(self, mnemonic: str, *operands) -> None:
+        if mnemonic not in INSN_SPECS:
+            raise AssemblyError(f"unknown mnemonic {mnemonic!r}")
+        converted = []
+        for i, operand in enumerate(operands):
+            if isinstance(operand, str):
+                # Label reference: placeholder immediate, fixed up at layout.
+                self._fixups.append((len(self._instrs), i, operand))
+                operand = Imm(0)
+            elif isinstance(operand, int):
+                operand = Imm(operand)
+            elif isinstance(operand, float):
+                raise AssemblyError(
+                    "float immediates are not encodable; place doubles in a "
+                    "data segment and FLD them")
+            converted.append(operand)
+        self._instrs.append(GuestInstr(mnemonic, tuple(converted)))
+
+    def __getattr__(self, name: str):
+        mnemonic = name.upper()
+        if mnemonic in INSN_SPECS:
+            return lambda *operands: self.emit(mnemonic, *operands)
+        raise AttributeError(name)
+
+    # -- convenience macros ----------------------------------------------------
+
+    def exit(self, code: int = 0) -> None:
+        """Emit the conventional process-exit syscall sequence."""
+        self.emit("MOV", EAX, Imm(SYS_EXIT))
+        self.emit("MOV", EBX, Imm(code))
+        self.emit("SYSCALL")
+
+    @contextmanager
+    def counted_loop(self, reg: Reg, count: Union[int, Reg]):
+        """Emit ``mov reg, count; top: ... ; dec reg; jne top``."""
+        top = self.fresh_label("loop")
+        self.emit("MOV", reg, count if isinstance(count, Reg) else Imm(count))
+        self.label(top)
+        yield top
+        self.emit("DEC", reg)
+        self.emit("JNE", top)
+
+    # -- layout ----------------------------------------------------------------
+
+    def program(self, entry: Optional[str] = None,
+                stack_top: int = DEFAULT_STACK_TOP) -> GuestProgram:
+        """Lay out the accumulated code and return the program image."""
+        # First pass: compute instruction addresses (lengths are operand-kind
+        # dependent but not value dependent, so one pass suffices).
+        addrs = []
+        pos = self.base
+        encoded = []
+        for instr in self._instrs:
+            blob = encode_instr(instr)
+            addrs.append(pos)
+            encoded.append(bytearray(blob))
+            pos += len(blob)
+
+        label_addrs = {}
+        for name, index in self._labels.items():
+            if index >= len(addrs):
+                label_addrs[name] = pos  # label at end of code
+            else:
+                label_addrs[name] = addrs[index]
+
+        # Second pass: patch label immediates in place.
+        for instr_idx, op_idx, label in self._fixups:
+            if label not in label_addrs:
+                raise AssemblyError(f"undefined label {label!r}")
+            target = label_addrs[label]
+            blob = encoded[instr_idx]
+            offset = self._imm_offset(self._instrs[instr_idx], op_idx)
+            struct.pack_into("<I", blob, offset, target & 0xFFFFFFFF)
+
+        code = b"".join(bytes(b) for b in encoded)
+        entry_addr = label_addrs[entry] if entry else self.base
+        return GuestProgram(
+            code=code,
+            base=self.base,
+            entry=entry_addr,
+            data=dict(self._data),
+            stack_top=stack_top,
+            labels=label_addrs,
+        )
+
+    @staticmethod
+    def _imm_offset(instr: GuestInstr, op_idx: int) -> int:
+        """Byte offset of operand ``op_idx``'s imm32 payload within the
+        encoded instruction (operand must be an immediate)."""
+        offset = 1  # opcode byte
+        for i, operand in enumerate(instr.operands):
+            if i == op_idx:
+                if not isinstance(operand, Imm):
+                    raise AssemblyError("label fixup on non-immediate operand")
+                return offset + 1  # skip tag byte
+            offset += _operand_size(operand)
+        raise AssemblyError("operand index out of range")
+
+
+def _operand_size(operand) -> int:
+    if isinstance(operand, (Reg, FReg, VReg)):
+        return 2
+    if isinstance(operand, Imm):
+        return 5
+    if isinstance(operand, Mem):
+        size = 2 + 4  # tag + mode + disp
+        if operand.base is not None:
+            size += 1
+        if operand.index is not None:
+            size += 1
+        return size
+    raise AssemblyError(f"unknown operand {operand!r}")

@@ -1,0 +1,154 @@
+"""Variable-length byte encoding for guest instructions.
+
+The encoding is deliberately CISC-flavoured: one opcode byte, followed by a
+tagged operand stream.  Instruction lengths range from 1 byte (``NOP``,
+``RET``) to 13 bytes (memory operand plus a 32-bit immediate), so static code
+size and fetch behaviour resemble x86.
+
+Layout::
+
+    opcode:1  (operand)*
+    operand := tag:1 payload
+    tag 0 -> GPR      payload reg:1
+    tag 1 -> FPR      payload reg:1
+    tag 2 -> VR       payload reg:1
+    tag 3 -> imm32    payload value:4 (little endian)
+    tag 4 -> mem      payload mode:1 [base:1] [index:1] disp:4
+                      mode bits: 0x01 has_base, 0x02 has_index,
+                                 0x0C scale (log2, bits 2-3)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from repro.guest.isa import (
+    FPR_NAMES, GPR_NAMES, INSN_SPECS, MNEMONICS, OPCODE_OF, VR_NAMES,
+    FReg, GuestInstr, Imm, Mem, Reg, VReg,
+)
+
+_TAG_REG = 0
+_TAG_FREG = 1
+_TAG_VREG = 2
+_TAG_IMM = 3
+_TAG_MEM = 4
+
+_SCALE_TO_LOG = {1: 0, 2: 1, 4: 2, 8: 3}
+_LOG_TO_SCALE = {v: k for k, v in _SCALE_TO_LOG.items()}
+
+
+class EncodingError(Exception):
+    """Raised on malformed instruction bytes or unencodable operands."""
+
+
+def encode_instr(instr: GuestInstr) -> bytes:
+    """Encode one guest instruction to bytes (``addr``/``length`` ignored)."""
+    if instr.mnemonic not in INSN_SPECS:
+        raise EncodingError(f"unknown mnemonic {instr.mnemonic!r}")
+    spec = INSN_SPECS[instr.mnemonic]
+    if len(instr.operands) != len(spec.operands):
+        raise EncodingError(
+            f"{instr.mnemonic} expects {len(spec.operands)} operands, "
+            f"got {len(instr.operands)}")
+    out = bytearray([OPCODE_OF[instr.mnemonic]])
+    for operand, kind in zip(instr.operands, spec.operands):
+        _check_kind(instr.mnemonic, operand, kind)
+        out += _encode_operand(operand)
+    return bytes(out)
+
+
+def _check_kind(mnemonic, operand, kind):
+    allowed = {
+        "r": (Reg,),
+        "f": (FReg,),
+        "v": (VReg,),
+        "i": (Imm,),
+        "m": (Mem,),
+        "rm": (Reg, Mem),
+        "ri": (Reg, Imm),
+        "rmi": (Reg, Mem, Imm),
+    }[kind]
+    if not isinstance(operand, allowed):
+        raise EncodingError(
+            f"{mnemonic}: operand {operand!r} not allowed for kind {kind!r}")
+
+
+def _encode_operand(operand) -> bytes:
+    if isinstance(operand, Reg):
+        return bytes([_TAG_REG, operand.index])
+    if isinstance(operand, FReg):
+        return bytes([_TAG_FREG, operand.index])
+    if isinstance(operand, VReg):
+        return bytes([_TAG_VREG, operand.index])
+    if isinstance(operand, Imm):
+        return bytes([_TAG_IMM]) + struct.pack("<I", operand.u32)
+    if isinstance(operand, Mem):
+        mode = 0
+        body = bytearray()
+        if operand.base is not None:
+            mode |= 0x01
+            body.append(Reg(operand.base).index)
+        if operand.index is not None:
+            mode |= 0x02
+            body.append(Reg(operand.index).index)
+        mode |= _SCALE_TO_LOG[operand.scale] << 2
+        body += struct.pack("<I", operand.disp & 0xFFFFFFFF)
+        return bytes([_TAG_MEM, mode]) + bytes(body)
+    raise EncodingError(f"unencodable operand {operand!r}")
+
+
+def decode_instr(read_byte, addr: int) -> GuestInstr:
+    """Decode one instruction at ``addr``.
+
+    ``read_byte(address)`` must return the memory byte at ``address`` (it may
+    raise :class:`repro.guest.memory.PageFault`, which propagates so the
+    co-designed component can fetch the missing code page).
+    """
+    pos = addr
+
+    def take(n: int) -> bytes:
+        nonlocal pos
+        data = bytes(read_byte(pos + i) for i in range(n))
+        pos += n
+        return data
+
+    opcode = take(1)[0]
+    if opcode >= len(MNEMONICS):
+        raise EncodingError(f"bad opcode {opcode:#x} at {addr:#x}")
+    mnemonic = MNEMONICS[opcode]
+    spec = INSN_SPECS[mnemonic]
+    operands = []
+    for _ in spec.operands:
+        operands.append(_decode_operand(take))
+    return GuestInstr(mnemonic, tuple(operands), addr=addr, length=pos - addr)
+
+
+def _decode_operand(take):
+    tag = take(1)[0]
+    if tag == _TAG_REG:
+        return Reg(GPR_NAMES[take(1)[0] & 7])
+    if tag == _TAG_FREG:
+        return FReg(FPR_NAMES[take(1)[0] & 7])
+    if tag == _TAG_VREG:
+        return VReg(VR_NAMES[take(1)[0] & 7])
+    if tag == _TAG_IMM:
+        return Imm(struct.unpack("<I", take(4))[0])
+    if tag == _TAG_MEM:
+        mode = take(1)[0]
+        base = GPR_NAMES[take(1)[0] & 7] if mode & 0x01 else None
+        index = GPR_NAMES[take(1)[0] & 7] if mode & 0x02 else None
+        scale = _LOG_TO_SCALE[(mode >> 2) & 0x3]
+        disp = struct.unpack("<I", take(4))[0]
+        return Mem(base=base, index=index, scale=scale, disp=disp)
+    raise EncodingError(f"bad operand tag {tag:#x}")
+
+
+def encode_program(instrs) -> Tuple[bytes, dict]:
+    """Encode a sequence of instructions; return (code bytes, offset map)."""
+    out = bytearray()
+    offsets = {}
+    for i, instr in enumerate(instrs):
+        offsets[i] = len(out)
+        out += encode_instr(instr)
+    return bytes(out), offsets

@@ -1,0 +1,288 @@
+"""Shared architectural semantics for guest arithmetic.
+
+The reference emulator (x86 component) and the TOL's translations must agree
+bit-for-bit.  For integer arithmetic that is easy (exact wrap helpers).  For
+the transcendental instructions (``FSIN``/``FCOS``) the guest ISA *defines*
+the result as a specific straight-line polynomial computation — expressed here
+as a data "recipe" so the reference emulator evaluates the exact same IEEE
+double operations, in the same order, as the host-code expansion emitted by
+the TOL code generator.  This mirrors real co-designed processors where trig
+is emulated in software (the paper attributes Physicsbench's high emulation
+cost to exactly this).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.guest.isa import s32, u32
+
+# --------------------------------------------------------------------------
+# Integer ALU + flag semantics (x86-style, see DESIGN.md for documented
+# deviations: PF/AF omitted, IDIV flags defined, shift OF defined as 0).
+# --------------------------------------------------------------------------
+
+
+def add32(a: int, b: int) -> Tuple[int, Dict[str, int]]:
+    res = u32(a + b)
+    flags = {
+        "ZF": int(res == 0),
+        "SF": res >> 31,
+        "CF": int(res < u32(a)),
+        "OF": ((~(a ^ b)) & (a ^ res)) >> 31 & 1,
+    }
+    return res, flags
+
+
+def sub32(a: int, b: int) -> Tuple[int, Dict[str, int]]:
+    res = u32(a - b)
+    flags = {
+        "ZF": int(res == 0),
+        "SF": res >> 31,
+        "CF": int(u32(a) < u32(b)),
+        "OF": ((a ^ b) & (a ^ res)) >> 31 & 1,
+    }
+    return res, flags
+
+
+def logic32(res: int) -> Tuple[int, Dict[str, int]]:
+    res = u32(res)
+    return res, {"ZF": int(res == 0), "SF": res >> 31, "CF": 0, "OF": 0}
+
+
+def inc32(a: int) -> Tuple[int, Dict[str, int]]:
+    """INC: like ADD 1 but CF is preserved (caller keeps old CF)."""
+    res = u32(a + 1)
+    return res, {
+        "ZF": int(res == 0),
+        "SF": res >> 31,
+        "OF": int(res == 0x80000000),
+    }
+
+
+def dec32(a: int) -> Tuple[int, Dict[str, int]]:
+    """DEC: like SUB 1 but CF is preserved."""
+    res = u32(a - 1)
+    return res, {
+        "ZF": int(res == 0),
+        "SF": res >> 31,
+        "OF": int(u32(a) == 0x80000000),
+    }
+
+
+def neg32(a: int) -> Tuple[int, Dict[str, int]]:
+    res = u32(-a)
+    return res, {
+        "ZF": int(res == 0),
+        "SF": res >> 31,
+        "CF": int(u32(a) != 0),
+        "OF": int(u32(a) == 0x80000000),
+    }
+
+
+def imul32(a: int, b: int) -> Tuple[int, Dict[str, int]]:
+    full = s32(a) * s32(b)
+    res = u32(full)
+    overflow = int(full != s32(res))
+    return res, {
+        "ZF": int(res == 0),
+        "SF": res >> 31,
+        "CF": overflow,
+        "OF": overflow,
+    }
+
+
+def idiv32(a: int, b: int) -> Tuple[int, int]:
+    """Signed truncated division; by-zero yields (0, a) by ISA definition."""
+    sa, sb = s32(a), s32(b)
+    if sb == 0:
+        return 0, u32(sa)
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    remainder = sa - quotient * sb
+    return u32(quotient), u32(remainder)
+
+
+def shl32(a: int, count: int) -> Tuple[int, Dict[str, int]]:
+    count &= 31
+    if count == 0:
+        return u32(a), {}
+    res = u32(a << count)
+    cf = (u32(a) >> (32 - count)) & 1
+    return res, {"ZF": int(res == 0), "SF": res >> 31, "CF": cf, "OF": 0}
+
+
+def shr32(a: int, count: int) -> Tuple[int, Dict[str, int]]:
+    count &= 31
+    if count == 0:
+        return u32(a), {}
+    cf = (u32(a) >> (count - 1)) & 1
+    res = u32(a) >> count
+    return res, {"ZF": int(res == 0), "SF": res >> 31, "CF": cf, "OF": 0}
+
+
+def sar32(a: int, count: int) -> Tuple[int, Dict[str, int]]:
+    count &= 31
+    if count == 0:
+        return u32(a), {}
+    cf = (s32(a) >> (count - 1)) & 1
+    res = u32(s32(a) >> count)
+    return res, {"ZF": int(res == 0), "SF": res >> 31, "CF": cf, "OF": 0}
+
+
+def fcmp(a: float, b: float) -> Dict[str, int]:
+    """FCMP flag result; unordered (NaN) sets ZF=CF=1 like x86 FCOMI."""
+    if math.isnan(a) or math.isnan(b):
+        return {"ZF": 1, "SF": 0, "CF": 1, "OF": 0}
+    return {"ZF": int(a == b), "SF": 0, "CF": int(a < b), "OF": 0}
+
+
+#: Condition-code predicates over (ZF, SF, CF, OF) -> bool.
+CONDITION_EVAL = {
+    "E": lambda zf, sf, cf, of: zf == 1,
+    "NE": lambda zf, sf, cf, of: zf == 0,
+    "L": lambda zf, sf, cf, of: sf != of,
+    "LE": lambda zf, sf, cf, of: zf == 1 or sf != of,
+    "G": lambda zf, sf, cf, of: zf == 0 and sf == of,
+    "GE": lambda zf, sf, cf, of: sf == of,
+    "B": lambda zf, sf, cf, of: cf == 1,
+    "BE": lambda zf, sf, cf, of: cf == 1 or zf == 1,
+    "A": lambda zf, sf, cf, of: cf == 0 and zf == 0,
+    "AE": lambda zf, sf, cf, of: cf == 0,
+    "S": lambda zf, sf, cf, of: sf == 1,
+    "NS": lambda zf, sf, cf, of: sf == 0,
+}
+
+
+# --------------------------------------------------------------------------
+# Transcendental recipes.
+#
+# A recipe is a list of straight-line steps over named double slots:
+#   ("const", dst, value)      dst = value
+#   ("mul",   dst, a, b)       dst = a * b
+#   ("add",   dst, a, b)       dst = a + b
+#   ("sub",   dst, a, b)       dst = a - b
+#   ("floor", dst, a)          dst = floor(a)
+# The input slot is "x" and the result slot is "res".  Every consumer
+# (reference emulator, IR evaluator, host code generator) derives its
+# implementation from the same recipe, guaranteeing bit-identical results.
+# --------------------------------------------------------------------------
+
+_TWO_PI = 6.283185307179586
+_INV_TWO_PI = 0.15915494309189535
+_HALF_PI = 1.5707963267948966
+
+#: Odd Taylor coefficients for sin(y), y in [-pi, pi].
+_SIN_COEFFS = (
+    -1.0 / 6.0,
+    1.0 / 120.0,
+    -1.0 / 5040.0,
+    1.0 / 362880.0,
+    -1.0 / 39916800.0,
+    1.0 / 6227020800.0,
+    -1.0 / 1307674368000.0,
+    1.0 / 355687428096000.0,
+    -1.0 / 121645100408832000.0,
+)
+
+
+def _build_sin_recipe(phase_shift: float) -> List[tuple]:
+    """Range-reduce x (optionally phase shifted for cos) then evaluate the
+    odd polynomial with Horner's scheme."""
+    steps: List[tuple] = []
+    if phase_shift:
+        steps += [
+            ("const", "shift", phase_shift),
+            ("add", "x1", "x", "shift"),
+        ]
+        x = "x1"
+    else:
+        x = "x"
+    steps += [
+        ("const", "inv2pi", _INV_TWO_PI),
+        ("const", "twopi", _TWO_PI),
+        ("const", "half", 0.5),
+        ("mul", "t", x, "inv2pi"),
+        ("add", "t2", "t", "half"),
+        ("floor", "k", "t2"),
+        ("mul", "kk", "k", "twopi"),
+        ("sub", "y", x, "kk"),
+        ("mul", "z", "y", "y"),
+    ]
+    coeffs = list(_SIN_COEFFS)
+    steps.append(("const", "acc", coeffs[-1]))
+    acc = "acc"
+    for i in range(len(coeffs) - 2, -1, -1):
+        steps.append(("const", f"c{i}", coeffs[i]))
+        steps.append(("mul", f"m{i}", acc, "z"))
+        steps.append(("add", f"a{i}", f"m{i}", f"c{i}"))
+        acc = f"a{i}"
+    steps += [
+        ("const", "one", 1.0),
+        ("mul", "p", acc, "z"),
+        ("add", "q", "p", "one"),
+        ("mul", "res", "q", "y"),
+    ]
+    return steps
+
+
+SIN_RECIPE: List[tuple] = _build_sin_recipe(0.0)
+COS_RECIPE: List[tuple] = _build_sin_recipe(_HALF_PI)
+
+TRIG_RECIPES = {"sin": SIN_RECIPE, "cos": COS_RECIPE}
+
+
+def eval_recipe(recipe: List[tuple], x: float) -> float:
+    """Reference evaluation of a transcendental recipe."""
+    slots: Dict[str, float] = {"x": float(x)}
+    for step in recipe:
+        op = step[0]
+        if op == "const":
+            slots[step[1]] = step[2]
+        elif op == "mul":
+            slots[step[1]] = slots[step[2]] * slots[step[3]]
+        elif op == "add":
+            slots[step[1]] = slots[step[2]] + slots[step[3]]
+        elif op == "sub":
+            slots[step[1]] = slots[step[2]] - slots[step[3]]
+        elif op == "floor":
+            slots[step[1]] = math.floor(slots[step[2]])
+        else:
+            raise ValueError(f"bad recipe op {op!r}")
+    return slots["res"]
+
+
+def gisa_sin(x: float) -> float:
+    """The guest ISA's architectural definition of FSIN."""
+    return eval_recipe(SIN_RECIPE, x)
+
+
+def gisa_cos(x: float) -> float:
+    """The guest ISA's architectural definition of FCOS."""
+    return eval_recipe(COS_RECIPE, x)
+
+
+def fdiv64(a: float, b: float) -> float:
+    """Architectural FP division: IEEE-style inf/nan on divide by zero."""
+    if b != 0.0:
+        return a / b
+    if a == 0.0 or a != a:
+        return float("nan")
+    return float("inf") if a > 0 else float("-inf")
+
+
+def ftrunc32(value: float) -> int:
+    """Architectural double -> int32 truncation (NaN/inf -> 0, wraps)."""
+    if value != value or value in (float("inf"), float("-inf")):
+        return 0
+    return u32(int(value))
+
+
+def gisa_sqrt(x: float) -> float:
+    """FSQRT is a hardware instruction on the host: IEEE sqrt. Negative
+    inputs yield NaN (no trap)."""
+    if x < 0:
+        return float("nan")
+    return math.sqrt(x)

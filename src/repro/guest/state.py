@@ -1,0 +1,114 @@
+"""Guest architectural state (registers, flags, program counter)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.guest.isa import FLAG_NAMES, FPR_NAMES, GPR_NAMES, VR_NAMES, u32
+
+
+class GuestState:
+    """The guest-visible architectural state.
+
+    Both DARCO components hold one: the x86 component's copy is authoritative,
+    the co-designed component's copy is the "emulated x86 state" the paper
+    validates against it.
+    """
+
+    __slots__ = ("gpr", "fpr", "vr", "flags", "eip")
+
+    def __init__(self):
+        self.gpr: List[int] = [0] * len(GPR_NAMES)
+        self.fpr: List[float] = [0.0] * len(FPR_NAMES)
+        self.vr: List[List[int]] = [[0, 0, 0, 0] for _ in VR_NAMES]
+        self.flags: List[int] = [0] * len(FLAG_NAMES)
+        self.eip: int = 0
+
+    # -- named access (tests, debug tools) ----------------------------------
+
+    def get(self, name: str):
+        if name in GPR_NAMES:
+            return self.gpr[GPR_NAMES.index(name)]
+        if name in FPR_NAMES:
+            return self.fpr[FPR_NAMES.index(name)]
+        if name in VR_NAMES:
+            return list(self.vr[VR_NAMES.index(name)])
+        if name in FLAG_NAMES:
+            return self.flags[FLAG_NAMES.index(name)]
+        if name == "EIP":
+            return self.eip
+        raise KeyError(name)
+
+    def set(self, name: str, value) -> None:
+        if name in GPR_NAMES:
+            self.gpr[GPR_NAMES.index(name)] = u32(value)
+        elif name in FPR_NAMES:
+            self.fpr[FPR_NAMES.index(name)] = float(value)
+        elif name in VR_NAMES:
+            self.vr[VR_NAMES.index(name)] = [u32(v) for v in value]
+        elif name in FLAG_NAMES:
+            self.flags[FLAG_NAMES.index(name)] = 1 if value else 0
+        elif name == "EIP":
+            self.eip = u32(value)
+        else:
+            raise KeyError(name)
+
+    # -- snapshot / restore (checkpointing, validation) ---------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "gpr": list(self.gpr),
+            "fpr": list(self.fpr),
+            "vr": [list(v) for v in self.vr],
+            "flags": list(self.flags),
+            "eip": self.eip,
+        }
+
+    def restore(self, snap: dict) -> None:
+        self.gpr = list(snap["gpr"])
+        self.fpr = list(snap["fpr"])
+        self.vr = [list(v) for v in snap["vr"]]
+        self.flags = list(snap["flags"])
+        self.eip = snap["eip"]
+
+    def copy(self) -> "GuestState":
+        other = GuestState()
+        other.restore(self.snapshot())
+        return other
+
+    # -- comparison (correctness validation) --------------------------------
+
+    def diff(self, other: "GuestState") -> Dict[str, tuple]:
+        """Map of register name -> (mine, theirs) for every mismatch."""
+        out = {}
+        for i, name in enumerate(GPR_NAMES):
+            if self.gpr[i] != other.gpr[i]:
+                out[name] = (self.gpr[i], other.gpr[i])
+        for i, name in enumerate(FPR_NAMES):
+            mine, theirs = self.fpr[i], other.fpr[i]
+            if mine != theirs and not (mine != mine and theirs != theirs):
+                out[name] = (mine, theirs)
+        for i, name in enumerate(VR_NAMES):
+            if self.vr[i] != other.vr[i]:
+                out[name] = (list(self.vr[i]), list(other.vr[i]))
+        for i, name in enumerate(FLAG_NAMES):
+            if self.flags[i] != other.flags[i]:
+                out[name] = (self.flags[i], other.flags[i])
+        if self.eip != other.eip:
+            out["EIP"] = (self.eip, other.eip)
+        return out
+
+    def matches(self, other: "GuestState",
+                ignore: Optional[set] = None) -> bool:
+        diff = self.diff(other)
+        if ignore:
+            diff = {k: v for k, v in diff.items() if k not in ignore}
+        return not diff
+
+    def __repr__(self):
+        regs = " ".join(
+            f"{name}={self.gpr[i]:#x}" for i, name in enumerate(GPR_NAMES))
+        flags = "".join(
+            name[0] if bit else "-"
+            for name, bit in zip(FLAG_NAMES, self.flags))
+        return f"<GuestState eip={self.eip:#x} {regs} flags={flags}>"

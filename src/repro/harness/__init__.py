@@ -1,0 +1,15 @@
+"""Experiment harness: per-figure drivers, speed, case study, ablations."""
+
+from repro.harness.figures import (
+    KernelMetrics, fig4_table, fig5_table, fig6_table, fig7_table,
+    run_suite_metrics, run_workload_metrics, shape_checks, suite_average,
+)
+from repro.harness.speed import SpeedReport, measure_speed
+from repro.harness.warmup_case import CaseStudyResult, run_case_study
+
+__all__ = [
+    "KernelMetrics", "fig4_table", "fig5_table", "fig6_table",
+    "fig7_table", "run_suite_metrics", "run_workload_metrics",
+    "shape_checks", "suite_average", "SpeedReport", "measure_speed",
+    "CaseStudyResult", "run_case_study",
+]

@@ -1,0 +1,227 @@
+"""Ablation studies for the design choices of paper §III / §V-D.
+
+Each ablation toggles one mechanism and reports its effect:
+
+- chaining / IBTC: TOL invocations and overhead;
+- loop unrolling: SBM emulation cost and host instruction count;
+- memory speculation: speculated pairs, failures, reordering benefit;
+- optimization passes: emulation cost with passes removed;
+- promotion thresholds: mode distribution trade-off (startup delay
+  discussion of §III);
+- issue width (wide in-order design point): IPC and performance/watt via
+  the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.power.model import PowerModel
+from repro.system.controller import run_codesigned
+from repro.timing.config import TimingConfig
+from repro.timing.run import run_with_timing
+from repro.tol.config import TolConfig
+from repro.workloads import get_workload
+
+
+@dataclass
+class AblationRow:
+    label: str
+    metrics: Dict[str, float]
+
+
+def _run(workload_name: str, scale: float, config: TolConfig):
+    program = get_workload(workload_name).program(scale=scale)
+    result, controller = run_codesigned(program, config=config,
+                                        validate=False)
+    return result, controller.codesigned.tol
+
+
+def ablate_chaining(workload_name: str = "429.mcf",
+                    scale: float = 0.4) -> List[AblationRow]:
+    rows = []
+    for label, chaining, ibtc in (
+            ("both on", True, True),
+            ("no chaining", False, True),
+            ("no IBTC", True, False),
+            ("both off", False, False)):
+        config = TolConfig(chaining_enable=chaining, ibtc_enable=ibtc)
+        result, tol = _run(workload_name, scale, config)
+        rows.append(AblationRow(label, {
+            "tol_overhead": tol.overhead_fraction(),
+            "cc_lookups": tol.overhead.counters["cc_lookup"],
+            "chains": tol.stats.chains_made,
+            "ibtc_hits": tol.host.ibtc.hits,
+        }))
+    return rows
+
+
+def ablate_unrolling(workload_name: str = "473.astar",
+                     scale: float = 0.4) -> List[AblationRow]:
+    rows = []
+    for label, unroll in (("unroll on", True), ("unroll off", False)):
+        config = TolConfig(unroll_enable=unroll)
+        result, tol = _run(workload_name, scale, config)
+        rows.append(AblationRow(label, {
+            "emulation_cost_sbm": tol.emulation_cost_sbm(),
+            "loops_unrolled": tol.translator.loops_unrolled,
+            "app_host_insns": tol.app_host_insns,
+        }))
+    return rows
+
+
+def ablate_speculation(workload_name: str = "471.omnetpp",
+                       scale: float = 0.4) -> List[AblationRow]:
+    rows = []
+    for label, spec in (("speculation on", True), ("speculation off",
+                                                   False)):
+        config = TolConfig(mem_speculation=spec)
+        result, tol = _run(workload_name, scale, config)
+        rows.append(AblationRow(label, {
+            "speculated_pairs": tol.translator.speculated_pairs,
+            "spec_failures": tol.stats.spec_failures,
+            "app_host_insns": tol.app_host_insns,
+        }))
+    return rows
+
+
+def ablate_optimizations(workload_name: str = "433.milc",
+                         scale: float = 0.4) -> List[AblationRow]:
+    pipelines = {
+        "full pipeline": ("constfold", "constprop", "cse", "constprop",
+                          "dce"),
+        "no CSE/RLE": ("constfold", "constprop", "dce"),
+        "DCE only": ("dce",),
+        "no optimization": (),
+    }
+    rows = []
+    for label, passes in pipelines.items():
+        config = TolConfig(sbm_passes=passes)
+        result, tol = _run(workload_name, scale, config)
+        rows.append(AblationRow(label, {
+            "emulation_cost_sbm": tol.emulation_cost_sbm(),
+            "app_host_insns": tol.app_host_insns,
+        }))
+    return rows
+
+
+def sweep_thresholds(workload_name: str = "ragdoll",
+                     scale: float = 1.0) -> List[AblationRow]:
+    """Startup-delay trade-off: aggressive promotion reduces IM time but
+    pays more translation overhead (paper §III, Startup Delay)."""
+    rows = []
+    for bbm, sbm in ((2, 8), (5, 25), (10, 60), (30, 200)):
+        config = TolConfig(bbm_threshold=bbm, sbm_threshold=sbm)
+        result, tol = _run(workload_name, scale, config)
+        dist = tol.mode_distribution()
+        total = sum(dist.values()) or 1
+        rows.append(AblationRow(f"bbm={bbm} sbm={sbm}", {
+            "im_share": dist["IM"] / total,
+            "sbm_share": dist["SBM"] / total,
+            "translator_overhead": (
+                tol.overhead.counters["bb_translator"]
+                + tol.overhead.counters["sb_translator"]),
+            "tol_overhead": tol.overhead_fraction(),
+        }))
+    return rows
+
+
+def sweep_issue_width(workload_name: str = "429.mcf",
+                      scale: float = 0.25,
+                      widths=(1, 2, 4)) -> List[AblationRow]:
+    """Wide in-order design point (§III): IPC and performance/watt."""
+    rows = []
+    for width in widths:
+        timing = TimingConfig(issue_width=width,
+                              fetch_width=max(4, width * 2))
+        timing.units = dict(timing.units)
+        timing.units["simple"] = (width, 1, True)
+        program = get_workload(workload_name).program(scale=scale)
+        result, controller, core = run_with_timing(
+            program, timing_config=timing, include_tol_overhead=True,
+            validate=False)
+        stats = core.finalize()
+        report = PowerModel(timing).report(core)
+        perf = 1.0 / max(1, stats.cycles)
+        watt = max(1e-9, report.average_power_w)
+        rows.append(AblationRow(f"width={width}", {
+            "ipc": stats.ipc,
+            "cycles": stats.cycles,
+            "avg_power_w": watt,
+            "perf_per_watt": perf / watt,
+            "energy_pj": report.total_energy_pj,
+        }))
+    return rows
+
+
+def ablate_startup_delay(workload_name: str = "ragdoll",
+                         scale: float = 0.3) -> List[AblationRow]:
+    """Crusoe vs Denver startup (SIII): software interpretation vs a
+    hardware dual decoder for cold code."""
+    rows = []
+    for label, dual in (("software interp", False), ("dual decoder", True)):
+        config = TolConfig(dual_decoder=dual)
+        result, tol = _run(workload_name, scale, config)
+        rows.append(AblationRow(label, {
+            "interp_overhead": tol.overhead.counters["interpreter"],
+            "tol_overhead": tol.overhead_fraction(),
+            "app_host_insns": tol.app_host_insns,
+            "total_host_insns": tol.app_host_insns
+            + tol.tol_overhead_insns,
+        }))
+    return rows
+
+
+def sweep_alias_table(workload_name: str = "471.omnetpp",
+                      scale: float = 0.4,
+                      sizes=(1, 4, 32)) -> List[AblationRow]:
+    """Alias-table size x search policy (SIII, Speculative Execution):
+    small tables fail conservatively; serial search pays per entry."""
+    rows = []
+    for size in sizes:
+        for serial in (False, True):
+            config = TolConfig(alias_table_size=size,
+                               alias_serial_search=serial)
+            result, tol = _run(workload_name, scale, config)
+            label = f"{size} {'serial' if serial else 'parallel'}"
+            rows.append(AblationRow(label, {
+                "spec_failures": tol.stats.spec_failures,
+                "search_insns": tol.host.alias_search_insns,
+                "app_host_insns": tol.app_host_insns,
+            }))
+    return rows
+
+
+def ablate_background_translation(workload_name: str = "ragdoll",
+                                  scale: float = 0.5) -> List[AblationRow]:
+    """When/where to translate (SIII): dedicated translation core."""
+    rows = []
+    for label, bg in (("inline", False), ("background core", True)):
+        config = TolConfig(background_translation=bg)
+        result, tol = _run(workload_name, scale, config)
+        rows.append(AblationRow(label, {
+            "tol_overhead": tol.overhead_fraction(),
+            "background_insns": tol.background_translation_insns,
+            "main_stream_insns": tol.app_host_insns
+            + tol.tol_overhead_insns,
+        }))
+    return rows
+
+
+def format_rows(rows: List[AblationRow]) -> str:
+    if not rows:
+        return "(no rows)"
+    keys = list(rows[0].metrics)
+    header = f"{'config':<18}" + "".join(f"{k:>20}" for k in keys)
+    lines = [header]
+    for row in rows:
+        cells = []
+        for key in keys:
+            value = row.metrics[key]
+            if isinstance(value, float):
+                cells.append(f"{value:>20.4g}")
+            else:
+                cells.append(f"{value:>20}")
+        lines.append(f"{row.label:<18}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Experiment drivers for the paper's figures.
+
+One functional run per workload yields everything Figures 4-7 need; the
+tables are different projections of :class:`KernelMetrics`:
+
+- Fig. 4 — dynamic guest instruction distribution across IM/BBM/SBM;
+- Fig. 5 — host instructions per guest instruction in SBM;
+- Fig. 6 — TOL overhead vs application instructions;
+- Fig. 7 — TOL overhead breakdown over seven categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.tol.config import TolConfig
+from repro.system.controller import run_codesigned
+from repro.workloads import PHYSICS, SPECFP, SPECINT, suite_workloads
+from repro.tol.overhead import CATEGORIES
+
+#: Paper-reported values the reproduction is compared against
+#: (suite averages; Fig. 4 SBM%, Fig. 5 cost, Fig. 6 overhead%).
+PAPER_SBM_SHARE = {SPECINT: 0.88, SPECFP: 0.96, PHYSICS: 0.75}
+PAPER_EMULATION_COST = {SPECINT: 4.0, SPECFP: 2.6, PHYSICS: 3.1}
+PAPER_TOL_OVERHEAD = {SPECINT: 0.16, SPECFP: 0.13, PHYSICS: 0.41}
+
+
+@dataclass
+class KernelMetrics:
+    name: str
+    suite: str
+    guest_icount: int
+    mode_fraction: Dict[str, float]
+    emulation_cost_sbm: float
+    tol_overhead_fraction: float
+    overhead_breakdown: Dict[str, float]
+    app_host_insns: int
+    tol_host_insns: int
+    static_code_bytes: int
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+def run_workload_metrics(workload, scale: float = 1.0,
+                         config: Optional[TolConfig] = None,
+                         validate: bool = True) -> KernelMetrics:
+    program = workload.program(scale=scale)
+    result, controller = run_codesigned(program, config=config,
+                                        validate=validate)
+    if result.exit_code != 0:
+        raise RuntimeError(
+            f"{workload.name} exited with {result.exit_code}")
+    tol = controller.codesigned.tol
+    dist = tol.mode_distribution()
+    total = sum(dist.values()) or 1
+    return KernelMetrics(
+        name=workload.name,
+        suite=workload.suite,
+        guest_icount=result.guest_icount,
+        mode_fraction={k: v / total for k, v in dist.items()},
+        emulation_cost_sbm=tol.emulation_cost_sbm(),
+        tol_overhead_fraction=tol.overhead_fraction(),
+        overhead_breakdown=tol.overhead.breakdown(),
+        app_host_insns=tol.app_host_insns,
+        tol_host_insns=tol.tol_overhead_insns,
+        static_code_bytes=program.static_code_bytes,
+        extras={
+            "assert_failures": tol.stats.assert_failures,
+            "spec_failures": tol.stats.spec_failures,
+            "loops_unrolled": tol.translator.loops_unrolled,
+            "chains_made": tol.stats.chains_made,
+        },
+    )
+
+
+def run_suite_metrics(scale: float = 1.0,
+                      config: Optional[TolConfig] = None,
+                      suites=(SPECINT, SPECFP, PHYSICS),
+                      validate: bool = True) -> List[KernelMetrics]:
+    metrics = []
+    for suite in suites:
+        for workload in suite_workloads(suite):
+            metrics.append(run_workload_metrics(
+                workload, scale=scale, config=config, validate=validate))
+    return metrics
+
+
+def suite_average(metrics: List[KernelMetrics], suite: str, fn) -> float:
+    values = [fn(m) for m in metrics if m.suite == suite]
+    return sum(values) / len(values) if values else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Table formatters (one per figure).
+# ---------------------------------------------------------------------------
+
+
+def _row(columns, widths):
+    return "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+
+
+def fig4_table(metrics: List[KernelMetrics]) -> str:
+    """Dynamic guest instruction distribution in IM/BBM/SBM (Fig. 4)."""
+    widths = (18, 14, 8, 8, 8)
+    lines = [_row(("benchmark", "suite", "IM%", "BBM%", "SBM%"), widths)]
+    for m in metrics:
+        lines.append(_row((
+            m.name, m.suite,
+            f"{m.mode_fraction.get('IM', 0):.1%}",
+            f"{m.mode_fraction.get('BBM', 0):.1%}",
+            f"{m.mode_fraction.get('SBM', 0):.1%}"), widths))
+    for suite in (SPECINT, SPECFP, PHYSICS):
+        sbm = suite_average(metrics, suite,
+                            lambda m: m.mode_fraction.get("SBM", 0))
+        if any(m.suite == suite for m in metrics):
+            lines.append(_row((
+                f"AVG {suite}", "",
+                "", "", f"{sbm:.1%} (paper {PAPER_SBM_SHARE[suite]:.0%})"),
+                widths))
+    return "\n".join(lines)
+
+
+def fig5_table(metrics: List[KernelMetrics]) -> str:
+    """Host instructions per guest instruction in SBM (Fig. 5)."""
+    widths = (18, 14, 12)
+    lines = [_row(("benchmark", "suite", "host/guest"), widths)]
+    for m in metrics:
+        lines.append(_row((
+            m.name, m.suite, f"{m.emulation_cost_sbm:.2f}"), widths))
+    for suite in (SPECINT, SPECFP, PHYSICS):
+        if any(m.suite == suite for m in metrics):
+            avg = suite_average(metrics, suite,
+                                lambda m: m.emulation_cost_sbm)
+            lines.append(_row((
+                f"AVG {suite}", "",
+                f"{avg:.2f} (paper {PAPER_EMULATION_COST[suite]:.1f})"),
+                widths))
+    return "\n".join(lines)
+
+
+def fig6_table(metrics: List[KernelMetrics]) -> str:
+    """TOL overhead vs application instructions (Fig. 6)."""
+    widths = (18, 14, 12, 14)
+    lines = [_row(("benchmark", "suite", "TOL%", "app insns"), widths)]
+    for m in metrics:
+        lines.append(_row((
+            m.name, m.suite, f"{m.tol_overhead_fraction:.1%}",
+            m.app_host_insns), widths))
+    for suite in (SPECINT, SPECFP, PHYSICS):
+        if any(m.suite == suite for m in metrics):
+            avg = suite_average(metrics, suite,
+                                lambda m: m.tol_overhead_fraction)
+            lines.append(_row((
+                f"AVG {suite}", "",
+                f"{avg:.1%} (paper {PAPER_TOL_OVERHEAD[suite]:.0%})", ""),
+                widths))
+    return "\n".join(lines)
+
+
+def fig7_table(metrics: List[KernelMetrics]) -> str:
+    """Dynamic TOL overhead distribution by category (Fig. 7)."""
+    widths = (18,) + (9,) * len(CATEGORIES)
+    header = ("benchmark",) + tuple(
+        c.replace("_translator", "_xl") for c in CATEGORIES)
+    lines = [_row(header, widths)]
+    for m in metrics:
+        lines.append(_row(
+            (m.name,) + tuple(
+                f"{m.overhead_breakdown.get(c, 0):.1%}"
+                for c in CATEGORIES),
+            widths))
+    for suite in (SPECINT, SPECFP, PHYSICS):
+        rows = [m for m in metrics if m.suite == suite]
+        if rows:
+            avg = {
+                c: sum(m.overhead_breakdown.get(c, 0) for m in rows)
+                / len(rows)
+                for c in CATEGORIES}
+            lines.append(_row(
+                (f"AVG {suite}",) + tuple(
+                    f"{avg[c]:.1%}" for c in CATEGORIES),
+                widths))
+    return "\n".join(lines)
+
+
+def shape_checks(metrics: List[KernelMetrics]) -> Dict[str, bool]:
+    """The qualitative 'shape' assertions the reproduction must satisfy
+    (who wins, orderings, crossovers — per the reproduction contract)."""
+    def avg(suite, fn):
+        return suite_average(metrics, suite, fn)
+
+    sbm = {s: avg(s, lambda m: m.mode_fraction.get("SBM", 0))
+           for s in (SPECINT, SPECFP, PHYSICS)}
+    cost = {s: avg(s, lambda m: m.emulation_cost_sbm)
+            for s in (SPECINT, SPECFP, PHYSICS)}
+    ovh = {s: avg(s, lambda m: m.tol_overhead_fraction)
+           for s in (SPECINT, SPECFP, PHYSICS)}
+    low_ratio = [m for m in metrics
+                 if m.name in ("continuous", "periodic", "ragdoll")]
+    checks = {
+        # Fig 4: SPECFP most optimized, Physicsbench least.
+        "sbm_order_fp>int>phys": sbm[SPECFP] > sbm[SPECINT] > sbm[PHYSICS],
+        "sbm_majority_everywhere": all(v > 0.5 for v in sbm.values()),
+        # continuous/periodic/ragdoll stand out with large BBM shares.
+        "low_ratio_phys_bbm_heavy": all(
+            m.mode_fraction.get("BBM", 0) > 0.25 for m in low_ratio)
+        if low_ratio else True,
+        # Fig 5: SPECINT pays the most per instruction, SPECFP least.
+        "cost_order_int>phys>fp": cost[SPECINT] > cost[PHYSICS]
+        > cost[SPECFP],
+        # Fig 6: Physicsbench overhead is not amortized.
+        "overhead_phys_dominates": ovh[PHYSICS] > 2 * ovh[SPECINT]
+        and ovh[PHYSICS] > 2 * ovh[SPECFP],
+    }
+    return checks

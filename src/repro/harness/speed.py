@@ -1,0 +1,86 @@
+"""DARCO speed measurements (paper §VI-A).
+
+The paper reports guest-ISA emulation at 3.4 MIPS (370 KIPS with timing)
+and host-ISA emulation at 20 MIPS (2 MIPS with timing), on one cluster
+core.  We measure our Python implementation the same four ways; absolute
+numbers are naturally lower (Python vs C++), but the *ratios* — functional
+vs timing, guest vs host — are the comparable quantities.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.system.controller import run_codesigned
+from repro.timing.run import run_with_timing
+from repro.tol.config import TolConfig
+from repro.workloads import get_workload
+
+#: Paper-reported speeds (instructions per second).
+PAPER_GUEST_EMULATION_IPS = 3.4e6
+PAPER_GUEST_TIMING_IPS = 370e3
+PAPER_HOST_EMULATION_IPS = 20e6
+PAPER_HOST_TIMING_IPS = 2e6
+
+
+@dataclass
+class SpeedReport:
+    guest_emulation_ips: float
+    guest_timing_ips: float
+    host_emulation_ips: float
+    host_timing_ips: float
+
+    def table(self) -> str:
+        rows = [
+            ("guest functional", self.guest_emulation_ips,
+             PAPER_GUEST_EMULATION_IPS),
+            ("guest with timing", self.guest_timing_ips,
+             PAPER_GUEST_TIMING_IPS),
+            ("host functional", self.host_emulation_ips,
+             PAPER_HOST_EMULATION_IPS),
+            ("host with timing", self.host_timing_ips,
+             PAPER_HOST_TIMING_IPS),
+        ]
+        lines = [f"{'stream':<20}{'this repo':>14}{'paper (C++)':>14}"]
+        for name, mine, paper in rows:
+            lines.append(f"{name:<20}{mine / 1e3:>11.1f}k/s"
+                         f"{paper / 1e3:>11.0f}k/s")
+        ratio_mine = self.guest_emulation_ips / max(1.0,
+                                                    self.guest_timing_ips)
+        ratio_paper = PAPER_GUEST_EMULATION_IPS / PAPER_GUEST_TIMING_IPS
+        lines.append(
+            f"functional/timing slowdown: {ratio_mine:.1f}x "
+            f"(paper {ratio_paper:.1f}x)")
+        return "\n".join(lines)
+
+
+def measure_speed(workload_name: str = "429.mcf",
+                  scale: float = 0.5,
+                  config: Optional[TolConfig] = None) -> SpeedReport:
+    """Measure all four speeds on one representative workload."""
+    workload = get_workload(workload_name)
+    program = workload.program(scale=scale)
+
+    t0 = time.perf_counter()
+    result, controller = run_codesigned(program, config=config,
+                                        validate=False)
+    functional_dt = time.perf_counter() - t0
+    guest_insns = result.guest_icount
+    host_insns = controller.codesigned.tol.host.host_insns_total
+
+    program2 = workload.program(scale=scale)
+    t0 = time.perf_counter()
+    result2, controller2, core = run_with_timing(
+        program2, tol_config=config, include_tol_overhead=True,
+        validate=False)
+    timing_dt = time.perf_counter() - t0
+    timed_host = core.finalize().instructions
+
+    return SpeedReport(
+        guest_emulation_ips=guest_insns / functional_dt,
+        guest_timing_ips=result2.guest_icount / timing_dt,
+        host_emulation_ips=host_insns / functional_dt,
+        host_timing_ips=timed_host / timing_dt,
+    )

@@ -1,0 +1,97 @@
+"""Warm-up methodology case study driver (paper §VI-E).
+
+Compares a full detailed (timing) simulation against the sampled
+methodology with threshold-downscaled TOL warm-up and the offline
+distribution-matching heuristic.  Reports the simulation-cost reduction and
+the CPI error (the paper: 65x at 0.75% average error; ours is measured on
+scaled-down runs, so the reduction factor tracks the sampling ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sampling.warmup import WarmupSimulator, collect_bb_frequencies
+from repro.timing.config import TimingConfig
+from repro.timing.run import run_with_timing
+from repro.tol.config import TolConfig
+from repro.workloads import get_workload
+
+PAPER_COST_REDUCTION = 65.0
+PAPER_CPI_ERROR = 0.0075
+
+
+@dataclass
+class CaseStudyResult:
+    workload: str
+    full_cpi: float
+    sampled_cpi: float
+    cpi_error: float
+    cost_reduction: float
+    chosen_scale: float
+    chosen_warmup: int
+
+    def table(self) -> str:
+        return "\n".join([
+            f"workload           : {self.workload}",
+            f"full detailed CPI  : {self.full_cpi:.3f}",
+            f"sampled CPI        : {self.sampled_cpi:.3f}",
+            f"CPI error          : {self.cpi_error:.2%} "
+            f"(paper {PAPER_CPI_ERROR:.2%})",
+            f"cost reduction     : {self.cost_reduction:.1f}x "
+            f"(paper {PAPER_COST_REDUCTION:.0f}x)",
+            f"heuristic choice   : scale {self.chosen_scale:.0f}x, "
+            f"warm-up {self.chosen_warmup} insns",
+        ])
+
+
+def run_case_study(workload_name: str = "473.astar",
+                   scale: float = 1.0,
+                   n_samples: int = 4,
+                   sample_length: int = 3000,
+                   tol_config: Optional[TolConfig] = None,
+                   timing_config: Optional[TimingConfig] = None,
+                   ) -> CaseStudyResult:
+    workload = get_workload(workload_name)
+    program = workload.program(scale=scale)
+    tol_config = tol_config if tol_config is not None else TolConfig()
+
+    # Authoritative: full detailed simulation.
+    result, controller, core = run_with_timing(
+        program, tol_config=tol_config, timing_config=timing_config,
+        include_tol_overhead=False, validate=False)
+    full_stats = core.finalize()
+    full_cpi = full_stats.cpi
+    total_guest = result.guest_icount
+
+    # Pick evenly spaced sample windows inside the run.
+    stride = total_guest // (n_samples + 1)
+    starts = [stride * (i + 1) for i in range(n_samples)]
+
+    # Offline heuristic on the first sample: correlate warm-up BB
+    # distributions against the authoritative one.
+    sim = WarmupSimulator(get_workload(workload_name).program(scale=scale),
+                          tol_config=tol_config,
+                          timing_config=timing_config)
+    authoritative = collect_bb_frequencies(
+        get_workload(workload_name).program(scale=scale), 0, starts[0])
+    short_warmup = max(150, sample_length // 10)
+    candidates = [(1.0, short_warmup), (4.0, short_warmup),
+                  (8.0, short_warmup), (8.0, sample_length)]
+    chosen_scale, chosen_warmup = sim.pick_configuration(
+        starts[0], candidates, authoritative, similarity_floor=0.85)
+
+    sampled = sim.run_sampled(starts, sample_length, chosen_warmup,
+                              chosen_scale)
+    cpi_error = abs(sampled.cpi - full_cpi) / full_cpi if full_cpi else 0.0
+    cost_reduction = total_guest / max(1, sampled.cost_guest_insns)
+    return CaseStudyResult(
+        workload=workload_name,
+        full_cpi=full_cpi,
+        sampled_cpi=sampled.cpi,
+        cpi_error=cpi_error,
+        cost_reduction=cost_reduction,
+        chosen_scale=chosen_scale,
+        chosen_warmup=chosen_warmup,
+    )

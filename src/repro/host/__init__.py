@@ -1,0 +1,17 @@
+"""Host ISA (HISA) and functional emulator with co-designed extensions."""
+
+from repro.host.emulator import (
+    AliasTable, ExitEvent, HostEmulator, IBTC,
+    EXIT_ASSERT, EXIT_PAGE_FAULT, EXIT_SPEC, EXIT_TOL,
+)
+from repro.host.isa import (
+    CodeUnit, HostInstr, HostOp,
+    UNIT_MODE_BBM, UNIT_MODE_SBM, UNIT_MODE_SBX,
+)
+
+__all__ = [
+    "AliasTable", "ExitEvent", "HostEmulator", "IBTC",
+    "EXIT_ASSERT", "EXIT_PAGE_FAULT", "EXIT_SPEC", "EXIT_TOL",
+    "CodeUnit", "HostInstr", "HostOp",
+    "UNIT_MODE_BBM", "UNIT_MODE_SBM", "UNIT_MODE_SBX",
+]

@@ -1,0 +1,929 @@
+"""Host functional emulator.
+
+Executes translated code units on the host register files, against the
+co-designed component's emulated guest memory.  Implements the co-designed
+hardware features the TOL depends on:
+
+- checkpoint/rollback (``chkpt``/``commit``, store undo log);
+- speculation asserts (``assert_z``/``assert_nz``);
+- a finite hardware alias table detecting speculative memory-reordering
+  failures (``sld32``/``sldf`` vs ``st32chk``/``stfchk``);
+- an indirect-branch translation cache (``ibtc``);
+- direct unit-to-unit chaining (patched ``exit`` links).
+
+Control returns to the TOL through :class:`ExitEvent` objects.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro import costs
+from repro.guest import semantics as sem
+from repro.guest.isa import s32, u32
+from repro.guest.memory import PagedMemory, PageFault
+from repro.guest.state import GuestState
+from repro.host.isa import (
+    CodeUnit, GUEST_FLAG_HOME, GUEST_FPR_HOME, GUEST_GPR_HOME, GUEST_VR_HOME,
+    NUM_FREGS, NUM_IREGS, NUM_VREGS,
+)
+
+#: Host addresses at/above this are the TOL-private data area (spill slots
+#: and TOL bookkeeping), invisible to the guest and exempt from
+#: checkpointing and validation.
+TOL_AREA_BASE = 0xF000_0000
+
+EXIT_TOL = "tol_exit"
+EXIT_ASSERT = "assert_fail"
+EXIT_SPEC = "spec_fail"
+EXIT_PAGE_FAULT = "page_fault"
+
+
+class HostEmulationError(Exception):
+    """Internal inconsistency in translated code (a TOL bug, by definition)."""
+
+
+@dataclass
+class ExitEvent:
+    """Why control returned from the code cache to the TOL."""
+
+    kind: str
+    #: Guest PC where execution continues (next pc, or precise restart point
+    #: for failures).
+    next_pc: int = 0
+    #: Faulting guest address for page faults.
+    fault_addr: Optional[int] = None
+    #: The unit and exit-instruction index that produced a TOL exit
+    #: (used by the TOL to patch chain links).
+    unit: Optional[CodeUnit] = None
+    exit_index: Optional[int] = None
+    #: True when the exit came from an IBTC miss.
+    ibtc_miss: bool = False
+    #: Host instructions executed during this dispatch.
+    host_insns: int = 0
+
+
+@dataclass
+class AliasTable:
+    """Finite hardware table tracking speculatively-executed loads."""
+
+    capacity: int = 32
+    entries: List[tuple] = field(default_factory=list)  # (addr, size, seq)
+
+    def record_load(self, addr: int, size: int, seq: int) -> bool:
+        """Record a speculative load; False means overflow (must fail)."""
+        if len(self.entries) >= self.capacity:
+            return False
+        self.entries.append((addr, size, seq))
+        return True
+
+    def store_conflicts(self, addr: int, size: int, seq: int) -> bool:
+        """True if a younger speculative load overlaps this store."""
+        lo, hi = addr, addr + size
+        for (laddr, lsize, lseq) in self.entries:
+            if lseq > seq and laddr < hi and lo < laddr + lsize:
+                return True
+        return False
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+
+class IBTC:
+    """Indirect Branch Translation Cache: guest PC -> code unit."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._map: Dict[int, CodeUnit] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int) -> Optional[CodeUnit]:
+        unit = self._map.get(pc)
+        if unit is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return unit
+
+    def insert(self, pc: int, unit: CodeUnit) -> None:
+        if pc not in self._map and len(self._map) >= self.capacity:
+            # FIFO eviction: drop the oldest mapping.
+            oldest = next(iter(self._map))
+            del self._map[oldest]
+        self._map[pc] = unit
+
+    def invalidate_unit(self, unit: CodeUnit) -> None:
+        stale = [pc for pc, u in self._map.items() if u is unit]
+        for pc in stale:
+            del self._map[pc]
+
+    def flush(self) -> None:
+        self._map.clear()
+
+
+@dataclass
+class _Checkpoint:
+    iregs: list
+    fregs: list
+    vregs: list
+    guest_pc: int
+
+
+class HostEmulator:
+    """Executes code units; owns the host register files and the
+    co-designed hardware structures."""
+
+    def __init__(self, memory: PagedMemory,
+                 alias_table_size: int = 32,
+                 ibtc_size: int = 256,
+                 fuel_per_dispatch: int = 50_000_000):
+        self.memory = memory
+        self.iregs: List[int] = [0] * NUM_IREGS
+        self.fregs: List[float] = [0.0] * NUM_FREGS
+        self.vregs: List[List[int]] = [[0, 0, 0, 0] for _ in range(NUM_VREGS)]
+        self.alias_table = AliasTable(capacity=alias_table_size)
+        #: serial alias-table search: checking stores pay one host
+        #: instruction per occupied entry (vs a parallel CAM lookup).
+        self.alias_serial_search = False
+        self.alias_search_insns = 0
+        #: host cost of the BBM inline profiling sequence (0 with
+        #: hardware-assisted profiling).
+        self.profile_inline_cost = costs.BBM_PROFILE_INLINE
+        self._extra_insns = 0
+        self.ibtc = IBTC(capacity=ibtc_size)
+        self.fuel_per_dispatch = fuel_per_dispatch
+        # Global counters.
+        self.host_insns_total = 0
+        self.host_insns_committed = 0
+        self.host_insns_wasted = 0
+        self.guest_retired_total = 0
+        #: when set, execution returns to the TOL at the next checkpoint
+        #: boundary once this many guest instructions have retired
+        #: (sampling support; bounds pause overshoot to one region).
+        self.pause_retired_at: Optional[int] = None
+        self.guest_retired_by_mode: Dict[str, int] = {}
+        self.host_committed_by_mode: Dict[str, int] = {}
+        #: Optional per-instruction trace callback for the timing simulator:
+        #: ``trace_sink(unit, index, instr, info_dict)``.
+        self.trace_sink: Optional[Callable] = None
+        #: BBM inline profiling: called as ``profile_hook(unit, next_pc)``
+        #: at instrumented dispatch points; returning True interrupts
+        #: chaining and returns control to the TOL (promotion request).
+        self.profile_hook: Optional[Callable] = None
+        self._pending_info = None
+        # Checkpoint / undo state.
+        self._checkpoint: Optional[_Checkpoint] = None
+        self._undo: List[tuple] = []  # ("u32"/"f64"/"vec", addr, old value)
+        self._region_insns = 0
+        #: TOL-private data area (spill slots); not part of guest memory.
+        self.tol_memory = PagedMemory(demand_zero=True)
+
+    # ------------------------------------------------------------------
+    # Guest state <-> host register transfer (prologue / epilogue).
+    # ------------------------------------------------------------------
+
+    def load_guest_state(self, state: GuestState) -> None:
+        for i, home in enumerate(GUEST_GPR_HOME):
+            self.iregs[home] = state.gpr[i]
+        for i, home in enumerate(GUEST_FLAG_HOME):
+            self.iregs[home] = state.flags[i]
+        for i, home in enumerate(GUEST_FPR_HOME):
+            self.fregs[home] = state.fpr[i]
+        for i, home in enumerate(GUEST_VR_HOME):
+            self.vregs[home] = list(state.vr[i])
+
+    def store_guest_state(self, state: GuestState, eip: int) -> None:
+        for i, home in enumerate(GUEST_GPR_HOME):
+            state.gpr[i] = u32(self.iregs[home])
+        for i, home in enumerate(GUEST_FLAG_HOME):
+            state.flags[i] = 1 if self.iregs[home] else 0
+        for i, home in enumerate(GUEST_FPR_HOME):
+            state.fpr[i] = self.fregs[home]
+        for i, home in enumerate(GUEST_VR_HOME):
+            state.vr[i] = list(self.vregs[home])
+        state.eip = eip
+
+    # ------------------------------------------------------------------
+    # Checkpointing.
+    # ------------------------------------------------------------------
+
+    def _take_checkpoint(self, guest_pc: int) -> None:
+        self._checkpoint = _Checkpoint(
+            iregs=list(self.iregs),
+            fregs=list(self.fregs),
+            vregs=[list(v) for v in self.vregs],
+            guest_pc=guest_pc,
+        )
+        self._undo.clear()
+
+    def _commit_region(self, unit: CodeUnit, guest_insns: int) -> None:
+        self._undo.clear()
+        self.alias_table.clear()
+        self._checkpoint = None
+        unit.guest_insns_retired += guest_insns
+        self.guest_retired_total += guest_insns
+        unit.host_insns_committed += self._region_insns
+        mode = unit.mode
+        self.guest_retired_by_mode[mode] = (
+            self.guest_retired_by_mode.get(mode, 0) + guest_insns)
+        self.host_committed_by_mode[mode] = (
+            self.host_committed_by_mode.get(mode, 0) + self._region_insns)
+        self.host_insns_committed += self._region_insns
+        self._region_insns = 0
+
+    def _rollback(self, unit: CodeUnit) -> int:
+        """Restore the last checkpoint; returns the precise guest restart PC."""
+        cp = self._checkpoint
+        if cp is None:
+            raise HostEmulationError("rollback without active checkpoint")
+        for kind, addr, old in reversed(self._undo):
+            if kind == "u32":
+                self.memory.write_u32(addr, old)
+            elif kind == "f64":
+                self.memory.write_f64(addr, old)
+            else:
+                self.memory.write_vec(addr, old)
+        self._undo.clear()
+        self.alias_table.clear()
+        self.iregs = list(cp.iregs)
+        self.fregs = list(cp.fregs)
+        self.vregs = [list(v) for v in cp.vregs]
+        unit.host_insns_wasted += self._region_insns
+        self.host_insns_wasted += self._region_insns
+        self._region_insns = 0
+        restart = cp.guest_pc
+        self._checkpoint = None
+        return restart
+
+    # -- memory access (guest memory vs TOL-private area) ----------------
+
+    def _mem_for(self, addr: int) -> PagedMemory:
+        return self.tol_memory if addr >= TOL_AREA_BASE else self.memory
+
+    def _read_u32(self, addr: int) -> int:
+        return self._mem_for(addr).read_u32(addr)
+
+    def _read_f64(self, addr: int) -> float:
+        return self._mem_for(addr).read_f64(addr)
+
+    def _read_vec(self, addr: int):
+        return self._mem_for(addr).read_vec(addr)
+
+    # -- undo-logged memory writes (TOL area is exempt: spill slots are
+    # always rewritten before use after a restart) -----------------------
+
+    def _write_u32(self, addr: int, value: int) -> None:
+        if addr >= TOL_AREA_BASE:
+            self.tol_memory.write_u32(addr, value)
+            return
+        if self._checkpoint is not None:
+            self._undo.append(("u32", addr, self.memory.read_u32(addr)))
+        self.memory.write_u32(addr, value)
+
+    def _write_f64(self, addr: int, value: float) -> None:
+        if addr >= TOL_AREA_BASE:
+            self.tol_memory.write_f64(addr, value)
+            return
+        if self._checkpoint is not None:
+            self._undo.append(("f64", addr, self.memory.read_f64(addr)))
+        self.memory.write_f64(addr, value)
+
+    def _write_vec(self, addr: int, lanes) -> None:
+        if addr >= TOL_AREA_BASE:
+            self.tol_memory.write_vec(addr, lanes)
+            return
+        if self._checkpoint is not None:
+            self._undo.append(("vec", addr, self.memory.read_vec(addr)))
+        self.memory.write_vec(addr, lanes)
+
+    # ------------------------------------------------------------------
+    # Main dispatch loop.
+    # ------------------------------------------------------------------
+
+    def execute(self, unit: CodeUnit, state: GuestState) -> ExitEvent:
+        """Run translated code starting at ``unit`` until control must
+        return to the TOL.  Follows chain links and IBTC hits internally."""
+        self.load_guest_state(state)
+        event = self._run(unit)
+        self.store_guest_state(state, event.next_pc)
+        return event
+
+    class _Fail(Exception):
+        def __init__(self, kind):
+            self.kind = kind
+
+    def _run(self, unit: CodeUnit) -> ExitEvent:
+        event = self._run_inner(unit)
+        self.host_insns_total += event.host_insns
+        return event
+
+    def _run_inner(self, unit: CodeUnit) -> ExitEvent:
+        executed = 0
+        fuel = self.fuel_per_dispatch
+        iregs, fregs, vregs = self.iregs, self.fregs, self.vregs
+        while True:
+            unit.exec_count += 1
+            instrs = unit.instrs
+            index = 0
+            size = len(instrs)
+            try:
+                while index < size:
+                    if executed >= fuel:
+                        raise HostEmulationError(
+                            f"fuel exhausted in unit {unit.uid} "
+                            f"(entry {unit.entry_pc:#x}): likely a "
+                            f"translation bug (infinite loop)")
+                    ins = instrs[index]
+                    executed += 1
+                    self._region_insns += 1
+                    op = ins.op
+                    # Inline the hottest integer ops; everything else goes
+                    # through the handler table.
+                    if op == "add32":
+                        iregs[ins.d] = (iregs[ins.a] + iregs[ins.b]) \
+                            & 0xFFFFFFFF
+                    elif op == "addi32":
+                        iregs[ins.d] = (iregs[ins.a] + ins.imm) & 0xFFFFFFFF
+                    elif op == "mov":
+                        iregs[ins.d] = iregs[ins.a]
+                    elif op == "li":
+                        iregs[ins.d] = ins.imm & 0xFFFFFFFFFFFFFFFF
+                    elif op == "ld32":
+                        self._trace_mem(unit, index, ins,
+                                        u32(iregs[ins.a] + ins.imm))
+                        iregs[ins.d] = self._read_u32(
+                            u32(iregs[ins.a] + ins.imm))
+                    elif op == "st32":
+                        addr = u32(iregs[ins.a] + ins.imm)
+                        self._trace_mem(unit, index, ins, addr)
+                        self._write_u32(addr, iregs[ins.b])
+                    elif op == "beqz":
+                        taken = iregs[ins.a] == 0
+                        if self.trace_sink is not None:
+                            self.trace_sink(
+                                unit, index, ins, {"taken": taken})
+                        if taken:
+                            index = ins.target
+                            continue
+                        index += 1
+                        continue
+                    elif op == "bnez":
+                        taken = iregs[ins.a] != 0
+                        if self.trace_sink is not None:
+                            self.trace_sink(
+                                unit, index, ins, {"taken": taken})
+                        if taken:
+                            index = ins.target
+                            continue
+                        index += 1
+                        continue
+                    elif op == "j":
+                        if self.trace_sink is not None:
+                            self.trace_sink(
+                                unit, index, ins, {"taken": True})
+                        index = ins.target
+                        continue
+                    elif op == "chkpt":
+                        if (self.pause_retired_at is not None
+                                and self.guest_retired_total
+                                >= self.pause_retired_at):
+                            # The previous region committed: returning at a
+                            # checkpoint boundary is architecturally clean.
+                            # (Never true at dispatch entry: the TOL pauses
+                            # before dispatching in that case.)
+                            return ExitEvent(
+                                kind=EXIT_TOL,
+                                next_pc=ins.meta["guest_pc"],
+                                unit=unit,
+                                exit_index=None,
+                                host_insns=executed,
+                            )
+                        self._take_checkpoint(ins.meta["guest_pc"])
+                    elif op == "commit":
+                        self._commit_region(unit, ins.meta["guest_insns"])
+                    elif op == "assert_nz":
+                        if iregs[ins.a] == 0:
+                            raise self._Fail(EXIT_ASSERT)
+                    elif op == "assert_z":
+                        if iregs[ins.a] != 0:
+                            raise self._Fail(EXIT_ASSERT)
+                    elif op == "exit":
+                        interrupt = False
+                        if ins.meta.get("profile"):
+                            executed += self.profile_inline_cost
+                            self._region_insns += self.profile_inline_cost
+                            if self.profile_hook is not None:
+                                interrupt = self.profile_hook(
+                                    unit, ins.meta["next_pc"])
+                        self._commit_region(unit, ins.meta["guest_insns"])
+                        if self.trace_sink is not None:
+                            self.trace_sink(
+                                unit, index, ins, {"taken": True})
+                        link = ins.meta.get("link")
+                        if link is not None and not interrupt:
+                            unit = link
+                            break  # chained: continue in linked unit
+                        return ExitEvent(
+                            kind=EXIT_TOL,
+                            next_pc=ins.meta["next_pc"],
+                            unit=unit,
+                            exit_index=index,
+                            host_insns=executed,
+                        )
+                    elif op == "exit_ind":
+                        next_pc = u32(iregs[ins.a])
+                        if ins.meta.get("profile"):
+                            executed += self.profile_inline_cost
+                            self._region_insns += self.profile_inline_cost
+                            if self.profile_hook is not None:
+                                self.profile_hook(unit, next_pc)
+                        self._commit_region(unit, ins.meta["guest_insns"])
+                        if self.trace_sink is not None:
+                            self.trace_sink(
+                                unit, index, ins, {"taken": True})
+                        return ExitEvent(
+                            kind=EXIT_TOL,
+                            next_pc=next_pc,
+                            unit=unit,
+                            exit_index=index,
+                            host_insns=executed,
+                        )
+                    elif op == "ibtc":
+                        target_pc = u32(iregs[ins.a])
+                        interrupt = False
+                        if ins.meta.get("profile"):
+                            executed += self.profile_inline_cost
+                            self._region_insns += self.profile_inline_cost
+                            if self.profile_hook is not None:
+                                interrupt = self.profile_hook(
+                                    unit, target_pc)
+                        # The inline lookup sequence costs extra host insns.
+                        executed += costs.IBTC_HIT_INLINE
+                        self._region_insns += costs.IBTC_HIT_INLINE
+                        self._commit_region(unit, ins.meta["guest_insns"])
+                        if self.trace_sink is not None:
+                            self.trace_sink(
+                                unit, index, ins, {"taken": True})
+                        target = None if interrupt else self.ibtc.lookup(
+                            target_pc)
+                        if target is not None:
+                            unit = target
+                            break
+                        return ExitEvent(
+                            kind=EXIT_TOL,
+                            next_pc=target_pc,
+                            unit=unit,
+                            exit_index=index,
+                            ibtc_miss=not interrupt,
+                            host_insns=executed,
+                        )
+                    else:
+                        handler = _SLOW_HANDLERS.get(op)
+                        if handler is None:
+                            raise HostEmulationError(f"unhandled op {op!r}")
+                        handler(self, unit, index, ins)
+                        if self._extra_insns:
+                            executed += self._extra_insns
+                            self._region_insns += self._extra_insns
+                            self._extra_insns = 0
+                    if self.trace_sink is not None:
+                        self.trace_sink(unit, index, ins,
+                                        self._pending_info)
+                        self._pending_info = None
+                    index += 1
+                else:
+                    raise HostEmulationError(
+                        f"fell off the end of unit {unit.uid} "
+                        f"(entry {unit.entry_pc:#x})")
+            except PageFault as fault:
+                restart = self._rollback(unit)
+                return ExitEvent(
+                    kind=EXIT_PAGE_FAULT,
+                    next_pc=restart,
+                    fault_addr=fault.addr,
+                    unit=unit,
+                    host_insns=executed,
+                )
+            except self._Fail as failure:
+                restart = self._rollback(unit)
+                if failure.kind == EXIT_ASSERT:
+                    unit.assert_failures += 1
+                else:
+                    unit.spec_failures += 1
+                return ExitEvent(
+                    kind=failure.kind,
+                    next_pc=restart,
+                    unit=unit,
+                    host_insns=executed,
+                )
+
+    # ------------------------------------------------------------------
+    # Tracing helpers (no-ops unless a sink is attached).
+    # ------------------------------------------------------------------
+
+    def _trace_mem(self, unit, index, ins, addr):
+        if self.trace_sink is not None:
+            self._pending_info = {"mem_addr": addr}
+
+    def _trace_branch(self, unit, index, ins, taken):
+        if self.trace_sink is not None:
+            self._pending_info = {"taken": taken}
+
+
+# ---------------------------------------------------------------------------
+# Handlers for the less-hot opcodes.
+# ---------------------------------------------------------------------------
+
+_SLOW_HANDLERS = {}
+
+
+def _op(*names):
+    def wrap(fn):
+        for name in names:
+            _SLOW_HANDLERS[name] = fn
+        return fn
+    return wrap
+
+
+_M32 = 0xFFFFFFFF
+
+
+@_op("nop")
+def _h_nop(emu, unit, index, ins):
+    pass
+
+
+@_op("sub32")
+def _h_sub32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (emu.iregs[ins.a] - emu.iregs[ins.b]) & _M32
+
+
+@_op("mul32")
+def _h_mul32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (s32(emu.iregs[ins.a]) * s32(emu.iregs[ins.b])) & _M32
+
+
+@_op("div32s")
+def _h_div32s(emu, unit, index, ins):
+    quotient, _ = sem.idiv32(emu.iregs[ins.a], emu.iregs[ins.b])
+    emu.iregs[ins.d] = quotient
+
+
+@_op("rem32s")
+def _h_rem32s(emu, unit, index, ins):
+    _, remainder = sem.idiv32(emu.iregs[ins.a], emu.iregs[ins.b])
+    emu.iregs[ins.d] = remainder
+
+
+@_op("and32")
+def _h_and32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (emu.iregs[ins.a] & emu.iregs[ins.b]) & _M32
+
+
+@_op("andi32")
+def _h_andi32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (emu.iregs[ins.a] & ins.imm) & _M32
+
+
+@_op("or32")
+def _h_or32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (emu.iregs[ins.a] | emu.iregs[ins.b]) & _M32
+
+
+@_op("ori32")
+def _h_ori32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (emu.iregs[ins.a] | ins.imm) & _M32
+
+
+@_op("xor32")
+def _h_xor32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (emu.iregs[ins.a] ^ emu.iregs[ins.b]) & _M32
+
+
+@_op("xori32")
+def _h_xori32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (emu.iregs[ins.a] ^ ins.imm) & _M32
+
+
+@_op("shl32")
+def _h_shl32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (emu.iregs[ins.a] << (emu.iregs[ins.b] & 31)) & _M32
+
+
+@_op("shli32")
+def _h_shli32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (emu.iregs[ins.a] << (ins.imm & 31)) & _M32
+
+
+@_op("shr32")
+def _h_shr32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (u32(emu.iregs[ins.a]) >> (emu.iregs[ins.b] & 31))
+
+
+@_op("shri32")
+def _h_shri32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (u32(emu.iregs[ins.a]) >> (ins.imm & 31))
+
+
+@_op("sar32")
+def _h_sar32(emu, unit, index, ins):
+    emu.iregs[ins.d] = u32(s32(emu.iregs[ins.a]) >> (emu.iregs[ins.b] & 31))
+
+
+@_op("sari32")
+def _h_sari32(emu, unit, index, ins):
+    emu.iregs[ins.d] = u32(s32(emu.iregs[ins.a]) >> (ins.imm & 31))
+
+
+@_op("not32")
+def _h_not32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (~emu.iregs[ins.a]) & _M32
+
+
+@_op("neg32")
+def _h_neg32(emu, unit, index, ins):
+    emu.iregs[ins.d] = (-emu.iregs[ins.a]) & _M32
+
+
+@_op("add64")
+def _h_add64(emu, unit, index, ins):
+    emu.iregs[ins.d] = (emu.iregs[ins.a] + emu.iregs[ins.b]) \
+        & 0xFFFFFFFFFFFFFFFF
+
+
+@_op("cmpeq")
+def _h_cmpeq(emu, unit, index, ins):
+    emu.iregs[ins.d] = int(u32(emu.iregs[ins.a]) == u32(emu.iregs[ins.b]))
+
+
+@_op("cmpeqi")
+def _h_cmpeqi(emu, unit, index, ins):
+    emu.iregs[ins.d] = int(u32(emu.iregs[ins.a]) == u32(ins.imm))
+
+
+@_op("cmpne")
+def _h_cmpne(emu, unit, index, ins):
+    emu.iregs[ins.d] = int(u32(emu.iregs[ins.a]) != u32(emu.iregs[ins.b]))
+
+
+@_op("cmpnei")
+def _h_cmpnei(emu, unit, index, ins):
+    emu.iregs[ins.d] = int(u32(emu.iregs[ins.a]) != u32(ins.imm))
+
+
+@_op("cmplt32s")
+def _h_cmplt32s(emu, unit, index, ins):
+    emu.iregs[ins.d] = int(s32(emu.iregs[ins.a]) < s32(emu.iregs[ins.b]))
+
+
+@_op("cmplt32u")
+def _h_cmplt32u(emu, unit, index, ins):
+    emu.iregs[ins.d] = int(u32(emu.iregs[ins.a]) < u32(emu.iregs[ins.b]))
+
+
+@_op("cmple32s")
+def _h_cmple32s(emu, unit, index, ins):
+    emu.iregs[ins.d] = int(s32(emu.iregs[ins.a]) <= s32(emu.iregs[ins.b]))
+
+
+@_op("cmple32u")
+def _h_cmple32u(emu, unit, index, ins):
+    emu.iregs[ins.d] = int(u32(emu.iregs[ins.a]) <= u32(emu.iregs[ins.b]))
+
+
+@_op("addcf32")
+def _h_addcf32(emu, unit, index, ins):
+    res = (emu.iregs[ins.a] + emu.iregs[ins.b]) & _M32
+    emu.iregs[ins.d] = int(res < u32(emu.iregs[ins.a]))
+
+
+@_op("addof32")
+def _h_addof32(emu, unit, index, ins):
+    a, b = emu.iregs[ins.a], emu.iregs[ins.b]
+    res = (a + b) & _M32
+    emu.iregs[ins.d] = ((~(a ^ b)) & (a ^ res)) >> 31 & 1
+
+
+@_op("subcf32")
+def _h_subcf32(emu, unit, index, ins):
+    emu.iregs[ins.d] = int(u32(emu.iregs[ins.a]) < u32(emu.iregs[ins.b]))
+
+
+@_op("subof32")
+def _h_subof32(emu, unit, index, ins):
+    a, b = emu.iregs[ins.a], emu.iregs[ins.b]
+    res = (a - b) & _M32
+    emu.iregs[ins.d] = ((a ^ b) & (a ^ res)) >> 31 & 1
+
+
+@_op("mulof32")
+def _h_mulof32(emu, unit, index, ins):
+    full = s32(emu.iregs[ins.a]) * s32(emu.iregs[ins.b])
+    emu.iregs[ins.d] = int(full != s32(u32(full)))
+
+
+# -- floating point ----------------------------------------------------------
+
+
+@_op("fmov")
+def _h_fmov(emu, unit, index, ins):
+    emu.fregs[ins.d] = emu.fregs[ins.a]
+
+
+@_op("lif")
+def _h_lif(emu, unit, index, ins):
+    emu.fregs[ins.d] = float(ins.imm)
+
+
+@_op("fadd")
+def _h_fadd(emu, unit, index, ins):
+    emu.fregs[ins.d] = emu.fregs[ins.a] + emu.fregs[ins.b]
+
+
+@_op("fsub")
+def _h_fsub(emu, unit, index, ins):
+    emu.fregs[ins.d] = emu.fregs[ins.a] - emu.fregs[ins.b]
+
+
+@_op("fmul")
+def _h_fmul(emu, unit, index, ins):
+    emu.fregs[ins.d] = emu.fregs[ins.a] * emu.fregs[ins.b]
+
+
+@_op("fdiv")
+def _h_fdiv(emu, unit, index, ins):
+    emu.fregs[ins.d] = sem.fdiv64(emu.fregs[ins.a], emu.fregs[ins.b])
+
+
+@_op("fneg")
+def _h_fneg(emu, unit, index, ins):
+    emu.fregs[ins.d] = -emu.fregs[ins.a]
+
+
+@_op("fabs")
+def _h_fabs(emu, unit, index, ins):
+    emu.fregs[ins.d] = abs(emu.fregs[ins.a])
+
+
+@_op("fsqrt")
+def _h_fsqrt(emu, unit, index, ins):
+    emu.fregs[ins.d] = sem.gisa_sqrt(emu.fregs[ins.a])
+
+
+@_op("ffloor")
+def _h_ffloor(emu, unit, index, ins):
+    emu.fregs[ins.d] = float(math.floor(emu.fregs[ins.a]))
+
+
+@_op("fcmpeq")
+def _h_fcmpeq(emu, unit, index, ins):
+    emu.iregs[ins.d] = int(emu.fregs[ins.a] == emu.fregs[ins.b])
+
+
+@_op("fcmplt")
+def _h_fcmplt(emu, unit, index, ins):
+    emu.iregs[ins.d] = int(emu.fregs[ins.a] < emu.fregs[ins.b])
+
+
+@_op("fcmpun")
+def _h_fcmpun(emu, unit, index, ins):
+    a, b = emu.fregs[ins.a], emu.fregs[ins.b]
+    emu.iregs[ins.d] = int(a != a or b != b)
+
+
+@_op("i2f")
+def _h_i2f(emu, unit, index, ins):
+    emu.fregs[ins.d] = float(s32(emu.iregs[ins.a]))
+
+
+@_op("f2i")
+def _h_f2i(emu, unit, index, ins):
+    emu.iregs[ins.d] = sem.ftrunc32(emu.fregs[ins.a])
+
+
+# -- vector -------------------------------------------------------------------
+
+
+@_op("vmov")
+def _h_vmov(emu, unit, index, ins):
+    emu.vregs[ins.d] = list(emu.vregs[ins.a])
+
+
+@_op("vadd32")
+def _h_vadd32(emu, unit, index, ins):
+    emu.vregs[ins.d] = [
+        (x + y) & _M32
+        for x, y in zip(emu.vregs[ins.a], emu.vregs[ins.b])]
+
+
+@_op("vsub32")
+def _h_vsub32(emu, unit, index, ins):
+    emu.vregs[ins.d] = [
+        (x - y) & _M32
+        for x, y in zip(emu.vregs[ins.a], emu.vregs[ins.b])]
+
+
+@_op("vmul32")
+def _h_vmul32(emu, unit, index, ins):
+    emu.vregs[ins.d] = [
+        (s32(x) * s32(y)) & _M32
+        for x, y in zip(emu.vregs[ins.a], emu.vregs[ins.b])]
+
+
+@_op("vsplat")
+def _h_vsplat(emu, unit, index, ins):
+    emu.vregs[ins.d] = [u32(emu.iregs[ins.a])] * 4
+
+
+# -- memory -------------------------------------------------------------------
+
+
+@_op("ldx32")
+def _h_ldx32(emu, unit, index, ins):
+    addr = u32(emu.iregs[ins.a] + emu.iregs[ins.b])
+    emu._trace_mem(unit, index, ins, addr)
+    emu.iregs[ins.d] = emu._read_u32(addr)
+
+
+@_op("stx32")
+def _h_stx32(emu, unit, index, ins):
+    addr = u32(emu.iregs[ins.a] + emu.iregs[ins.c])
+    emu._trace_mem(unit, index, ins, addr)
+    emu._write_u32(addr, emu.iregs[ins.b])
+
+
+@_op("ldf")
+def _h_ldf(emu, unit, index, ins):
+    addr = u32(emu.iregs[ins.a] + ins.imm)
+    emu._trace_mem(unit, index, ins, addr)
+    emu.fregs[ins.d] = emu._read_f64(addr)
+
+
+@_op("stf")
+def _h_stf(emu, unit, index, ins):
+    addr = u32(emu.iregs[ins.a] + ins.imm)
+    emu._trace_mem(unit, index, ins, addr)
+    emu._write_f64(addr, emu.fregs[ins.b])
+
+
+@_op("vld")
+def _h_vld(emu, unit, index, ins):
+    addr = u32(emu.iregs[ins.a] + ins.imm)
+    emu._trace_mem(unit, index, ins, addr)
+    emu.vregs[ins.d] = emu._read_vec(addr)
+
+
+@_op("vst")
+def _h_vst(emu, unit, index, ins):
+    addr = u32(emu.iregs[ins.a] + ins.imm)
+    emu._trace_mem(unit, index, ins, addr)
+    emu._write_vec(addr, emu.vregs[ins.b])
+
+
+@_op("sld32")
+def _h_sld32(emu, unit, index, ins):
+    addr = u32(emu.iregs[ins.a] + ins.imm)
+    emu._trace_mem(unit, index, ins, addr)
+    value = emu._read_u32(addr)
+    if not emu.alias_table.record_load(addr, 4, ins.meta["seq"]):
+        raise emu._Fail(EXIT_SPEC)
+    emu.iregs[ins.d] = value
+
+
+@_op("sldf")
+def _h_sldf(emu, unit, index, ins):
+    addr = u32(emu.iregs[ins.a] + ins.imm)
+    emu._trace_mem(unit, index, ins, addr)
+    value = emu._read_f64(addr)
+    if not emu.alias_table.record_load(addr, 8, ins.meta["seq"]):
+        raise emu._Fail(EXIT_SPEC)
+    emu.fregs[ins.d] = value
+
+
+@_op("st32chk")
+def _h_st32chk(emu, unit, index, ins):
+    addr = u32(emu.iregs[ins.a] + ins.imm)
+    emu._trace_mem(unit, index, ins, addr)
+    if emu.alias_serial_search:
+        cost = len(emu.alias_table.entries)
+        emu._extra_insns += cost
+        emu.alias_search_insns += cost
+    if emu.alias_table.store_conflicts(addr, 4, ins.meta["seq"]):
+        raise emu._Fail(EXIT_SPEC)
+    emu._write_u32(addr, emu.iregs[ins.b])
+
+
+@_op("stfchk")
+def _h_stfchk(emu, unit, index, ins):
+    addr = u32(emu.iregs[ins.a] + ins.imm)
+    emu._trace_mem(unit, index, ins, addr)
+    if emu.alias_serial_search:
+        cost = len(emu.alias_table.entries)
+        emu._extra_insns += cost
+        emu.alias_search_insns += cost
+    if emu.alias_table.store_conflicts(addr, 8, ins.meta["seq"]):
+        raise emu._Fail(EXIT_SPEC)
+    emu._write_f64(addr, emu.fregs[ins.b])

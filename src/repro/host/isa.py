@@ -1,0 +1,177 @@
+"""Host ISA (HISA) definition.
+
+HISA is the PowerPC-like RISC ISA implemented by the co-designed hardware.
+It is designed *for* guest emulation, the way Transmeta's and Denver's host
+ISAs were: flat register files large enough to home the guest state
+permanently, no condition flags (explicit compare-to-register), and a set of
+co-designed extensions the TOL relies on:
+
+- ``assert_z``/``assert_nz``: speculation asserts (paper §V-B3);
+- ``chkpt``/``commit``: architectural checkpoints for rollback;
+- ``sld32``/``sldf`` + ``st32chk``/``stfchk``: speculative memory reordering
+  with hardware alias detection;
+- ``addcf32``/``addof32``/``subcf32``/``subof32``/``mulof32``: single-cycle
+  guest condition-flag helpers;
+- ``ibtc``: inline indirect-branch translation cache lookup;
+- 32-bit ALU ops (``add32`` ...) that wrap like the guest's arithmetic.
+
+Register conventions (see :data:`GUEST_GPR_HOME` etc.): the guest state is
+directly and permanently mapped onto host registers, the paper's "maps guest
+architectural registers directly on the host registers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+NUM_IREGS = 64
+NUM_FREGS = 32
+NUM_VREGS = 16
+
+#: Guest GPR i (EAX..EDI) lives in host integer register 1+i.
+GUEST_GPR_HOME = tuple(range(1, 9))
+#: Guest flags ZF,SF,CF,OF live in host integer registers 9..12.
+GUEST_FLAG_HOME = tuple(range(9, 13))
+#: Guest FPR i lives in host FP register 1+i.
+GUEST_FPR_HOME = tuple(range(1, 9))
+#: Guest VR i lives in host vector register 1+i.
+GUEST_VR_HOME = tuple(range(1, 9))
+#: First host integer register available to the register allocator.
+FIRST_SCRATCH_IREG = 16
+#: First host FP register available to the register allocator.
+FIRST_SCRATCH_FREG = 16
+#: First host vector register available to the register allocator.
+FIRST_SCRATCH_VREG = 9
+
+
+class HostOp:
+    """Namespace of host opcode mnemonics, grouped by execution class."""
+
+    # Integer ALU (32-bit wrapping semantics for guest emulation).
+    INT_ALU = frozenset({
+        "li", "mov", "add32", "addi32", "sub32", "and32", "andi32",
+        "or32", "ori32", "xor32", "xori32", "shl32", "shli32", "shr32",
+        "shri32", "sar32", "sari32", "not32", "neg32",
+        "cmpeq", "cmpeqi", "cmpne", "cmpnei", "cmplt32s", "cmplt32u",
+        "cmple32s", "cmple32u",
+        "addcf32", "addof32", "subcf32", "subof32",
+        "add64",  # address arithmetic beyond 32 bits (scaled index)
+    })
+    INT_MUL = frozenset({"mul32", "mulof32"})
+    INT_DIV = frozenset({"div32s", "rem32s"})
+    FP_ALU = frozenset({
+        "fmov", "fadd", "fsub", "fmul", "fneg", "fabs", "ffloor",
+        "fcmpeq", "fcmplt", "fcmpun", "lif", "i2f", "f2i",
+    })
+    FP_DIV = frozenset({"fdiv", "fsqrt"})
+    VEC = frozenset({"vadd32", "vsub32", "vmul32", "vsplat", "vmov"})
+    LOAD = frozenset({"ld32", "ldx32", "ldf", "vld", "sld32", "sldf"})
+    STORE = frozenset({"st32", "stx32", "stf", "vst", "st32chk", "stfchk"})
+    BRANCH = frozenset({"beqz", "bnez", "j"})
+    ASSERT = frozenset({"assert_z", "assert_nz"})
+    SPECIAL = frozenset({"chkpt", "commit", "exit", "exit_ind", "ibtc", "nop"})
+
+    ALL = (INT_ALU | INT_MUL | INT_DIV | FP_ALU | FP_DIV | VEC | LOAD
+           | STORE | BRANCH | ASSERT | SPECIAL)
+
+
+#: Execution-unit class per op, consumed by the timing simulator.
+def op_unit_class(op: str) -> str:
+    if op in HostOp.INT_ALU:
+        return "simple"
+    if op in HostOp.INT_MUL or op in HostOp.INT_DIV:
+        return "complex"
+    if op in HostOp.FP_ALU:
+        return "fp"
+    if op in HostOp.FP_DIV:
+        return "fp_div"
+    if op in HostOp.VEC:
+        return "vector"
+    if op in HostOp.LOAD:
+        return "load"
+    if op in HostOp.STORE:
+        return "store"
+    if (op in HostOp.BRANCH or op in HostOp.ASSERT
+            or op in ("exit", "exit_ind", "ibtc")):
+        return "branch"
+    return "simple"
+
+
+@dataclass
+class HostInstr:
+    """One host instruction.
+
+    Fields ``d``/``a``/``b``/``c`` are register indices whose file (integer,
+    FP, vector) is implied by the opcode; ``imm`` is an integer or float
+    immediate; ``target`` is an intra-unit instruction index for branches.
+    ``guest_pc`` records the guest instruction this op emulates (debugging,
+    attribution); ``meta`` carries op-specific data:
+
+    - ``exit``:      ``meta["next_pc"]`` guest continuation,
+                     ``meta["link"]`` chained unit (patched by the TOL),
+                     ``meta["guest_insns"]`` guest insns completed at exit;
+    - ``chkpt``:     ``meta["guest_pc"]`` precise restart point;
+    - ``commit``:    ``meta["guest_insns"]`` guest insns being committed;
+    - ``sld32/sldf/st32chk/stfchk``: ``meta["seq"]`` original program order.
+    """
+
+    op: str
+    d: Optional[int] = None
+    a: Optional[int] = None
+    b: Optional[int] = None
+    c: Optional[int] = None
+    imm: object = None
+    target: Optional[int] = None
+    guest_pc: Optional[int] = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.op not in HostOp.ALL:
+            raise ValueError(f"unknown host op {self.op!r}")
+
+    def __repr__(self):
+        parts = [self.op]
+        for name in ("d", "a", "b", "c"):
+            value = getattr(self, name)
+            if value is not None:
+                parts.append(f"{name}={value}")
+        if self.imm is not None:
+            parts.append(f"imm={self.imm}")
+        if self.target is not None:
+            parts.append(f"->{self.target}")
+        return "<" + " ".join(str(p) for p in parts) + ">"
+
+
+UNIT_MODE_BBM = "BBM"
+UNIT_MODE_SBM = "SBM"
+#: Superblock recreated without asserts after repeated failures
+#: (single-entry multiple-exit, conservatively optimized).
+UNIT_MODE_SBX = "SBX"
+
+
+@dataclass
+class CodeUnit:
+    """A translated region stored in the code cache."""
+
+    uid: int
+    mode: str
+    entry_pc: int
+    instrs: list
+    guest_insn_count: int = 0
+    #: guest basic blocks covered (superblocks span several).
+    guest_bb_count: int = 1
+    #: indices of exit instructions, for chaining patches.
+    exit_indices: tuple = ()
+    #: True for the unrolled variant of a loop superblock.
+    unrolled: bool = False
+    # -- dynamic statistics --
+    exec_count: int = 0
+    host_insns_committed: int = 0
+    host_insns_wasted: int = 0
+    guest_insns_retired: int = 0
+    assert_failures: int = 0
+    spec_failures: int = 0
+
+    def size(self) -> int:
+        return len(self.instrs)

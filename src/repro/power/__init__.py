@@ -1,0 +1,5 @@
+"""Analytic power/energy model (McPAT substitute)."""
+
+from repro.power.model import PowerModel, PowerReport
+
+__all__ = ["PowerModel", "PowerReport"]

@@ -1,0 +1,144 @@
+"""Analytic power and energy model (McPAT substitute; see DESIGN.md).
+
+The paper integrates McPAT as an optional backend fed by the timing
+simulator's activity counts.  This model plays the same role: per-structure
+dynamic energy per access (scaled with structure size, CACTI-style
+square-root scaling) plus size-proportional leakage, evaluated over a
+finished :class:`repro.timing.core.InOrderCore`.
+
+All constants are nominal 22nm-class values in picojoules; they produce
+plausible relative numbers (the evaluation uses ratios, never absolute
+watts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.timing.config import TimingConfig
+from repro.timing.core import InOrderCore
+
+#: Base dynamic energy per event (pJ) at the reference structure size.
+_BASE_ENERGY_PJ = {
+    "fetch": 4.0,            # per fetched instruction (decode included)
+    "alu_simple": 1.5,
+    "alu_complex": 6.0,
+    "fpu": 8.0,
+    "fp_div": 20.0,
+    "vector": 10.0,
+    "regfile_read": 0.8,
+    "regfile_write": 1.2,
+    "bpred": 1.0,
+    "btb": 0.8,
+    "l1_access": 10.0,       # per access at 32KB reference
+    "l2_access": 28.0,       # per access at 512KB reference
+    "memory_access": 120.0,  # DRAM access energy charged at L2 miss
+    "tlb": 0.6,
+    "prefetcher": 1.5,
+}
+
+#: Leakage power (mW) per KB of SRAM and per structure at reference size.
+_LEAK_MW_PER_KB = 0.05
+_CORE_LEAK_MW = 40.0
+
+
+def _size_scale(actual_bytes: int, reference_bytes: int) -> float:
+    """CACTI-flavoured sqrt energy scaling with structure capacity."""
+    if actual_bytes <= 0:
+        return 0.0
+    return math.sqrt(actual_bytes / reference_bytes)
+
+
+@dataclass
+class PowerReport:
+    """Per-structure dynamic energy plus leakage, for one simulation."""
+
+    dynamic_energy_pj: Dict[str, float] = field(default_factory=dict)
+    leakage_power_mw: float = 0.0
+    cycles: int = 0
+    frequency_ghz: float = 2.0
+    instructions: int = 0
+
+    @property
+    def runtime_s(self) -> float:
+        return self.cycles / (self.frequency_ghz * 1e9) \
+            if self.cycles else 0.0
+
+    @property
+    def total_dynamic_pj(self) -> float:
+        return sum(self.dynamic_energy_pj.values())
+
+    @property
+    def leakage_energy_pj(self) -> float:
+        return self.leakage_power_mw * 1e-3 * self.runtime_s * 1e12
+
+    @property
+    def total_energy_pj(self) -> float:
+        return self.total_dynamic_pj + self.leakage_energy_pj
+
+    @property
+    def average_power_w(self) -> float:
+        if not self.runtime_s:
+            return 0.0
+        return self.total_energy_pj * 1e-12 / self.runtime_s
+
+    @property
+    def energy_per_instruction_pj(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.total_energy_pj / self.instructions
+
+    def breakdown(self) -> Dict[str, float]:
+        total = self.total_dynamic_pj
+        if not total:
+            return {}
+        return {k: v / total for k, v in self.dynamic_energy_pj.items()}
+
+
+class PowerModel:
+    """Evaluates energy/power from timing activity counts."""
+
+    def __init__(self, config: TimingConfig = None):
+        self.config = config if config is not None else TimingConfig()
+
+    def report(self, core: InOrderCore) -> PowerReport:
+        cfg = self.config
+        stats = core.finalize()
+        mem = core.mem
+        e = _BASE_ENERGY_PJ
+        dyn: Dict[str, float] = {}
+
+        n = stats.instructions
+        alu = n - stats.loads - stats.stores - stats.branches
+        dyn["frontend"] = n * e["fetch"]
+        dyn["alu"] = alu * e["alu_simple"]
+        dyn["regfile"] = n * (2 * e["regfile_read"] + e["regfile_write"])
+        dyn["bpred"] = stats.branches * (e["bpred"] + e["btb"])
+
+        l1_scale = _size_scale(cfg.l1d.size_bytes, 32 * 1024)
+        l1i_scale = _size_scale(cfg.l1i.size_bytes, 32 * 1024)
+        l2_scale = _size_scale(cfg.l2.size_bytes, 512 * 1024)
+        dyn["l1i"] = mem.l1i.accesses * e["l1_access"] * l1i_scale
+        dyn["l1d"] = mem.l1d.accesses * e["l1_access"] * l1_scale
+        dyn["l2"] = mem.l2.accesses * e["l2_access"] * l2_scale
+        dyn["dram"] = mem.l2.misses * e["memory_access"]
+        dyn["tlb"] = (mem.dtlb.hits + mem.dtlb.misses) * e["tlb"]
+        if mem.prefetcher is not None:
+            dyn["prefetcher"] = mem.prefetcher.issued * e["prefetcher"]
+
+        sram_kb = (cfg.l1i.size_bytes + cfg.l1d.size_bytes
+                   + cfg.l2.size_bytes) / 1024
+        # Wider cores leak more (linear in issue width, a standard McPAT
+        # first-order behaviour).
+        leakage = _CORE_LEAK_MW * (0.5 + 0.5 * cfg.issue_width) \
+            + sram_kb * _LEAK_MW_PER_KB
+
+        return PowerReport(
+            dynamic_energy_pj=dyn,
+            leakage_power_mw=leakage,
+            cycles=stats.cycles,
+            frequency_ghz=cfg.frequency_ghz,
+            instructions=stats.instructions,
+        )

@@ -1,0 +1,11 @@
+"""Sampling / warm-up simulation methodology (paper §VI-E)."""
+
+from repro.sampling.warmup import (
+    SampledResult, SampleMeasurement, WarmupSimulator,
+    collect_bb_frequencies, distribution_similarity,
+)
+
+__all__ = [
+    "SampledResult", "SampleMeasurement", "WarmupSimulator",
+    "collect_bb_frequencies", "distribution_similarity",
+]

@@ -1,0 +1,12 @@
+"""System orchestration: controller, co-designed and x86 components."""
+
+from repro.system.codesigned import CoDesignedComponent
+from repro.system.controller import (
+    Controller, RunResult, ValidationError, run_codesigned,
+)
+from repro.system.x86comp import ProcessTracker, X86Component
+
+__all__ = [
+    "CoDesignedComponent", "Controller", "RunResult", "ValidationError",
+    "run_codesigned", "ProcessTracker", "X86Component",
+]

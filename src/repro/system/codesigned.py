@@ -1,0 +1,57 @@
+"""The co-designed component (paper §V).
+
+Models the HW/SW co-designed processor: the TOL plus the host functional
+emulator, holding the *emulated* guest architectural and memory state.  Its
+memory image is lazy — first touch of a page raises a data request served
+by the controller from the x86 component.  Only user-level code runs here;
+system calls synchronize with the x86 component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.guest.memory import PAGE_SIZE, PagedMemory
+from repro.guest.state import GuestState
+from repro.tol.config import TolConfig
+from repro.tol.decoder import Frontend
+from repro.tol.tol import Tol, TolEvent
+
+
+class CoDesignedComponent:
+    def __init__(self, config: Optional[TolConfig] = None,
+                 frontend: Optional[Frontend] = None):
+        self.memory = PagedMemory(demand_zero=False)
+        self.state = GuestState()
+        self.tol = Tol(self.state, self.memory, config=config,
+                       frontend=frontend)
+        self.data_requests = 0
+
+    def receive_initial_state(self, initial: GuestState) -> None:
+        """Initialization phase: adopt the state exported by the x86
+        component and start TOL execution from its program counter."""
+        self.state.restore(initial.snapshot())
+
+    def run(self) -> TolEvent:
+        """Execution phase: run until a synchronization event."""
+        return self.tol.run()
+
+    def install_page(self, page: int, data: bytes) -> None:
+        """Resolve a data request."""
+        if len(data) != PAGE_SIZE:
+            raise ValueError("bad page image")
+        self.memory.install_page(page, data)
+        self.data_requests += 1
+
+    def receive_syscall_result(self, authoritative: GuestState,
+                               dirty_pages, page_source) -> None:
+        """Adopt post-syscall architectural state and memory changes."""
+        self.state.restore(authoritative.snapshot())
+        for page in dirty_pages:
+            if self.memory.page_present(page):
+                self.memory.install_page(page, page_source(page))
+        self.tol.complete_syscall()
+
+    @property
+    def guest_icount(self) -> int:
+        return self.tol.guest_icount

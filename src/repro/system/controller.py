@@ -1,0 +1,200 @@
+"""The DARCO controller (paper §V, Fig. 2).
+
+Main user interface: starts both components, runs the Initialization /
+Execution / Synchronization protocol, resolves data requests and system
+calls, and validates the co-designed component's emulated state against the
+x86 component's authoritative state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.guest.memory import PAGE_SHIFT
+from repro.guest.program import GuestProgram
+from repro.guest.syscalls import GuestOS
+from repro.tol.config import TolConfig
+from repro.tol.decoder import Frontend
+from repro.tol.tol import (
+    EVENT_DATA_REQUEST, EVENT_END, EVENT_PAUSE, EVENT_SYSCALL,
+)
+from repro.system.codesigned import CoDesignedComponent
+from repro.system.x86comp import X86Component
+
+
+class ValidationError(Exception):
+    """Emulated and authoritative states diverged: a translation bug."""
+
+    def __init__(self, message: str, state_diff: Optional[dict] = None,
+                 memory_diff=None, guest_icount: int = 0):
+        super().__init__(message)
+        self.state_diff = state_diff or {}
+        self.memory_diff = memory_diff
+        self.guest_icount = guest_icount
+
+
+class SystemError_(Exception):
+    """Protocol-level failure (lost synchronization, runaway program)."""
+
+
+@dataclass
+class RunResult:
+    exit_code: Optional[int]
+    guest_icount: int
+    syscalls: int = 0
+    data_requests: int = 0
+    validations: int = 0
+    stdout: bytes = b""
+
+
+class Controller:
+    """Orchestrates one application run across both components."""
+
+    def __init__(self, program: GuestProgram,
+                 config: Optional[TolConfig] = None,
+                 os: Optional[GuestOS] = None,
+                 frontend: Optional[Frontend] = None,
+                 validate: bool = True):
+        self.program = program
+        self.config = config if config is not None else TolConfig()
+        self.x86 = X86Component(program, os=os)
+        self.codesigned = CoDesignedComponent(config=self.config,
+                                              frontend=frontend)
+        self.validate = validate
+        self.validations = 0
+        self.syscall_events = 0
+        self._sync_events = 0
+        self._initialized = False
+
+    # -- phase 1: Initialization ------------------------------------------------
+
+    def initialize(self) -> None:
+        initial = self.x86.launch()
+        self.codesigned.receive_initial_state(initial)
+        self._initialized = True
+
+    # -- phase 2/3: Execution + Synchronization ----------------------------------
+
+    def run(self, max_events: int = 10_000_000,
+            until_icount: Optional[int] = None) -> RunResult:
+        """Run the application to completion (or pause at
+        ``until_icount``); returns the run result (``exit_code`` is None
+        for a paused run)."""
+        if not self._initialized:
+            self.initialize()
+        self.codesigned.tol.pause_at_icount = until_icount
+        events = 0
+        while events < max_events:
+            events += 1
+            event = self.codesigned.run()
+            if event.kind == EVENT_PAUSE:
+                return self._paused_result()
+            if event.kind == EVENT_DATA_REQUEST:
+                self._serve_data_request(event.fault_addr)
+            elif event.kind == EVENT_SYSCALL:
+                finished = self._serve_syscall()
+                if finished:
+                    return self._finish()
+            elif event.kind == EVENT_END:
+                return self._finish()
+            else:
+                raise SystemError_(f"unknown TOL event {event.kind!r}")
+        raise SystemError_("event budget exhausted; runaway application?")
+
+    # -- synchronization handlers ---------------------------------------------
+
+    def _serve_data_request(self, fault_addr: int) -> None:
+        """Ship the requested page at the co-designed execution point."""
+        page = fault_addr >> PAGE_SHIFT
+        self.x86.run_to_icount(self.codesigned.guest_icount)
+        self.codesigned.install_page(page, self.x86.export_page(page))
+
+    def _serve_syscall(self) -> bool:
+        """Execute a system call in the x86 component; returns True when
+        the application exited."""
+        self.x86.run_to_icount(self.codesigned.guest_icount)
+        if not self.x86.at_syscall():
+            raise SystemError_(
+                f"synchronization lost: x86 at {self.x86.state.eip:#x} "
+                f"is not at a SYSCALL")
+        self.syscall_events += 1
+        self._sync_events += 1
+        if self._should_validate():
+            self._validate_states()
+        self.x86.memory.clear_dirty()
+        self.x86.execute_syscall()
+        self.codesigned.receive_syscall_result(
+            self.x86.state, set(self.x86.memory.dirty),
+            self.x86.export_page)
+        return self.x86.os.exited
+
+    def _paused_result(self) -> RunResult:
+        return RunResult(
+            exit_code=None,
+            guest_icount=self.codesigned.guest_icount,
+            syscalls=self.syscall_events,
+            data_requests=self.codesigned.data_requests,
+            validations=self.validations,
+            stdout=bytes(self.x86.os.stdout),
+        )
+
+    def _finish(self) -> RunResult:
+        """End of application: final synchronization and validation."""
+        self.x86.run_to_icount(self.codesigned.guest_icount)
+        if self.validate:
+            self._validate_states(final=True)
+        os = self.x86.os
+        return RunResult(
+            exit_code=os.exit_code,
+            guest_icount=self.codesigned.guest_icount,
+            syscalls=self.syscall_events,
+            data_requests=self.codesigned.data_requests,
+            validations=self.validations,
+            stdout=bytes(os.stdout),
+        )
+
+    # -- validation ----------------------------------------------------------------
+
+    def _should_validate(self) -> bool:
+        if not self.validate:
+            return False
+        every = self.config.validate_every
+        return every > 0 and self._sync_events % every == 0
+
+    def _validate_states(self, final: bool = False) -> None:
+        """Compare emulated vs authoritative state (paper §V-D,
+        Correctness)."""
+        self.validations += 1
+        mine = self.codesigned.state
+        authoritative = self.x86.state
+        diff = mine.diff(authoritative)
+        if diff:
+            raise ValidationError(
+                f"architectural state mismatch at guest instruction "
+                f"{self.codesigned.guest_icount}: {diff}",
+                state_diff=diff,
+                guest_icount=self.codesigned.guest_icount)
+        pages = list(self.codesigned.memory.present_pages())
+        mismatch = self.codesigned.memory.first_difference(
+            self.x86.memory, pages)
+        if mismatch is not None:
+            page, offset = mismatch
+            raise ValidationError(
+                f"memory mismatch at page {page:#x} offset {offset:#x} "
+                f"(guest instruction {self.codesigned.guest_icount})",
+                memory_diff=mismatch,
+                guest_icount=self.codesigned.guest_icount)
+
+
+def run_codesigned(program: GuestProgram,
+                   config: Optional[TolConfig] = None,
+                   os: Optional[GuestOS] = None,
+                   frontend: Optional[Frontend] = None,
+                   validate: bool = True):
+    """Convenience API: run a program on DARCO; returns
+    ``(RunResult, Controller)``."""
+    controller = Controller(program, config=config, os=os,
+                            frontend=frontend, validate=validate)
+    result = controller.run()
+    return result, controller

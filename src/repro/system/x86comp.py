@@ -1,0 +1,84 @@
+"""The x86 component (paper §V).
+
+A full-system functional emulator for the guest ISA: runs the unmodified
+binary, executes all system calls, and keeps the *authoritative*
+architectural and memory state that the co-designed component is validated
+against.  A process tracker (modelled after the CR3-based tracker in the
+paper) identifies the traced process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.guest.emulator import GuestEmulator
+from repro.guest.program import GuestProgram
+from repro.guest.state import GuestState
+from repro.guest.syscalls import GuestOS
+
+
+@dataclass
+class ProcessTracker:
+    """Identifies the application's address space (the paper uses the CR3
+    value; we model a synthetic address-space id)."""
+
+    asid: int
+    entry_pc: int
+    launched: bool = False
+
+    @classmethod
+    def for_program(cls, program: GuestProgram) -> "ProcessTracker":
+        # A deterministic ASID derived from the image identity.
+        asid = (program.base ^ (program.entry << 1)) & 0xFFFFF000
+        return cls(asid=asid or 0x1000, entry_pc=program.entry)
+
+
+class X86Component:
+    """Authoritative guest executor."""
+
+    def __init__(self, program: GuestProgram, os: Optional[GuestOS] = None):
+        self.program = program
+        self.emulator = GuestEmulator(program, os=os)
+        self.tracker = ProcessTracker.for_program(program)
+
+    @property
+    def state(self) -> GuestState:
+        return self.emulator.state
+
+    @property
+    def memory(self):
+        return self.emulator.memory
+
+    @property
+    def os(self) -> GuestOS:
+        return self.emulator.os
+
+    @property
+    def icount(self) -> int:
+        return self.emulator.icount
+
+    def launch(self) -> GuestState:
+        """Model the EXECVE pause: initialize the tracker and export the
+        initial architectural state (paper §V-A, Initialization)."""
+        self.tracker.launched = True
+        return self.state.copy()
+
+    def run_to_icount(self, target: int) -> None:
+        """Catch up to the co-designed component's execution point."""
+        self.emulator.run_to_icount(target)
+
+    def at_syscall(self) -> bool:
+        instr = self.emulator.current_instr()
+        return instr.mnemonic == "SYSCALL"
+
+    def execute_syscall(self) -> None:
+        """Execute the system call the co-designed component paused at."""
+        if not self.at_syscall():
+            raise RuntimeError(
+                f"x86 component not at a syscall "
+                f"(eip={self.state.eip:#x}); components diverged")
+        self.emulator.step()
+
+    def export_page(self, page: int) -> bytes:
+        return self.memory.export_page(page)

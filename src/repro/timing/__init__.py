@@ -1,0 +1,14 @@
+"""Parameterized in-order timing simulator for the host core."""
+
+from repro.timing.branch import BTB, Gshare
+from repro.timing.cache import Cache, MemoryHierarchy, StridePrefetcher, TLB
+from repro.timing.config import CacheConfig, TimingConfig, TLBConfig
+from repro.timing.core import InOrderCore, TimingStats
+from repro.timing.run import run_with_timing
+from repro.timing.trace import TimingSession
+
+__all__ = [
+    "BTB", "Gshare", "Cache", "MemoryHierarchy", "StridePrefetcher", "TLB",
+    "CacheConfig", "TimingConfig", "TLBConfig", "InOrderCore",
+    "TimingStats", "run_with_timing", "TimingSession",
+]

@@ -1,0 +1,75 @@
+"""Timing simulator configuration (paper §V-C).
+
+Every parameter the paper lists is here: issue width, instruction queue
+size, numbers/latencies of execution units, branch predictor and BTB sizes,
+cache and TLB sizes/latencies, memory ports and SIMD vector length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheConfig:
+    size_bytes: int
+    assoc: int
+    line_bytes: int = 64
+    hit_latency: int = 3
+
+
+@dataclass
+class TLBConfig:
+    entries: int
+    assoc: int = 4
+    hit_latency: int = 0  # folded into the cache hit pipeline
+
+
+@dataclass
+class TimingConfig:
+    # -- front-end ----------------------------------------------------------
+    fetch_width: int = 4
+    decode_depth: int = 4          # front-end pipeline stages
+    iq_size: int = 32              # instruction queue between FE and BE
+    # -- branch prediction ----------------------------------------------------
+    gshare_entries: int = 4096
+    gshare_history_bits: int = 10
+    btb_entries: int = 512
+    mispredict_penalty: int = 8
+    # -- back-end -------------------------------------------------------------
+    issue_width: int = 2
+    #: execution units: class -> (count, latency, pipelined)
+    units: Dict[str, tuple] = field(default_factory=lambda: {
+        "simple": (2, 1, True),
+        "complex": (1, 4, False),      # mul 4; div uses extra occupancy
+        "fp": (1, 4, True),
+        "fp_div": (1, 12, False),
+        "vector": (1, 4, True),
+    })
+    div_latency: int = 12
+    #: memory read / write ports
+    mem_read_ports: int = 1
+    mem_write_ports: int = 1
+    #: scalar / vector physical registers (scoreboard capacity modelling)
+    scalar_regs: int = 64
+    vector_regs: int = 16
+    vector_length_bits: int = 128
+    # -- memory hierarchy ---------------------------------------------------------
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=32 * 1024, assoc=4, hit_latency=1))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=32 * 1024, assoc=4, hit_latency=3))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=512 * 1024, assoc=8, hit_latency=12))
+    memory_latency: int = 120
+    dtlb: TLBConfig = field(default_factory=lambda: TLBConfig(entries=64))
+    stlb: TLBConfig = field(default_factory=lambda: TLBConfig(
+        entries=1024, hit_latency=8))
+    page_walk_latency: int = 60
+    # -- prefetching ------------------------------------------------------------
+    prefetch_enable: bool = True
+    prefetch_degree: int = 2
+    prefetch_table_entries: int = 64
+    # -- clock --------------------------------------------------------------------
+    frequency_ghz: float = 2.0

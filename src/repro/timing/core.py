@@ -1,0 +1,237 @@
+"""Parameterized in-order superscalar timing model (paper §V-C).
+
+Models DARCO's host core: decoupled front-end (gshare + BTB, instruction
+queue) and back-end (in-order issue with scoreboarding, simple/complex/FP/
+vector units, limited memory ports), two-level caches and TLBs with a
+stride data prefetcher.
+
+The model is dependence-driven: each retired host instruction is fed in
+program order and its fetch/issue/complete cycles are computed from the
+scoreboard, structural resources and memory hierarchy — the standard
+trace-driven formulation for in-order pipelines (no per-cycle loop, exact
+for in-order issue).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.timing.branch import BTB, Gshare
+from repro.timing.cache import MemoryHierarchy
+from repro.timing.config import TimingConfig
+
+#: register-id namespaces for the scoreboard
+FP_BASE = 64
+VEC_BASE = 96
+NUM_SCOREBOARD_REGS = 112
+
+
+@dataclass
+class TimingStats:
+    instructions: int = 0
+    cycles: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    loads: int = 0
+    stores: int = 0
+    stall_cycles: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class InOrderCore:
+    """Feed instructions in program order via :meth:`feed`."""
+
+    def __init__(self, config: Optional[TimingConfig] = None):
+        self.config = config if config is not None else TimingConfig()
+        cfg = self.config
+        self.mem = MemoryHierarchy(cfg)
+        self.gshare = Gshare(cfg.gshare_entries, cfg.gshare_history_bits)
+        self.btb = BTB(cfg.btb_entries)
+        self.reg_ready = [0] * NUM_SCOREBOARD_REGS
+        # Front-end state.
+        self._fetch_cycle = 0
+        self._fetched_in_cycle = 0
+        self._last_fetch_line = -1
+        # Back-end state.
+        self._last_issue = 0
+        self._issued_in_cycle = 0
+        self._units = {
+            klass: [0] * count
+            for klass, (count, _lat, _pipe) in cfg.units.items()}
+        self._read_ports = [0] * cfg.mem_read_ports
+        self._write_ports = [0] * cfg.mem_write_ports
+        self._iq = deque()
+        self.stats = TimingStats()
+        self._stall = {"raw": 0, "unit": 0, "memport": 0, "iq": 0,
+                       "frontend": 0}
+        self._last_done = 0
+
+    # ------------------------------------------------------------------
+
+    def feed(self, pc: int, klass: str, dst: Optional[int], srcs,
+             mem_addr: Optional[int] = None, branch=None,
+             latency_override: Optional[int] = None) -> int:
+        """Process one instruction; returns its completion cycle.
+
+        ``klass`` is an execution-unit class ('simple', 'complex', 'fp',
+        'fp_div', 'vector', 'load', 'store', 'branch'); ``branch`` is a
+        ``(taken, target_pc)`` pair for control transfers.
+        """
+        cfg = self.config
+        stats = self.stats
+        stats.instructions += 1
+
+        # -- fetch -------------------------------------------------------
+        if self._fetched_in_cycle >= cfg.fetch_width:
+            self._fetch_cycle += 1
+            self._fetched_in_cycle = 0
+        line = pc >> 6
+        if line != self._last_fetch_line:
+            self._last_fetch_line = line
+            fetch_lat = self.mem.fetch_latency(pc)
+            if fetch_lat > cfg.l1i.hit_latency:
+                self._fetch_cycle += fetch_lat - cfg.l1i.hit_latency
+                self._fetched_in_cycle = 0
+                self._stall["frontend"] += fetch_lat - cfg.l1i.hit_latency
+        # IQ backpressure: can't fetch further than iq_size unissued ops.
+        if len(self._iq) >= cfg.iq_size:
+            blocker = self._iq.popleft()
+            if blocker > self._fetch_cycle:
+                self._stall["iq"] += blocker - self._fetch_cycle
+                self._fetch_cycle = blocker
+                self._fetched_in_cycle = 0
+        self._fetched_in_cycle += 1
+        iq_enter = self._fetch_cycle + cfg.decode_depth
+
+        # -- issue constraints --------------------------------------------
+        ready = iq_enter
+        raw_bound = 0
+        for src in srcs:
+            if src is not None:
+                raw_bound = max(raw_bound, self.reg_ready[src])
+        unit_klass = klass
+        if klass == "load" or klass == "store":
+            unit_klass = None
+        elif klass == "branch":
+            unit_klass = "simple"
+        unit_bound = 0
+        unit_list = None
+        unit_index = 0
+        if unit_klass is not None:
+            unit_list = self._units[unit_klass]
+            unit_index = min(range(len(unit_list)),
+                             key=unit_list.__getitem__)
+            unit_bound = unit_list[unit_index]
+        port_bound = 0
+        port_list = None
+        port_index = 0
+        if klass == "load":
+            port_list = self._read_ports
+        elif klass == "store":
+            port_list = self._write_ports
+        if port_list is not None:
+            port_index = min(range(len(port_list)),
+                             key=port_list.__getitem__)
+            port_bound = port_list[port_index]
+
+        issue = max(ready, raw_bound, unit_bound, port_bound,
+                    self._last_issue)
+        if issue == self._last_issue and \
+                self._issued_in_cycle >= cfg.issue_width:
+            issue += 1
+        # Stall attribution (binding constraint).
+        if raw_bound >= issue and raw_bound > ready:
+            self._stall["raw"] += raw_bound - ready
+        elif unit_bound >= issue and unit_bound > ready:
+            self._stall["unit"] += unit_bound - ready
+        elif port_bound >= issue and port_bound > ready:
+            self._stall["memport"] += port_bound - ready
+        if issue > self._last_issue:
+            self._issued_in_cycle = 1
+            self._last_issue = issue
+        else:
+            self._issued_in_cycle += 1
+        self._iq.append(issue)
+
+        # -- execution latency ----------------------------------------------
+        if latency_override is not None:
+            latency = latency_override
+        elif klass == "load":
+            stats.loads += 1
+            latency = self.mem.data_latency(pc, mem_addr or 0)
+        elif klass == "store":
+            stats.stores += 1
+            self.mem.data_latency(pc, mem_addr or 0)
+            latency = 1  # store buffer hides the rest
+        elif klass == "branch":
+            latency = 1
+        else:
+            _count, latency, pipelined = self.config.units[klass]
+            occupancy = 1 if pipelined else latency
+            unit_list[unit_index] = issue + occupancy
+        if klass == "load" or klass == "store":
+            port_list[port_index] = issue + 1
+        elif klass == "branch":
+            unit_list[unit_index] = issue + 1
+
+        done = issue + latency
+        if dst is not None:
+            self.reg_ready[dst] = done
+
+        # -- branches ---------------------------------------------------------
+        if branch is not None:
+            taken, target = branch
+            stats.branches += 1
+            direction_ok = self.gshare.update(pc, taken)
+            target_ok = True
+            if taken:
+                predicted = self.btb.lookup(pc)
+                target_ok = predicted == target
+                self.btb.update(pc, target)
+            if not direction_ok or not target_ok:
+                stats.mispredicts += 1
+                redirect = done + cfg.mispredict_penalty
+                if redirect > self._fetch_cycle:
+                    self._fetch_cycle = redirect
+                    self._fetched_in_cycle = 0
+
+        if done > self._last_done:
+            self._last_done = done
+        stats.cycles = self._last_done
+        return done
+
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> TimingStats:
+        self.stats.cycles = self._last_done
+        self.stats.stall_cycles = dict(self._stall)
+        return self.stats
+
+    def report(self) -> Dict[str, object]:
+        stats = self.finalize()
+        return {
+            "instructions": stats.instructions,
+            "cycles": stats.cycles,
+            "ipc": round(stats.ipc, 4),
+            "branches": stats.branches,
+            "mispredict_rate": round(
+                stats.mispredicts / stats.branches, 4)
+            if stats.branches else 0.0,
+            "l1d_miss_rate": round(self.mem.l1d.miss_rate(), 4),
+            "l2_miss_rate": round(self.mem.l2.miss_rate(), 4),
+            "l1i_miss_rate": round(self.mem.l1i.miss_rate(), 4),
+            "dtlb_misses": self.mem.dtlb.misses,
+            "prefetches_issued": (
+                self.mem.prefetcher.issued if self.mem.prefetcher else 0),
+            "prefetch_hits": self.mem.l1d.prefetch_hits,
+            "stalls": dict(self._stall),
+        }

@@ -1,0 +1,45 @@
+"""Convenience runners coupling the co-designed system with the timing
+simulator (the timing simulator is optional and does not affect
+functionality — paper §V, "the use of the timing and power simulators is
+optional")."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.guest.program import GuestProgram
+from repro.guest.syscalls import GuestOS
+from repro.system.controller import Controller, RunResult
+from repro.timing.config import TimingConfig
+from repro.timing.core import InOrderCore
+from repro.timing.trace import TimingSession
+from repro.tol.config import TolConfig
+
+
+def run_with_timing(program: GuestProgram,
+                    tol_config: Optional[TolConfig] = None,
+                    timing_config: Optional[TimingConfig] = None,
+                    include_tol_overhead: bool = True,
+                    os: Optional[GuestOS] = None,
+                    validate: bool = True,
+                    sample_filter=None,
+                    ) -> Tuple[RunResult, Controller, InOrderCore]:
+    """Run a program with detailed timing simulation attached.
+
+    Application host instructions stream from the host emulator; TOL
+    overhead charges are (optionally) fed as synthetic instruction batches
+    so the timing results reflect the whole dynamic host stream.
+    """
+    controller = Controller(program, config=tol_config, os=os,
+                            validate=validate)
+    core = InOrderCore(timing_config)
+    session = TimingSession(core, sample_filter=sample_filter)
+    tol = controller.codesigned.tol
+    tol.host.trace_sink = session.sink
+    if include_tol_overhead:
+        def on_charge(category, insns):
+            session.feed_tol_overhead(insns)
+        tol.overhead.on_charge = on_charge
+    result = controller.run()
+    core.finalize()
+    return result, controller, core

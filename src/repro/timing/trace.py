@@ -1,0 +1,158 @@
+"""Adapter from executed host instructions to timing-model records.
+
+The host emulator's ``trace_sink`` delivers ``(unit, index, instr, info)``
+per executed instruction; this module classifies the instruction, maps its
+register operands into the unified scoreboard namespace and synthesizes a
+host PC (units are placed in a synthetic code-address space so the I-cache
+and branch predictors see a realistic stream).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.host.isa import HostInstr, op_unit_class
+from repro.timing.core import FP_BASE, VEC_BASE, InOrderCore
+
+#: op -> (d, a, b, c) register file letters ('i' int, 'f' fp, 'v' vec).
+_REGFILES = {}
+
+
+def _reg_classes(op: str) -> tuple:
+    cached = _REGFILES.get(op)
+    if cached is not None:
+        return cached
+    d = a = b = c = "i"
+    if op in ("lif", "fmov", "fadd", "fsub", "fmul", "fdiv", "fneg",
+              "fabs", "fsqrt", "ffloor"):
+        d = a = b = "f"
+    elif op in ("fcmpeq", "fcmplt", "fcmpun"):
+        d, a, b = "i", "f", "f"
+    elif op == "i2f":
+        d, a = "f", "i"
+    elif op == "f2i":
+        d, a = "i", "f"
+    elif op in ("vmov", "vadd32", "vsub32", "vmul32"):
+        d = a = b = "v"
+    elif op == "vsplat":
+        d, a = "v", "i"
+    elif op in ("ldf", "sldf"):
+        d, a = "f", "i"
+    elif op == "vld":
+        d, a = "v", "i"
+    elif op in ("stf", "stfchk"):
+        d, a, b = "i", "i", "f"
+    elif op == "vst":
+        d, a, b = "i", "i", "v"
+    result = (d, a, b, c)
+    _REGFILES[op] = result
+    return result
+
+
+_BASE = {"i": 0, "f": FP_BASE, "v": VEC_BASE}
+
+
+def _map_reg(index: Optional[int], klass: str) -> Optional[int]:
+    if index is None:
+        return None
+    return _BASE[klass] + index
+
+
+def host_pc(unit_uid: int, index: int) -> int:
+    """Synthetic host code address of instruction ``index`` in a unit."""
+    return (unit_uid << 14) | (index << 2)
+
+
+_CONTROL = frozenset({"beqz", "bnez", "j", "exit", "exit_ind", "ibtc",
+                      "assert_z", "assert_nz"})
+
+
+def classify(ins: HostInstr) -> str:
+    unit = op_unit_class(ins.op)
+    return unit
+
+
+class TimingSession:
+    """Streams executed host instructions into an :class:`InOrderCore`.
+
+    Attach via ``host_emulator.trace_sink = session.sink``.  Optionally,
+    TOL overhead charges can be fed as synthetic instruction batches so the
+    timing results include the software layer (``feed_tol_overhead``).
+    """
+
+    #: Synthetic TOL instruction mix: (class, has_mem, serial-dependency).
+    TOL_MIX = (
+        ("simple", False), ("simple", False), ("simple", False),
+        ("load", True), ("simple", False), ("branch", False),
+        ("load", True), ("simple", False), ("store", True),
+        ("simple", False),
+    )
+
+    def __init__(self, core: Optional[InOrderCore] = None,
+                 sample_filter=None):
+        self.core = core if core is not None else InOrderCore()
+        #: optional callable(instr_number) -> bool controlling whether the
+        #: instruction is simulated in detail (sampling support).
+        self.sample_filter = sample_filter
+        self.fed = 0
+        self.skipped = 0
+        self._seen = 0
+        self._tol_pc = 0x7F00_0000
+        self._tol_addr = 0xE000_0000
+        self._tol_dep = None
+
+    # ------------------------------------------------------------------
+
+    def sink(self, unit, index: int, ins: HostInstr, info) -> None:
+        self._seen += 1
+        if self.sample_filter is not None \
+                and not self.sample_filter(self._seen):
+            self.skipped += 1
+            return
+        op = ins.op
+        klass = op_unit_class(op)
+        d_class, a_class, b_class, c_class = _reg_classes(op)
+        dst = _map_reg(ins.d, d_class)
+        srcs = (_map_reg(ins.a, a_class), _map_reg(ins.b, b_class),
+                _map_reg(ins.c, c_class))
+        mem_addr = None
+        branch = None
+        if info is not None:
+            mem_addr = info.get("mem_addr")
+            if "taken" in info:
+                taken = info["taken"]
+                target = host_pc(unit.uid, ins.target or 0) if taken \
+                    else host_pc(unit.uid, index + 1)
+                branch = (taken, target)
+        if klass in ("branch",) and branch is None:
+            branch = (False, 0)
+        # Stores carry their value in b (or d); they have no destination.
+        if klass == "store":
+            dst = None
+        self.core.feed(host_pc(unit.uid, index), klass, dst, srcs,
+                       mem_addr=mem_addr, branch=branch)
+        self.fed += 1
+
+    # ------------------------------------------------------------------
+
+    def feed_tol_overhead(self, host_insns: int) -> None:
+        """Feed ``host_insns`` synthetic TOL instructions (a fixed,
+        moderately serial mix over a small working set)."""
+        mix = self.TOL_MIX
+        n_mix = len(mix)
+        for i in range(host_insns):
+            klass, has_mem = mix[i % n_mix]
+            pc = self._tol_pc + (i % 4096) * 4
+            mem = None
+            if has_mem:
+                # The TOL's dispatch structures are a small, hot working
+                # set (~8KB) — mostly cache resident.
+                self._tol_addr = 0xE000_0000 + ((self._tol_addr + 64)
+                                                & 0x1FFF)
+                mem = self._tol_addr
+            branch = (True, pc + 64) if klass == "branch" else None
+            dst = 20 if i % 3 == 0 else 21
+            srcs = (dst, 22, None)
+            self.core.feed(pc, klass, dst, srcs, mem_addr=mem,
+                           branch=branch)
+        self.fed += host_insns

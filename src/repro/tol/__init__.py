@@ -1,0 +1,12 @@
+"""The Translation Optimization Layer (TOL)."""
+
+from repro.tol.config import TolConfig
+from repro.tol.decoder import DecodedInstr, Frontend, GisaFrontend
+from repro.tol.tol import (
+    EVENT_DATA_REQUEST, EVENT_END, EVENT_SYSCALL, Tol, TolEvent,
+)
+
+__all__ = [
+    "TolConfig", "DecodedInstr", "Frontend", "GisaFrontend",
+    "EVENT_DATA_REQUEST", "EVENT_END", "EVENT_SYSCALL", "Tol", "TolEvent",
+]

@@ -1,0 +1,96 @@
+"""Code cache.
+
+Stores translated units keyed by guest entry PC (with an ``unrolled``
+variant dimension for loop superblocks).  Handles:
+
+- promotion invalidation — creating a superblock frees the BBM translation
+  of its first basic block (paper §V-B3);
+- chain bookkeeping — incoming links are tracked so invalidation can unlink
+  units that jump directly to the victim;
+- a flush-on-full capacity policy (capacity measured in host instructions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.host.isa import CodeUnit
+
+PLAIN = "plain"
+UNROLLED = "unrolled"
+
+
+class CodeCache:
+    def __init__(self, capacity_insns: int = 4_000_000):
+        self.capacity_insns = capacity_insns
+        self._units: Dict[Tuple[int, str], CodeUnit] = {}
+        self._incoming: Dict[int, List[Tuple[CodeUnit, int]]] = {}
+        self.size_insns = 0
+        self.flushes = 0
+        self.insertions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def units(self):
+        return self._units.values()
+
+    # -- lookup ----------------------------------------------------------------
+
+    def lookup(self, pc: int, variant: Optional[str] = None
+               ) -> Optional[CodeUnit]:
+        """Find a translation for ``pc``; unrolled variants win by default."""
+        if variant is not None:
+            return self._units.get((pc, variant))
+        unit = self._units.get((pc, UNROLLED))
+        if unit is None:
+            unit = self._units.get((pc, PLAIN))
+        return unit
+
+    # -- insertion / invalidation ------------------------------------------------
+
+    def insert(self, unit: CodeUnit, variant: str = PLAIN) -> bool:
+        """Insert a unit; returns True if the cache flushed to make room."""
+        flushed = False
+        if self.size_insns + unit.size() > self.capacity_insns:
+            self.flush()
+            flushed = True
+        key = (unit.entry_pc, variant)
+        old = self._units.get(key)
+        if old is not None:
+            self.invalidate(old)
+        self._units[key] = unit
+        self.size_insns += unit.size()
+        self.insertions += 1
+        return flushed
+
+    def invalidate(self, unit: CodeUnit) -> None:
+        """Remove a unit and unlink every chain pointing at it."""
+        keys = [k for k, u in self._units.items() if u is unit]
+        for key in keys:
+            del self._units[key]
+            self.size_insns -= unit.size()
+        for (linker, exit_idx) in self._incoming.pop(unit.uid, []):
+            exit_instr = linker.instrs[exit_idx]
+            if exit_instr.meta.get("link") is unit:
+                exit_instr.meta["link"] = None
+        self.invalidations += 1
+
+    def flush(self) -> None:
+        self._units.clear()
+        self._incoming.clear()
+        self.size_insns = 0
+        self.flushes += 1
+
+    # -- chaining -----------------------------------------------------------------
+
+    def chain(self, from_unit: CodeUnit, exit_index: int,
+              to_unit: CodeUnit) -> None:
+        """Patch an exit instruction to jump directly to ``to_unit``."""
+        exit_instr = from_unit.instrs[exit_index]
+        if exit_instr.op != "exit":
+            raise ValueError(f"not a chainable exit: {exit_instr!r}")
+        exit_instr.meta["link"] = to_unit
+        self._incoming.setdefault(to_unit.uid, []).append(
+            (from_unit, exit_index))

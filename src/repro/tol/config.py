@@ -1,0 +1,94 @@
+"""TOL configuration.
+
+Centralizes every threshold, limit and feature toggle so design-space
+studies (the paper's purpose for DARCO) are plain parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+
+@dataclass
+class TolConfig:
+    # -- promotion thresholds (paper §V-B: 3-stage IM/BBM/SBM) --------------
+    #: Interpreted executions of a basic block before BBM translation.
+    bbm_threshold: int = 10
+    #: BBM executions of a block before superblock creation.
+    sbm_threshold: int = 60
+
+    # -- superblock formation -------------------------------------------------
+    #: Minimum edge bias to keep extending a superblock.
+    bias_threshold: float = 0.7
+    #: Minimum cumulative reaching probability.
+    min_cum_prob: float = 0.4
+    #: Maximum guest instructions in a superblock.
+    max_sb_insns: int = 200
+    #: Maximum basic blocks in a superblock.
+    max_sb_bbs: int = 16
+    #: Maximum guest instructions decoded into one basic block.
+    max_bb_insns: int = 64
+    #: Assert failures tolerated before a superblock is recreated without
+    #: asserts (single-entry multiple-exit).
+    assert_fail_limit: int = 8
+
+    # -- loop unrolling --------------------------------------------------------
+    unroll_enable: bool = True
+    unroll_factor: int = 4
+    #: Maximum body size (guest insns) eligible for unrolling.
+    unroll_max_body: int = 24
+
+    # -- speculation -----------------------------------------------------------
+    #: Allow reordering may-alias memory pairs with hardware checks.
+    mem_speculation: bool = True
+    alias_table_size: int = 32
+
+    # -- dispatch machinery ------------------------------------------------------
+    chaining_enable: bool = True
+    ibtc_enable: bool = True
+    ibtc_size: int = 256
+    #: Code cache capacity in host instructions (flush-on-full policy).
+    code_cache_capacity: int = 4_000_000
+
+    # -- optimization pipelines -----------------------------------------------
+    bbm_passes: Tuple[str, ...] = ("constfold", "constprop", "dce")
+    sbm_passes: Tuple[str, ...] = (
+        "constfold", "constprop", "cse", "constprop", "dce")
+
+    # -- design-choice mechanisms (paper SIII) --------------------------------
+    #: Nvidia-Denver-style dual decoder: cold code executes through a
+    #: hardware guest-ISA decoder at ~native cost instead of software
+    #: interpretation, eliminating the startup delay at the price of extra
+    #: hardware (paper SIII, "Startup Delay").
+    dual_decoder: bool = False
+    #: Host instructions per guest instruction through the hardware guest
+    #: decoder (slightly above 1: no dynamic optimization applied).
+    dual_decode_cost: float = 1.3
+    #: Serial alias-table search: checking stores pay per-entry search
+    #: cost instead of a parallel CAM lookup (paper SIII, "Speculative
+    #: Execution": parallel search costs power/size, serial costs latency).
+    alias_serial_search: bool = False
+    #: Hardware-assisted profiling: BBM inline counter updates become free
+    #: (paper SIII, "Profiling": "what hardware support can accelerate
+    #: profiling").
+    profiling_hw_assist: bool = False
+    #: Defer translation work to a dedicated core: translation costs do
+    #: not steal cycles from the application stream (paper SIII, "When and
+    #: where to translate/optimize").
+    background_translation: bool = False
+
+    # -- validation ---------------------------------------------------------------
+    #: Compare emulated vs authoritative state every N synchronization
+    #: events (1 = every syscall; 0 disables periodic comparison — the
+    #: end-of-application comparison always runs).
+    validate_every: int = 1
+
+    def scaled_thresholds(self, factor: float) -> "TolConfig":
+        """A copy with promotion thresholds downscaled (warm-up
+        methodology, paper §VI-E)."""
+        return replace(
+            self,
+            bbm_threshold=max(1, int(self.bbm_threshold / factor)),
+            sbm_threshold=max(1, int(self.sbm_threshold / factor)),
+        )

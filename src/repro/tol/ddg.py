@@ -1,0 +1,150 @@
+"""Data Dependence Graph construction with memory disambiguation.
+
+Built over the (SSA) body of a superblock before instruction scheduling
+(paper §V-B3).  True dependences come from SSA def-use chains; memory
+dependences are classified by a syntactic disambiguator:
+
+- ``no``   — provably disjoint accesses (same symbolic base, disjoint
+  displacement ranges, or distinct constant addresses);
+- ``must`` — provably overlapping;
+- ``may``  — unknown.
+
+``may``-alias store→load edges are *soft*: the scheduler may hoist the load
+above the store, in which case the pair is converted to speculative memory
+operations checked by the hardware alias table.  Anti (load→store) and
+output (store→store) dependences are always hard — stores are never hoisted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.tol.ir import Const, IRInstr
+
+_ACCESS_SIZE = {"ld32": 4, "sld32": 4, "st32": 4,
+                "ldf": 8, "sldf": 8, "stf": 8,
+                "ldv": 16, "stv": 16}
+
+#: Latency estimates used for scheduling priority (host cycles).
+OP_LATENCY = {
+    "mul": 3, "mulof": 3, "div": 12, "rem": 12,
+    "ld32": 3, "ldf": 3, "ldv": 4,
+    "fadd": 4, "fsub": 4, "fmul": 4, "fdiv": 12, "fsqrt": 12,
+    "fsin": 40, "fcos": 40, "ffloor": 4, "i2f": 4, "f2i": 4,
+    "fcmpeq": 4, "fcmplt": 4, "fcmpun": 4,
+    "vadd": 2, "vsub": 2, "vmul": 4,
+}
+
+
+def op_latency(instr: IRInstr) -> int:
+    return OP_LATENCY.get(instr.op, 1)
+
+
+def mem_access(instr: IRInstr) -> Optional[Tuple[object, int, int]]:
+    """(base operand, displacement, size) for loads/stores, else None."""
+    size = _ACCESS_SIZE.get(instr.op)
+    if size is None:
+        return None
+    return instr.srcs[0], instr.imm, size
+
+
+def alias_relation(a: IRInstr, b: IRInstr) -> str:
+    """Classify two memory accesses: 'no' / 'must' / 'may'."""
+    acc_a, acc_b = mem_access(a), mem_access(b)
+    if acc_a is None or acc_b is None:
+        raise ValueError("alias_relation needs two memory ops")
+    base_a, disp_a, size_a = acc_a
+    base_b, disp_b, size_b = acc_b
+    if isinstance(base_a, Const) and isinstance(base_b, Const):
+        lo_a, lo_b = base_a.value + disp_a, base_b.value + disp_b
+        return _interval_relation(lo_a, size_a, lo_b, size_b)
+    if base_a == base_b:
+        return _interval_relation(disp_a, size_a, disp_b, size_b)
+    return "may"
+
+
+def _interval_relation(lo_a, size_a, lo_b, size_b) -> str:
+    if lo_a + size_a <= lo_b or lo_b + size_b <= lo_a:
+        return "no"
+    return "must"
+
+
+@dataclass
+class DDG:
+    """Dependence graph over op indices 0..n-1."""
+
+    n: int
+    #: hard edges: succs[i] = {(j, latency), ...}; j must not start before
+    #: i finishes.
+    succs: List[Set[Tuple[int, int]]] = field(default_factory=list)
+    preds_count: List[int] = field(default_factory=list)
+    #: soft (speculatable) store->load edges: (store_idx, load_idx).
+    soft_edges: List[Tuple[int, int]] = field(default_factory=list)
+    #: critical-path priority per node.
+    priority: List[int] = field(default_factory=list)
+
+    def add_edge(self, src: int, dst: int, latency: int) -> None:
+        if (dst, latency) not in self.succs[src]:
+            self.succs[src].add((dst, latency))
+            self.preds_count[dst] += 1
+
+
+def build_ddg(ops: List[IRInstr]) -> DDG:
+    """Build the dependence graph for a straight-line SSA body."""
+    n = len(ops)
+    ddg = DDG(n=n, succs=[set() for _ in range(n)], preds_count=[0] * n)
+
+    # True dependences: single-def temps (SSA).
+    def_site: Dict[object, int] = {}
+    for i, instr in enumerate(ops):
+        for src in instr.srcs:
+            producer = def_site.get(src)
+            if producer is not None:
+                ddg.add_edge(producer, i, op_latency(ops[producer]))
+        if instr.dst is not None:
+            # Output dependence on rare re-defs (non-SSA callers).
+            prior = def_site.get(instr.dst)
+            if prior is not None:
+                ddg.add_edge(prior, i, 1)
+            def_site[instr.dst] = i
+
+    # The unroll guard is a *committing* exit: stores must not drift above
+    # it, or a triggered guard would commit speculative memory state.
+    for i, instr in enumerate(ops):
+        if instr.op == "guard_exit_false":
+            for j in range(i + 1, n):
+                if ops[j].is_store:
+                    ddg.add_edge(i, j, 1)
+
+    # Memory dependences.
+    mem_ops = [i for i, instr in enumerate(ops)
+               if instr.is_load or instr.is_store]
+    for a_pos, i in enumerate(mem_ops):
+        a = ops[i]
+        for j in mem_ops[a_pos + 1:]:
+            b = ops[j]
+            if a.is_load and b.is_load:
+                continue
+            relation = alias_relation(a, b)
+            if relation == "no":
+                continue
+            if a.is_store and b.is_load and relation == "may":
+                ddg.soft_edges.append((i, j))
+            else:
+                ddg.add_edge(i, j, 1)
+
+    ddg.priority = _critical_path(ops, ddg)
+    return ddg
+
+
+def _critical_path(ops: List[IRInstr], ddg: DDG) -> List[int]:
+    priority = [op_latency(instr) for instr in ops]
+    for i in range(ddg.n - 1, -1, -1):
+        lat = op_latency(ops[i])
+        best = 0
+        for (j, _edge_lat) in ddg.succs[i]:
+            if priority[j] > best:
+                best = priority[j]
+        priority[i] = lat + best
+    return priority

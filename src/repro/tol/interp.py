@@ -1,0 +1,114 @@
+"""TOL interpreter (IM).
+
+Interprets guest instructions one at a time by evaluating their IR expansion
+(:mod:`repro.tol.ir_eval`), so the decoder frontend is exercised from the
+first instruction.  Guarantees forward progress and acts as the safety net
+for instructions excluded from translations (complex string operations) and
+after speculation failures (paper §V-B1).
+
+System calls and program end are *signalled*, not executed: only the x86
+component interacts with the operating system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.guest.isa import u32
+from repro.guest.memory import PagedMemory
+from repro.guest.state import GuestState
+from repro.tol.decoder import DecodedInstr, Frontend
+from repro.tol.ir_eval import FALLTHROUGH, eval_ops
+
+OK = "ok"
+SYSCALL = "syscall"
+END = "end"
+
+
+@dataclass
+class StepResult:
+    status: str
+    #: IR operations evaluated (drives the interpretation cost model).
+    ir_ops: int = 0
+    #: True when the executed instruction ended a basic block.
+    ended_bb: bool = False
+
+
+class Interpreter:
+    """Decode-to-IR interpreter over the emulated guest state."""
+
+    def __init__(self, frontend: Frontend, state: GuestState,
+                 memory: PagedMemory):
+        self.frontend = frontend
+        self.state = state
+        self.memory = memory
+        self.icount = 0
+        self.ir_ops_evaluated = 0
+
+    def current(self) -> DecodedInstr:
+        """Decode (cached) the instruction at EIP; may raise PageFault."""
+        return self.frontend.decode(self.memory, self.state.eip)
+
+    def step(self) -> StepResult:
+        """Interpret one guest instruction.
+
+        Returns a signal instead of executing for SYSCALL (the controller
+        synchronizes and lets the x86 component run it) and HLT.  Page
+        faults propagate with architectural state untouched, so the
+        instruction is simply retried once the page arrives.
+        """
+        decoded = self.current()
+        mnemonic = decoded.guest.mnemonic
+        if mnemonic == "SYSCALL":
+            return StepResult(SYSCALL)
+        if mnemonic == "HLT":
+            return StepResult(END)
+        if decoded.interpreter_only:
+            elements = self._exec_string_op(decoded)
+            self.state.eip = decoded.guest.next_addr
+            self.icount += 1
+            return StepResult(OK, ir_ops=elements * 3,
+                              ended_bb=decoded.is_branch)
+        outcome, target = eval_ops(decoded.ops, self.state, self.memory)
+        if outcome == FALLTHROUGH:
+            self.state.eip = decoded.guest.next_addr
+        else:
+            self.state.eip = u32(target)
+        self.icount += 1
+        self.ir_ops_evaluated += len(decoded.ops)
+        return StepResult(OK, ir_ops=len(decoded.ops),
+                          ended_bb=decoded.is_branch)
+
+    def advance_past_syscall(self) -> None:
+        """Move EIP past a SYSCALL after the controller has run it."""
+        decoded = self.current()
+        self.state.eip = decoded.guest.next_addr
+        self.icount += 1
+
+    # -- interpreter-native complex instructions -----------------------------
+
+    def _exec_string_op(self, decoded: DecodedInstr) -> int:
+        """Execute a REP string op; returns the number of elements moved.
+
+        Per-element register updates make the operation restartable at any
+        page fault, mirroring x86 semantics.
+        """
+        state, memory = self.state, self.memory
+        mnemonic = decoded.guest.mnemonic
+        elements = 0
+        if mnemonic == "REP_MOVSD":
+            while state.get("ECX") != 0:
+                value = memory.read_u32(state.get("ESI"))
+                memory.write_u32(state.get("EDI"), value)
+                state.set("ESI", u32(state.get("ESI") + 4))
+                state.set("EDI", u32(state.get("EDI") + 4))
+                state.set("ECX", u32(state.get("ECX") - 1))
+                elements += 1
+        elif mnemonic == "REP_STOSD":
+            while state.get("ECX") != 0:
+                memory.write_u32(state.get("EDI"), state.get("EAX"))
+                state.set("EDI", u32(state.get("EDI") + 4))
+                state.set("ECX", u32(state.get("ECX") - 1))
+                elements += 1
+        else:
+            raise ValueError(f"unexpected interpreter-only {mnemonic}")
+        return elements

@@ -1,0 +1,196 @@
+"""IR evaluator.
+
+Three users:
+
+1. The TOL interpreter (IM) executes guest instructions by evaluating their
+   IR expansion directly against the emulated guest state — so the decoder
+   frontend is exercised (and validated against the authoritative emulator)
+   from the very first interpreted instruction.
+2. Differential tests evaluate a region's IR before and after an
+   optimization pass to prove the pass semantics-preserving.
+3. The debug toolchain replays a region at the IR level to pinpoint the
+   stage at which a translation bug appeared (paper §V-D, debug toolchain).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.guest import semantics as sem
+from repro.guest.isa import s32, u32
+from repro.guest.memory import PagedMemory
+from repro.guest.state import GuestState
+from repro.tol.ir import (
+    Const, FTmp, Flag, GFReg, GReg, GVReg, IRInstr, Tmp, VTmp,
+)
+
+
+class IRAssertFailure(Exception):
+    """An assert_true/assert_false condition failed during IR evaluation."""
+
+    def __init__(self, instr: IRInstr):
+        super().__init__(f"assert failed: {instr!r}")
+        self.instr = instr
+
+
+class IREvalError(Exception):
+    """Malformed IR reached the evaluator."""
+
+
+#: Control outcomes returned by :func:`eval_ops`.
+FALLTHROUGH = "fallthrough"
+JUMP = "jump"          # (JUMP, target_pc)
+EXIT = "exit"          # (EXIT, next_pc)
+
+
+def eval_ops(ops: List[IRInstr], state: GuestState, memory: PagedMemory,
+             env: Optional[Dict] = None) -> Tuple[str, Optional[int]]:
+    """Evaluate a straight-line IR sequence against guest state.
+
+    Returns a (outcome, pc) pair; ``pc`` is None for FALLTHROUGH.  ``env``
+    holds temp values (a fresh one is created if not given).  Page faults
+    propagate to the caller.
+    """
+    if env is None:
+        env = {}
+
+    def read(operand):
+        if isinstance(operand, Tmp):
+            return env[operand]
+        if isinstance(operand, GReg):
+            return state.gpr[operand.index]
+        if isinstance(operand, Flag):
+            return state.flags[operand.index]
+        if isinstance(operand, Const):
+            return operand.value
+        if isinstance(operand, FTmp):
+            return env[operand]
+        if isinstance(operand, GFReg):
+            return state.fpr[operand.index]
+        if isinstance(operand, VTmp):
+            return env[operand]
+        if isinstance(operand, GVReg):
+            return state.vr[operand.index]
+        raise IREvalError(f"unreadable operand {operand!r}")
+
+    def write(operand, value):
+        if isinstance(operand, (Tmp, FTmp, VTmp)):
+            env[operand] = value
+        elif isinstance(operand, GReg):
+            state.gpr[operand.index] = u32(value)
+        elif isinstance(operand, Flag):
+            state.flags[operand.index] = 1 if value else 0
+        elif isinstance(operand, GFReg):
+            state.fpr[operand.index] = float(value)
+        elif isinstance(operand, GVReg):
+            state.vr[operand.index] = [u32(v) for v in value]
+        else:
+            raise IREvalError(f"unwritable operand {operand!r}")
+
+    for instr in ops:
+        op = instr.op
+        fn = _EVAL.get(op)
+        if fn is not None:
+            srcs = [read(s) for s in instr.srcs]
+            write(instr.dst, fn(*srcs))
+            continue
+        if op == "ld32":
+            write(instr.dst,
+                  memory.read_u32(u32(read(instr.srcs[0]) + instr.imm)))
+        elif op == "st32":
+            memory.write_u32(u32(read(instr.srcs[0]) + instr.imm),
+                             u32(read(instr.srcs[1])))
+        elif op == "ldf":
+            write(instr.dst,
+                  memory.read_f64(u32(read(instr.srcs[0]) + instr.imm)))
+        elif op == "stf":
+            memory.write_f64(u32(read(instr.srcs[0]) + instr.imm),
+                             float(read(instr.srcs[1])))
+        elif op == "ldv":
+            write(instr.dst,
+                  memory.read_vec(u32(read(instr.srcs[0]) + instr.imm)))
+        elif op == "stv":
+            memory.write_vec(u32(read(instr.srcs[0]) + instr.imm),
+                             read(instr.srcs[1]))
+        elif op in ("br_true", "br_false"):
+            cond = read(instr.srcs[0])
+            taken = bool(cond) if op == "br_true" else not cond
+            return (JUMP, instr.attrs["taken_pc"] if taken
+                    else instr.attrs["fall_pc"])
+        elif op == "jmp":
+            return (JUMP, instr.attrs["target_pc"])
+        elif op == "jmp_ind":
+            return (JUMP, u32(read(instr.srcs[0])))
+        elif op == "assert_true":
+            if not read(instr.srcs[0]):
+                raise IRAssertFailure(instr)
+        elif op == "assert_false":
+            if read(instr.srcs[0]):
+                raise IRAssertFailure(instr)
+        elif op in ("side_exit_true", "side_exit_false", "guard_exit_false"):
+            cond = read(instr.srcs[0])
+            trigger = bool(cond) if op == "side_exit_true" else not cond
+            if trigger:
+                return (EXIT, instr.attrs["target_pc"])
+        elif op == "exit":
+            return (EXIT, instr.attrs["next_pc"])
+        elif op == "exit_ind":
+            return (EXIT, u32(read(instr.srcs[0])))
+        else:
+            raise IREvalError(f"unhandled IR op {op!r}")
+    return (FALLTHROUGH, None)
+
+
+# -- pure value ops ----------------------------------------------------------
+
+_M32 = 0xFFFFFFFF
+
+_EVAL = {
+    "mov": lambda a: a,
+    "add": lambda a, b: (a + b) & _M32,
+    "sub": lambda a, b: (a - b) & _M32,
+    "mul": lambda a, b: (s32(a) * s32(b)) & _M32,
+    "div": lambda a, b: sem.idiv32(a, b)[0],
+    "rem": lambda a, b: sem.idiv32(a, b)[1],
+    "and": lambda a, b: (a & b) & _M32,
+    "or": lambda a, b: (a | b) & _M32,
+    "xor": lambda a, b: (a ^ b) & _M32,
+    "shl": lambda a, b: (a << (b & 31)) & _M32,
+    "shr": lambda a, b: u32(a) >> (b & 31),
+    "sar": lambda a, b: u32(s32(a) >> (b & 31)),
+    "not": lambda a: (~a) & _M32,
+    "neg": lambda a: (-a) & _M32,
+    "cmpeq": lambda a, b: int(u32(a) == u32(b)),
+    "cmpne": lambda a, b: int(u32(a) != u32(b)),
+    "cmplts": lambda a, b: int(s32(a) < s32(b)),
+    "cmpltu": lambda a, b: int(u32(a) < u32(b)),
+    "cmples": lambda a, b: int(s32(a) <= s32(b)),
+    "cmpleu": lambda a, b: int(u32(a) <= u32(b)),
+    "addcf": lambda a, b: int(((a + b) & _M32) < u32(a)),
+    "addof": lambda a, b: ((~(a ^ b)) & (a ^ ((a + b) & _M32))) >> 31 & 1,
+    "subcf": lambda a, b: int(u32(a) < u32(b)),
+    "subof": lambda a, b: ((a ^ b) & (a ^ ((a - b) & _M32))) >> 31 & 1,
+    "mulof": lambda a, b: int(s32(a) * s32(b) != s32(u32(s32(a) * s32(b)))),
+    "fmov": lambda a: float(a),
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": sem.fdiv64,
+    "fneg": lambda a: -a,
+    "fabs": lambda a: abs(a),
+    "fsqrt": sem.gisa_sqrt,
+    "ffloor": lambda a: float(math.floor(a)),
+    "fsin": sem.gisa_sin,
+    "fcos": sem.gisa_cos,
+    "i2f": lambda a: float(s32(a)),
+    "f2i": sem.ftrunc32,
+    "fcmpeq": lambda a, b: int(a == b),
+    "fcmplt": lambda a, b: int(a < b),
+    "fcmpun": lambda a, b: int(a != a or b != b),
+    "vmov": lambda a: list(a),
+    "vadd": lambda a, b: [(x + y) & _M32 for x, y in zip(a, b)],
+    "vsub": lambda a, b: [(x - y) & _M32 for x, y in zip(a, b)],
+    "vmul": lambda a, b: [(s32(x) * s32(y)) & _M32 for x, y in zip(a, b)],
+    "vsplat": lambda a: [u32(a)] * 4,
+}

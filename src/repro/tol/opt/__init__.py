@@ -1,0 +1,11 @@
+"""Optimization passes (plug-and-play registry)."""
+
+from repro.tol.opt.passes import (
+    BBM_PIPELINE, SBM_PIPELINE, PassStats, available_passes, get_pass,
+    register_pass, run_pipeline,
+)
+
+__all__ = [
+    "BBM_PIPELINE", "SBM_PIPELINE", "PassStats", "available_passes",
+    "get_pass", "register_pass", "run_pipeline",
+]

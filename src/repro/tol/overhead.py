@@ -1,0 +1,57 @@
+"""TOL overhead accounting.
+
+DARCO's TOL is compiled to the host ISA, so all its work appears as host
+instructions; Figures 6 and 7 of the paper break the dynamic host
+instruction stream into application instructions vs seven TOL overhead
+categories.  Our TOL charges calibrated host-instruction costs
+(:mod:`repro.costs`) into the same seven buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: The paper's seven overhead categories (Fig. 7, bottom-up).
+CATEGORIES = (
+    "interpreter",
+    "bb_translator",
+    "sb_translator",
+    "prologue",
+    "chaining",
+    "cc_lookup",
+    "others",
+)
+
+
+@dataclass
+class OverheadAccount:
+    """Host-instruction counters per overhead category."""
+
+    counters: Dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in CATEGORIES})
+    #: optional callback ``(category, host_insns)`` — the timing simulator
+    #: hooks this to model TOL execution in the pipeline.
+    on_charge: object = None
+
+    def charge(self, category: str, host_insns: int) -> None:
+        self.counters[category] += int(host_insns)
+        if self.on_charge is not None:
+            self.on_charge(category, int(host_insns))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counters.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fractions per category (of total TOL overhead)."""
+        total = self.total
+        if total == 0:
+            return {c: 0.0 for c in CATEGORIES}
+        return {c: self.counters[c] / total for c in CATEGORIES}
+
+    def merged(self, other: "OverheadAccount") -> "OverheadAccount":
+        merged = OverheadAccount()
+        for c in CATEGORIES:
+            merged.counters[c] = self.counters[c] + other.counters[c]
+        return merged

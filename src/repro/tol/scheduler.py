@@ -1,0 +1,92 @@
+"""List instruction scheduler.
+
+Conventional list scheduling over the DDG (paper §V-B3): ready ops are
+picked by critical-path priority.  May-alias store→load edges are ignored
+when memory speculation is enabled; pairs that actually end up reordered are
+converted to speculative loads / checking stores, carrying their original
+program position as the alias-table sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List
+
+from repro.tol.ddg import DDG, build_ddg
+from repro.tol.ir import IRInstr
+
+_SPEC_LOAD = {"ld32": "sld32", "ldf": "sldf"}
+_CHK_STORE = {"st32": "st32chk", "stf": "stfchk"}
+
+
+@dataclass
+class ScheduleResult:
+    ops: List[IRInstr]
+    #: number of load/store pairs converted to speculative form.
+    speculated_pairs: int = 0
+    reordered: bool = False
+
+
+def list_schedule(ops: List[IRInstr],
+                  allow_mem_speculation: bool = True) -> ScheduleResult:
+    """Schedule a straight-line SSA body; returns reordered ops."""
+    if len(ops) <= 1:
+        return ScheduleResult(ops=list(ops))
+    ddg = build_ddg(ops)
+    soft = []
+    for (s, l) in ddg.soft_edges:
+        # Only pairs with speculative forms may be reordered (vector memory
+        # ops have no spec variant, so their edges harden).
+        speculatable = (allow_mem_speculation
+                        and ops[l].op in _SPEC_LOAD
+                        and ops[s].op in _CHK_STORE)
+        if speculatable:
+            soft.append((s, l))
+        else:
+            ddg.add_edge(s, l, 1)
+
+    n = ddg.n
+    remaining = list(ddg.preds_count)
+    # Max-heap by priority, tie-broken by original index for determinism.
+    ready = [(-ddg.priority[i], i) for i in range(n) if remaining[i] == 0]
+    heapq.heapify(ready)
+    order: List[int] = []
+    position = [0] * n
+    while ready:
+        _, i = heapq.heappop(ready)
+        position[i] = len(order)
+        order.append(i)
+        for (j, _lat) in ddg.succs[i]:
+            remaining[j] -= 1
+            if remaining[j] == 0:
+                heapq.heappush(ready, (-ddg.priority[j], j))
+    if len(order) != n:
+        raise RuntimeError("DDG contains a cycle; scheduling impossible")
+
+    # Convert reordered may-alias pairs to speculative form.
+    spec_loads = set()
+    chk_stores = set()
+    for (store_idx, load_idx) in soft:
+        if position[load_idx] < position[store_idx]:
+            spec_loads.add(load_idx)
+            chk_stores.add(store_idx)
+
+    scheduled: List[IRInstr] = []
+    for i in order:
+        instr = ops[i]
+        if i in spec_loads and instr.op in _SPEC_LOAD:
+            attrs = dict(instr.attrs)
+            attrs["seq"] = i
+            instr = instr.with_changes(op=_SPEC_LOAD[instr.op], attrs=attrs)
+        elif i in chk_stores and instr.op in _CHK_STORE:
+            attrs = dict(instr.attrs)
+            attrs["seq"] = i
+            instr = instr.with_changes(op=_CHK_STORE[instr.op], attrs=attrs)
+        scheduled.append(instr)
+
+    return ScheduleResult(
+        ops=scheduled,
+        speculated_pairs=len(spec_loads),
+        reordered=order != list(range(n)),
+    )

@@ -1,0 +1,96 @@
+"""Static Single Assignment conversion for superblock regions.
+
+Superblocks are single-entry straight-line regions (branches have been
+converted to asserts), so SSA construction is pure renaming — no phi
+functions.  The transformation removes anti and output dependences and
+"significantly reduces the complexity of subsequent optimizations" (paper
+§V-B3).
+
+Guest architectural reads that happen before any write refer to *entry*
+values: they stay as ``GReg``/``Flag``/... operands, which the code
+generator reads straight from the home host registers (DARCO's direct
+register mapping).  All architectural writes become fresh temps; the final
+value of each architectural location is written back by an epilogue ``mov``
+sequence returned separately (the caller places it before the region
+terminator / commit point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.tol.ir import (
+    FTmp, Flag, GFReg, GReg, GVReg, IRInstr, Tmp, TmpAllocator, VTmp, is_arch,
+)
+
+
+@dataclass
+class SSAResult:
+    #: The renamed straight-line body.
+    ops: List[IRInstr]
+    #: Epilogue writeback moves (``mov arch <- temp``), one per
+    #: architectural location redefined in the region.
+    writebacks: List[IRInstr]
+    #: arch operand -> final value operand (after the region body).
+    exit_values: Dict[object, object]
+
+
+def _writeback_op(arch) -> str:
+    if isinstance(arch, (GReg, Flag)):
+        return "mov"
+    if isinstance(arch, GFReg):
+        return "fmov"
+    if isinstance(arch, GVReg):
+        return "vmov"
+    raise TypeError(f"not an architectural operand: {arch!r}")
+
+
+def _fresh_for(arch, alloc: TmpAllocator):
+    if isinstance(arch, (GReg, Flag, Tmp)):
+        return alloc.tmp()
+    if isinstance(arch, (GFReg, FTmp)):
+        return alloc.ftmp()
+    if isinstance(arch, (GVReg, VTmp)):
+        return alloc.vtmp()
+    raise TypeError(f"cannot rename {arch!r}")
+
+
+def to_ssa(ops: List[IRInstr], alloc: TmpAllocator) -> SSAResult:
+    """Rename a straight-line region into SSA form.
+
+    ``ops`` must not contain the region terminator (exit/loop-back); the
+    caller assembles ``result.ops + result.writebacks + [terminator]``.
+    Control ops inside the region (asserts, the unroll guard) are allowed:
+    they only read temps, and rollback semantics make architectural state
+    irrelevant at those points.
+    """
+    cur: Dict[object, object] = {}
+    tmp_map: Dict[object, object] = {}
+    out: List[IRInstr] = []
+
+    def rename_src(src):
+        if is_arch(src):
+            return cur.get(src, src)
+        return tmp_map.get(src, src)
+
+    for instr in ops:
+        new_srcs = tuple(rename_src(s) for s in instr.srcs)
+        dst = instr.dst
+        if dst is not None:
+            fresh = _fresh_for(dst, alloc)
+            if is_arch(dst):
+                cur[dst] = fresh
+            else:
+                # Temps are renamed too: loop unrolling duplicates the
+                # body, so incoming temps may have multiple defs.
+                tmp_map[dst] = fresh
+            dst = fresh
+        changed = (new_srcs != instr.srcs) or (dst is not instr.dst)
+        out.append(
+            instr.with_changes(dst=dst, srcs=new_srcs) if changed else instr)
+    writebacks = [
+        IRInstr(op=_writeback_op(arch), dst=arch, srcs=(value,))
+        for arch, value in cur.items()
+    ]
+    return SSAResult(ops=out, writebacks=writebacks, exit_values=dict(cur))

@@ -1,0 +1,327 @@
+"""Superblock region selection and IR assembly (paper §V-B3).
+
+A superblock starts at a hot basic block and follows the biased direction of
+branches (edge profile gathered in BBM).  Region growth stops at: indirect
+branches / calls / returns, unbiased branches, cumulative-probability
+decay, size limits, revisited blocks, interpreter-only instructions, and
+unavailable code pages.
+
+Assembly modes:
+
+- ``SBM`` (assert mode): interior branches become asserts — single-entry
+  single-exit, maximally reorderable;
+- ``SBX`` (exit mode, after repeated assert failures): interior branches
+  become side exits — single-entry multiple-exit, conservatively optimized;
+- loop superblocks: a single-block loop keeps its back-edge inside the unit;
+  counted loops additionally get an unrolled variant guarded by a runtime
+  trip-count check that falls back to the plain variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.guest.memory import PagedMemory, PageFault
+from repro.tol.config import TolConfig
+from repro.tol.decoder import DecodedInstr, Frontend
+from repro.tol.ir import Const, GReg, IRInstr, TmpAllocator
+from repro.tol.profile import Profiler
+
+#: Terminators that end a superblock (paper condition 1).
+_REGION_ENDERS = frozenset({"JMPI", "CALLI", "RET", "CALL"})
+
+
+@dataclass
+class RegionBB:
+    """One basic block of a region."""
+
+    entry_pc: int
+    decoded: List[DecodedInstr]
+    #: None when the block ends by running into an interpreter-only
+    #: instruction or the size limit (fall-through exit).
+    terminator: Optional[DecodedInstr]
+    #: Address execution continues at if the region ends after this block.
+    next_pc: int
+    #: For interior conditional branches: was the taken direction followed?
+    followed_taken: Optional[bool] = None
+
+    @property
+    def guest_insn_count(self) -> int:
+        return len(self.decoded)
+
+
+@dataclass
+class Region:
+    bbs: List[RegionBB]
+    #: single-basic-block loop (terminator branches back to entry).
+    is_loop: bool = False
+    #: register counted down by the loop (DEC reg / JNE pattern), if any.
+    counted_reg: Optional[int] = None
+
+    @property
+    def guest_insn_count(self) -> int:
+        return sum(bb.guest_insn_count for bb in self.bbs)
+
+    @property
+    def entry_pc(self) -> int:
+        return self.bbs[0].entry_pc
+
+
+def decode_bb(frontend: Frontend, memory: PagedMemory, pc: int,
+              alloc: TmpAllocator, max_insns: int) -> RegionBB:
+    """Decode one basic block starting at ``pc``.
+
+    Stops after a branch (inclusive) or before an interpreter-only
+    instruction / a missing code page / the size limit (exclusive).
+    """
+    decoded: List[DecodedInstr] = []
+    cur = pc
+    while len(decoded) < max_insns:
+        try:
+            instr = frontend.decode(memory, cur, alloc)
+        except PageFault:
+            break
+        if instr.interpreter_only:
+            break
+        decoded.append(instr)
+        cur = instr.guest.next_addr
+        if instr.is_branch:
+            return RegionBB(entry_pc=pc, decoded=decoded,
+                            terminator=instr, next_pc=cur)
+    return RegionBB(entry_pc=pc, decoded=decoded, terminator=None,
+                    next_pc=cur)
+
+
+def detect_counted_loop(bb: RegionBB) -> Optional[int]:
+    """Detect the ``DEC reg ... JNE head`` counted-loop idiom.
+
+    Returns the countdown register index if the block's remaining trip
+    count equals that register's value at block entry: the DEC must be the
+    last flag writer before the JNE, and the register must not be modified
+    anywhere else in the block.
+    """
+    term = bb.terminator
+    if term is None or term.guest.mnemonic != "JNE":
+        return None
+    body = bb.decoded[:-1]
+    dec_index = None
+    for i, d in enumerate(body):
+        if d.guest.spec.writes_flags:
+            dec_index = i if d.guest.mnemonic == "DEC" else None
+    if dec_index is None:
+        return None
+    dec = body[dec_index]
+    operand = dec.guest.operands[0]
+    if not hasattr(operand, "index") or not hasattr(operand, "name"):
+        return None  # DEC on a memory operand
+    reg = operand.index
+    for i, d in enumerate(body):
+        if i == dec_index:
+            continue
+        if _writes_gpr(d, reg):
+            return None
+    return reg
+
+
+def _writes_gpr(decoded: DecodedInstr, reg_index: int) -> bool:
+    for op in decoded.ops:
+        if isinstance(op.dst, GReg) and op.dst.index == reg_index:
+            return True
+    return False
+
+
+def build_region(frontend: Frontend, memory: PagedMemory, start_pc: int,
+                 profiler: Profiler, config: TolConfig,
+                 alloc: TmpAllocator) -> Optional[Region]:
+    """Select a superblock region starting at ``start_pc``."""
+    bbs: List[RegionBB] = []
+    visited = {start_pc}
+    cum_prob = 1.0
+    total = 0
+    pc = start_pc
+    while True:
+        bb = decode_bb(frontend, memory, pc, alloc, config.max_bb_insns)
+        if not bb.decoded:
+            break
+        bbs.append(bb)
+        total += bb.guest_insn_count
+        term = bb.terminator
+        if term is None:
+            break  # fall-through exit (interpreter-only / size / page)
+        mnemonic = term.guest.mnemonic
+        if mnemonic in _REGION_ENDERS:
+            break
+        if mnemonic == "JMP":
+            next_pc = term.guest.operands[0].u32
+            followed_taken = True
+        else:  # conditional branch: consult the edge profile
+            successor, bias = profiler.biased_successor(bb.entry_pc)
+            if successor is None or bias < config.bias_threshold:
+                break
+            cum_prob *= bias
+            if cum_prob < config.min_cum_prob:
+                break
+            next_pc = successor
+            followed_taken = successor == term.guest.operands[0].u32
+            if not followed_taken and successor != term.guest.next_addr:
+                break  # profile points somewhere unreachable; stale data
+        if next_pc == start_pc and len(bbs) == 1 and mnemonic != "JMP" \
+                and followed_taken:
+            bb.followed_taken = True
+            counted = detect_counted_loop(bb)
+            return Region(bbs=bbs, is_loop=True, counted_reg=counted)
+        if next_pc in visited:
+            break
+        if total >= config.max_sb_insns or len(bbs) >= config.max_sb_bbs:
+            break
+        bb.followed_taken = followed_taken
+        bb.next_pc = next_pc
+        visited.add(next_pc)
+        pc = next_pc
+    if not bbs or not bbs[0].decoded:
+        return None
+    return Region(bbs=bbs)
+
+
+# ---------------------------------------------------------------------------
+# IR assembly.
+# ---------------------------------------------------------------------------
+
+
+def _assert_for(br: IRInstr, followed_taken: bool) -> IRInstr:
+    """Convert a conditional branch into the assert that speculation on
+    ``followed_taken`` requires."""
+    want_true = (br.op == "br_true") == followed_taken
+    return br.with_changes(
+        op="assert_true" if want_true else "assert_false", attrs={})
+
+
+def _side_exit_for(br: IRInstr, followed_taken: bool,
+                   guest_insns: int) -> IRInstr:
+    """Convert a conditional branch into a side exit taken when the
+    non-followed direction wins."""
+    target = br.attrs["fall_pc"] if followed_taken else br.attrs["taken_pc"]
+    exit_on_true = (br.op == "br_true") != followed_taken
+    return br.with_changes(
+        op="side_exit_true" if exit_on_true else "side_exit_false",
+        attrs={"target_pc": target, "guest_insns": guest_insns})
+
+
+def _with_guest_insns(instr: IRInstr, count: int) -> IRInstr:
+    attrs = dict(instr.attrs)
+    attrs["guest_insns"] = count
+    return instr.with_changes(attrs=attrs)
+
+
+@dataclass
+class AssembledRegion:
+    """Straight-line IR for a region, ready for the optimizer."""
+
+    body: List[IRInstr]
+    #: Final control op (already carrying guest_insns); None for loop
+    #: regions where the caller appends the back-edge.
+    terminator: Optional[IRInstr]
+    guest_insn_count: int
+    guest_bb_count: int
+
+
+def assemble_region(region: Region, mode: str,
+                    end_pc_hint: Optional[int] = None) -> AssembledRegion:
+    """Flatten a (non-loop) region into straight-line IR.
+
+    ``mode`` is "SBM" (asserts) or "SBX" (side exits).
+    """
+    body: List[IRInstr] = []
+    count = 0
+    last = len(region.bbs) - 1
+    terminator: Optional[IRInstr] = None
+    for i, bb in enumerate(region.bbs):
+        for d in bb.decoded[:-1] if bb.terminator is not None \
+                else bb.decoded:
+            body.extend(d.ops)
+            count += 1
+        term = bb.terminator
+        if term is None:
+            if i != last:
+                raise ValueError("fall-through block must end the region")
+            terminator = IRInstr(op="exit", attrs={
+                "next_pc": bb.next_pc, "guest_insns": count})
+            break
+        # The terminator's IR: condition/effect ops, then the control op.
+        body.extend(term.ops[:-1])
+        count += 1
+        control = term.ops[-1]
+        if i == last:
+            terminator = _with_guest_insns(control, count)
+        else:
+            if control.op in ("br_true", "br_false"):
+                if mode == "SBM":
+                    body.append(_assert_for(control, bb.followed_taken))
+                else:
+                    body.append(_side_exit_for(
+                        control, bb.followed_taken, count))
+            elif control.op == "jmp":
+                pass  # unconditional: falls through to the next block
+            else:
+                raise ValueError(
+                    f"unexpected interior terminator {control.op!r}")
+    return AssembledRegion(
+        body=body, terminator=terminator, guest_insn_count=count,
+        guest_bb_count=len(region.bbs))
+
+
+def assemble_loop(region: Region, unroll: int = 1,
+                  guard_alloc: Optional[TmpAllocator] = None
+                  ) -> AssembledRegion:
+    """Flatten a single-block loop region.
+
+    ``unroll=1`` produces the plain variant: body + conditional back-edge.
+    ``unroll>1`` produces the unrolled variant: a runtime trip-count guard,
+    ``unroll`` copies of the body with interior back-edges removed, and an
+    unconditional back-edge (legal because the guard proves at least
+    ``unroll+1`` iterations remain).
+    """
+    bb = region.bbs[0]
+    term = bb.terminator
+    control = term.ops[-1]
+    per_iter = bb.guest_insn_count
+    body: List[IRInstr] = []
+
+    if unroll == 1:
+        for d in bb.decoded[:-1]:
+            body.extend(d.ops)
+        body.extend(term.ops[:-1])
+        attrs = dict(control.attrs)
+        attrs["loop_back"] = True
+        attrs["guest_insns"] = per_iter
+        # Back-edge goes to the unit head; fall-through leaves the loop.
+        if attrs.get("taken_pc") == bb.entry_pc:
+            pass
+        else:  # loop continues on fall-through: flip the branch sense
+            flipped = "br_false" if control.op == "br_true" else "br_true"
+            attrs["fall_pc"] = attrs["taken_pc"]
+            control = control.with_changes(op=flipped)
+        terminator = control.with_changes(attrs=attrs)
+        return AssembledRegion(
+            body=body, terminator=terminator,
+            guest_insn_count=per_iter, guest_bb_count=1)
+
+    if region.counted_reg is None:
+        raise ValueError("unrolled variant requires a counted loop")
+    alloc = guard_alloc if guard_alloc is not None else TmpAllocator()
+    cond = alloc.tmp()
+    body.append(IRInstr(op="cmpltu", dst=cond,
+                        srcs=(Const(unroll), GReg(region.counted_reg))))
+    body.append(IRInstr(op="guard_exit_false", srcs=(cond,),
+                        attrs={"target_pc": bb.entry_pc, "guest_insns": 0}))
+    for _copy in range(unroll):
+        for d in bb.decoded[:-1]:
+            body.extend(d.ops)
+        body.extend(term.ops[:-1])
+    terminator = IRInstr(op="jmp", attrs={
+        "target_pc": bb.entry_pc, "loop_back": True,
+        "guest_insns": per_iter * unroll})
+    return AssembledRegion(
+        body=body, terminator=terminator,
+        guest_insn_count=per_iter * unroll, guest_bb_count=1)

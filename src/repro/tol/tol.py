@@ -1,0 +1,373 @@
+"""The Translation Optimization Layer main loop (paper §V-B, Fig. 3).
+
+Dispatch: look up the code cache; execute translated code when present;
+otherwise interpret, profile, and promote hot code IM -> BBM -> SBM.
+Handles chaining, IBTC fills, speculation failures (rollback + one
+interpreted basic block for forward progress, demotion to multi-exit
+superblocks past the failure limit) and surfaces synchronization events
+(data requests, system calls, end of application) to the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro import costs
+from repro.guest.memory import PagedMemory, PageFault
+from repro.guest.state import GuestState
+from repro.host.emulator import (
+    EXIT_ASSERT, EXIT_PAGE_FAULT, EXIT_SPEC, EXIT_TOL, HostEmulator,
+)
+from repro.host.isa import CodeUnit, UNIT_MODE_BBM
+from repro.tol.codecache import CodeCache
+from repro.tol.config import TolConfig
+from repro.tol.decoder import Frontend, GisaFrontend
+from repro.tol.interp import END, Interpreter, OK, SYSCALL
+from repro.tol.overhead import OverheadAccount
+from repro.tol.profile import Profiler
+from repro.tol.translate import Translator
+
+EVENT_SYSCALL = "syscall"
+EVENT_END = "end"
+EVENT_DATA_REQUEST = "data_request"
+EVENT_PAUSE = "pause"
+
+
+@dataclass
+class TolEvent:
+    """A synchronization event surfaced to the controller (paper §V-A)."""
+
+    kind: str
+    fault_addr: Optional[int] = None
+
+
+@dataclass
+class TolStats:
+    assert_failures: int = 0
+    spec_failures: int = 0
+    demotions: int = 0
+    chains_made: int = 0
+    ibtc_fills: int = 0
+    im_guest_insns: int = 0
+    sb_blacklisted: int = 0
+
+
+class Tol:
+    """One co-designed component's software layer."""
+
+    def __init__(self, state: GuestState, memory: PagedMemory,
+                 config: Optional[TolConfig] = None,
+                 frontend: Optional[Frontend] = None):
+        self.state = state
+        self.memory = memory
+        self.config = config if config is not None else TolConfig()
+        self.frontend = frontend if frontend is not None else GisaFrontend()
+        self.host = HostEmulator(
+            memory,
+            alias_table_size=self.config.alias_table_size,
+            ibtc_size=self.config.ibtc_size)
+        self.host.profile_hook = self._profile_hook
+        self.host.alias_serial_search = self.config.alias_serial_search
+        if self.config.profiling_hw_assist:
+            self.host.profile_inline_cost = 0
+        self.interp = Interpreter(self.frontend, state, memory)
+        self.profiler = Profiler()
+        self.cache = CodeCache(capacity_insns=self.config.code_cache_capacity)
+        self.translator = Translator(self.frontend, self.config)
+        self.overhead = OverheadAccount()
+        self.stats = TolStats()
+        #: Total guest instructions retired by the co-designed component.
+        self.guest_icount = 0
+        #: Host instructions spent executing cold code through the
+        #: hardware guest decoder (dual-decoder mode; application stream).
+        self._hw_decode_insns = 0.0
+        #: Translation work deferred to a dedicated core (background
+        #: translation mode; not part of the main core's stream).
+        self.background_translation_insns = 0
+        self._promote_request: Optional[int] = None
+        self._sb_blacklist = set()
+        #: debug hook: called as ``probe(tol, unit_or_None)`` after every
+        #: dispatch step (unit execution or interpreted basic block).
+        self.probe = None
+        #: when set, dispatch pauses once guest_icount reaches this value
+        #: (sampling methodology support).
+        self.pause_at_icount: Optional[int] = None
+        self.overhead.charge("others", costs.TOL_INIT)
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    def run(self) -> TolEvent:
+        """Execute until a synchronization event occurs."""
+        while True:
+            try:
+                event = self._dispatch_once()
+            except PageFault as fault:
+                self.overhead.charge("others", costs.TOL_STATS_EVENT)
+                return TolEvent(EVENT_DATA_REQUEST, fault_addr=fault.addr)
+            if event is not None:
+                return event
+
+    def _dispatch_once(self) -> Optional[TolEvent]:
+        if (self.pause_at_icount is not None
+                and self.guest_icount >= self.pause_at_icount):
+            return TolEvent(EVENT_PAUSE)
+        pc = self.state.eip
+        self.overhead.charge("others", costs.TOL_MAINLOOP)
+        self.overhead.charge("cc_lookup", costs.CC_LOOKUP)
+        unit = self.cache.lookup(pc)
+        if unit is None:
+            if (self.profiler.interpreted_count(pc)
+                    >= self.config.bbm_threshold):
+                unit = self._translate_bb(pc)
+            if unit is None:
+                event = self._interpret_bb()
+                if self.probe is not None:
+                    self.probe(self, None)
+                return event
+        if (unit.mode == UNIT_MODE_BBM
+                and unit.exec_count >= self.config.sbm_threshold
+                and pc not in self._sb_blacklist):
+            promoted = self._promote(pc)
+            if promoted is not None:
+                unit = promoted
+        event = self._execute_unit(unit)
+        if self.probe is not None:
+            self.probe(self, unit)
+        return event
+
+    # ------------------------------------------------------------------
+    # Interpretation (IM).
+    # ------------------------------------------------------------------
+
+    def _interpret_bb(self) -> Optional[TolEvent]:
+        """Interpret one basic block (or up to a synchronization point)."""
+        entry_pc = self.state.eip
+        self.profiler.record_interpretation(entry_pc)
+        dual = self.config.dual_decoder
+        if not dual:
+            self.overhead.charge("interpreter", costs.INTERP_PROFILE_BB)
+        while True:
+            result = self.interp.step()
+            if result.status == SYSCALL:
+                return TolEvent(EVENT_SYSCALL)
+            if result.status == END:
+                return TolEvent(EVENT_END)
+            self.guest_icount += 1
+            self.stats.im_guest_insns += 1
+            if dual:
+                # Denver-style: the hardware guest decoder executes cold
+                # code at near-native cost in the application stream.
+                self._hw_decode_insns += self.config.dual_decode_cost
+            else:
+                self.overhead.charge(
+                    "interpreter",
+                    costs.INTERP_DISPATCH
+                    + costs.INTERP_PER_IR_OP * result.ir_ops)
+            if result.ended_bb:
+                return None
+
+    # ------------------------------------------------------------------
+    # Translation and promotion.
+    # ------------------------------------------------------------------
+
+    def _translate_bb(self, pc: int) -> Optional[CodeUnit]:
+        translation = self.translator.translate_bb(self.memory, pc)
+        if translation is None:
+            return None
+        self._charge_translation("bb_translator", translation.cost)
+        unit, variant = translation.units[0]
+        self._install(unit, variant)
+        return unit
+
+    def _promote(self, pc: int) -> Optional[CodeUnit]:
+        """Promote a hot BBM block to a superblock (SBM)."""
+        translation = self.translator.translate_superblock(
+            self.memory, pc, self.profiler)
+        if translation is None:
+            self._sb_blacklist.add(pc)
+            self.stats.sb_blacklisted += 1
+            return None
+        self._charge_translation("sb_translator", translation.cost)
+        first_unit = None
+        for unit, variant in translation.units:
+            self._install(unit, variant)
+            if first_unit is None:
+                first_unit = unit
+        return self.cache.lookup(pc)
+
+    def _demote(self, pc: int) -> None:
+        """Recreate a failing superblock without asserts/speculation."""
+        translation = self.translator.translate_superblock(
+            self.memory, pc, self.profiler, demote=True)
+        if translation is None:
+            # Could not rebuild (e.g. stale profile): drop the failing unit
+            # so execution falls back to BBM/IM.
+            unit = self.cache.lookup(pc)
+            if unit is not None:
+                self.cache.invalidate(unit)
+                self.host.ibtc.invalidate_unit(unit)
+            self._sb_blacklist.add(pc)
+            return
+        self._charge_translation("sb_translator", translation.cost)
+        # Remove a stale unrolled variant: the demoted translation replaces
+        # only the keys it provides.
+        old_unrolled = self.cache.lookup(pc, "unrolled")
+        if old_unrolled is not None and all(
+                v != "unrolled" for _, v in translation.units):
+            self.cache.invalidate(old_unrolled)
+            self.host.ibtc.invalidate_unit(old_unrolled)
+        for unit, variant in translation.units:
+            self._install(unit, variant)
+        self.stats.demotions += 1
+        self._sb_blacklist.add(pc)  # do not re-promote to assert mode
+
+    def _charge_translation(self, category: str, cost: int) -> None:
+        """Charge translation work to the main stream, or to the
+        dedicated translation core in background mode (paper SIII, "when
+        and where to translate")."""
+        if self.config.background_translation:
+            self.background_translation_insns += cost
+        else:
+            self.overhead.charge(category, cost)
+
+    def _install(self, unit: CodeUnit, variant: str) -> None:
+        old = self.cache.lookup(unit.entry_pc, variant)
+        flushed = self.cache.insert(unit, variant)
+        if old is not None:
+            self.host.ibtc.invalidate_unit(old)
+        if flushed:
+            self.host.ibtc.flush()
+
+    # ------------------------------------------------------------------
+    # Execution of translated code.
+    # ------------------------------------------------------------------
+
+    def _execute_unit(self, unit: CodeUnit) -> Optional[TolEvent]:
+        self.overhead.charge("prologue", costs.PROLOGUE)
+        self._promote_request = None
+        before = self.host.guest_retired_total
+        if self.pause_at_icount is not None:
+            remaining = self.pause_at_icount - self.guest_icount
+            self.host.pause_retired_at = before + max(0, remaining)
+        else:
+            self.host.pause_retired_at = None
+        event = self.host.execute(unit, self.state)
+        self.guest_icount += self.host.guest_retired_total - before
+        self.overhead.charge("prologue", costs.EPILOGUE)
+
+        if event.kind == EXIT_PAGE_FAULT:
+            self.overhead.charge("others", costs.TOL_STATS_EVENT)
+            return TolEvent(EVENT_DATA_REQUEST, fault_addr=event.fault_addr)
+
+        if event.kind in (EXIT_ASSERT, EXIT_SPEC):
+            if event.kind == EXIT_ASSERT:
+                self.stats.assert_failures += 1
+            else:
+                self.stats.spec_failures += 1
+            failing = event.unit
+            if (failing.assert_failures + failing.spec_failures
+                    > self.config.assert_fail_limit):
+                self._demote(failing.entry_pc)
+            # Forward progress through the interpreter (paper §V-B1).
+            return self._interpret_bb()
+
+        # EXIT_TOL: handle promotion requests and linking.
+        if self._promote_request is not None:
+            pc = self._promote_request
+            self._promote_request = None
+            if pc not in self._sb_blacklist:
+                promoted_unit = self.cache.lookup(pc)
+                if (promoted_unit is not None
+                        and promoted_unit.mode == UNIT_MODE_BBM):
+                    self._promote(pc)
+        if event.ibtc_miss:
+            if self.config.ibtc_enable:
+                target = self.cache.lookup(event.next_pc)
+                if target is not None:
+                    self.host.ibtc.insert(event.next_pc, target)
+                    self.overhead.charge("chaining", costs.IBTC_FILL)
+                    self.stats.ibtc_fills += 1
+        elif self.config.chaining_enable and event.exit_index is not None:
+            self._try_chain(event)
+        return None
+
+    def _try_chain(self, event) -> None:
+        exit_instr = event.unit.instrs[event.exit_index]
+        if exit_instr.op != "exit" or exit_instr.meta.get("link") is not None:
+            return
+        self.overhead.charge("chaining", costs.CHAIN_ATTEMPT)
+        variant = exit_instr.meta.get("prefer_variant")
+        target = self.cache.lookup(event.next_pc, variant)
+        if target is None and variant is not None:
+            target = self.cache.lookup(event.next_pc)
+        if target is not None:
+            self.cache.chain(event.unit, event.exit_index, target)
+            self.stats.chains_made += 1
+
+    # ------------------------------------------------------------------
+    # Hooks and controller interface.
+    # ------------------------------------------------------------------
+
+    def _profile_hook(self, unit: CodeUnit, next_pc: int) -> bool:
+        """BBM inline instrumentation: record the edge; request promotion
+        when the execution counter crosses the SBM threshold."""
+        self.profiler.record_edge(unit.entry_pc, next_pc)
+        if (unit.exec_count >= self.config.sbm_threshold
+                and unit.entry_pc not in self._sb_blacklist):
+            self._promote_request = unit.entry_pc
+            return True
+        return False
+
+    def set_thresholds(self, bbm: int, sbm: int) -> None:
+        """Adjust promotion thresholds at run time (threshold-downscaled
+        warm-up, paper §VI-E)."""
+        self.config.bbm_threshold = bbm
+        self.config.sbm_threshold = sbm
+
+    def complete_syscall(self) -> None:
+        """Account for a syscall the x86 component executed on our behalf
+        (the controller has already copied the resulting state)."""
+        self.guest_icount += 1
+        self.interp.icount += 1
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def mode_distribution(self) -> Dict[str, int]:
+        """Dynamic guest instructions retired per execution mode
+        (paper Fig. 4)."""
+        retired = dict(self.host.guest_retired_by_mode)
+        out = {
+            "IM": self.stats.im_guest_insns,
+            "BBM": retired.get("BBM", 0),
+            # Demoted superblocks are still superblock-mode execution.
+            "SBM": retired.get("SBM", 0) + retired.get("SBX", 0),
+        }
+        return out
+
+    def emulation_cost_sbm(self) -> float:
+        """Host instructions per guest instruction in SBM (paper Fig. 5)."""
+        guest = (self.host.guest_retired_by_mode.get("SBM", 0)
+                 + self.host.guest_retired_by_mode.get("SBX", 0))
+        host = (self.host.host_committed_by_mode.get("SBM", 0)
+                + self.host.host_committed_by_mode.get("SBX", 0))
+        return host / guest if guest else 0.0
+
+    @property
+    def app_host_insns(self) -> int:
+        """Host instructions executed as application code (code cache,
+        plus the hardware guest decoder stream in dual-decoder mode)."""
+        return self.host.host_insns_total + int(self._hw_decode_insns)
+
+    @property
+    def tol_overhead_insns(self) -> int:
+        return self.overhead.total
+
+    def overhead_fraction(self) -> float:
+        """TOL overhead share of the dynamic host stream (paper Fig. 6)."""
+        total = self.app_host_insns + self.tol_overhead_insns
+        return self.tol_overhead_insns / total if total else 0.0

@@ -1,0 +1,250 @@
+"""Translation orchestration: basic blocks (BBM) and superblocks (SBM/SBX).
+
+Runs the full pipeline — decode, (SSA), optimization passes, DDG + list
+scheduling, linear-scan allocation, code generation — and reports the
+host-instruction cost of the translation work performed (charged to the
+paper's "BB Translator" / "SB Translator" overhead categories).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro import costs
+from repro.guest.memory import PagedMemory
+from repro.host.isa import CodeUnit, UNIT_MODE_BBM, UNIT_MODE_SBM, \
+    UNIT_MODE_SBX
+from repro.tol.codegen import CodeGenerator
+from repro.tol.config import TolConfig
+from repro.tol.decoder import Frontend
+from repro.tol.ir import IRInstr, TmpAllocator, is_arch
+from repro.tol.opt.passes import run_pipeline
+from repro.tol.profile import Profiler
+from repro.tol.regalloc import allocate
+from repro.tol.scheduler import list_schedule
+from repro.tol.ssa import to_ssa
+from repro.tol.superblock import (
+    Region, assemble_loop, assemble_region, build_region, decode_bb,
+)
+
+
+@dataclass
+class Translation:
+    """A finished translation: one or two units plus the work cost."""
+
+    #: (unit, code-cache variant) pairs; unrolled loops produce two.
+    units: List[Tuple[CodeUnit, str]]
+    #: Host-instruction cost of performing the translation.
+    cost: int
+    speculated_pairs: int = 0
+
+
+class Translator:
+    def __init__(self, frontend: Frontend, config: TolConfig):
+        self.frontend = frontend
+        self.config = config
+        self.codegen = CodeGenerator(ibtc_enabled=config.ibtc_enable)
+        self._next_uid = 0
+        #: when not None, per-stage IR is captured here for the debug
+        #: toolchain: entry_pc -> {stage name -> list of IR ops}.
+        self.capture = None
+        # Cumulative statistics.
+        self.bb_translations = 0
+        self.sb_translations = 0
+        self.sbx_translations = 0
+        self.loops_unrolled = 0
+        self.speculated_pairs = 0
+
+    def _uid(self) -> int:
+        self._next_uid += 1
+        return self._next_uid
+
+    # ------------------------------------------------------------------
+    # BBM.
+    # ------------------------------------------------------------------
+
+    def translate_bb(self, memory: PagedMemory,
+                     pc: int) -> Optional[Translation]:
+        """Translate the basic block at ``pc`` (paper §V-B2)."""
+        alloc = TmpAllocator()
+        bb = decode_bb(self.frontend, memory, pc, alloc,
+                       self.config.max_bb_insns)
+        if not bb.decoded:
+            return None
+        ops: List[IRInstr] = []
+        for d in bb.decoded:
+            ops.extend(d.ops)
+        count = bb.guest_insn_count
+        if bb.terminator is not None:
+            control = ops[-1]
+            attrs = dict(control.attrs)
+            attrs["guest_insns"] = count
+            ops[-1] = control.with_changes(attrs=attrs)
+        else:
+            ops.append(IRInstr(op="exit", attrs={
+                "next_pc": bb.next_pc, "guest_insns": count}))
+        ops, pass_stats = run_pipeline(ops, self.config.bbm_passes)
+        allocation = allocate(ops)
+        unit = self.codegen.generate(
+            uid=self._uid(), mode=UNIT_MODE_BBM, entry_pc=pc,
+            ops=allocation.ops, allocation=allocation,
+            guest_insn_count=count)
+        for index in _dispatch_indices(unit):
+            unit.instrs[index].meta["profile"] = True
+        cost = (costs.BB_TRANSLATE_FIXED
+                + costs.BB_TRANSLATE_PER_GUEST_INSN * count
+                + costs.BB_TRANSLATE_PER_IR_OP
+                * sum(s.ops_in for s in pass_stats))
+        self.bb_translations += 1
+        return Translation(units=[(unit, "plain")], cost=cost)
+
+    # ------------------------------------------------------------------
+    # SBM / SBX.
+    # ------------------------------------------------------------------
+
+    def translate_superblock(self, memory: PagedMemory, pc: int,
+                             profiler: Profiler,
+                             demote: bool = False) -> Optional[Translation]:
+        """Create a superblock at ``pc``.
+
+        ``demote=True`` recreates after excessive speculation failures:
+        side exits instead of asserts, no memory speculation, no unrolling.
+        """
+        alloc = TmpAllocator()
+        region = build_region(self.frontend, memory, pc, profiler,
+                              self.config, alloc)
+        if region is None:
+            return None
+        if region.is_loop:
+            return self._translate_loop(region, alloc, demote)
+        if demote:
+            return self._translate_sbx(region, alloc)
+        return self._translate_sbm(region, alloc)
+
+    def _translate_sbm(self, region: Region,
+                       alloc: TmpAllocator) -> Translation:
+        assembled = assemble_region(region, mode="SBM")
+        unit, cost, spec = self._ssa_pipeline(
+            assembled.body, assembled.terminator, alloc,
+            entry_pc=region.entry_pc, mode=UNIT_MODE_SBM,
+            guest_insns=assembled.guest_insn_count,
+            guest_bbs=assembled.guest_bb_count,
+            allow_spec=self.config.mem_speculation)
+        self.sb_translations += 1
+        self.speculated_pairs += spec
+        return Translation(units=[(unit, "plain")], cost=cost,
+                           speculated_pairs=spec)
+
+    def _translate_sbx(self, region: Region,
+                       alloc: TmpAllocator) -> Translation:
+        assembled = assemble_region(region, mode="SBX")
+        ops = assembled.body + [assembled.terminator]
+        ops, pass_stats = run_pipeline(ops, self.config.bbm_passes)
+        allocation = allocate(ops)
+        unit = self.codegen.generate(
+            uid=self._uid(), mode=UNIT_MODE_SBX,
+            entry_pc=region.entry_pc, ops=allocation.ops,
+            allocation=allocation,
+            guest_insn_count=assembled.guest_insn_count,
+            guest_bb_count=assembled.guest_bb_count)
+        cost = self._sb_cost(assembled.guest_insn_count, pass_stats,
+                             scheduled_ops=0)
+        self.sbx_translations += 1
+        return Translation(units=[(unit, "plain")], cost=cost)
+
+    def _translate_loop(self, region: Region, alloc: TmpAllocator,
+                        demote: bool) -> Translation:
+        allow_spec = self.config.mem_speculation and not demote
+        assembled = assemble_loop(region, unroll=1)
+        plain_unit, cost, spec = self._ssa_pipeline(
+            assembled.body, assembled.terminator, alloc,
+            entry_pc=region.entry_pc, mode=UNIT_MODE_SBM,
+            guest_insns=assembled.guest_insn_count, guest_bbs=1,
+            allow_spec=allow_spec)
+        units = [(plain_unit, "plain")]
+        total_cost = cost
+        total_spec = spec
+        can_unroll = (
+            self.config.unroll_enable and not demote
+            and region.counted_reg is not None
+            and region.bbs[0].guest_insn_count <= self.config.unroll_max_body
+            and self.config.unroll_factor > 1)
+        if can_unroll:
+            unrolled = assemble_loop(
+                region, unroll=self.config.unroll_factor, guard_alloc=alloc)
+            unrolled_unit, ucost, uspec = self._ssa_pipeline(
+                unrolled.body, unrolled.terminator, alloc,
+                entry_pc=region.entry_pc, mode=UNIT_MODE_SBM,
+                guest_insns=unrolled.guest_insn_count, guest_bbs=1,
+                allow_spec=allow_spec, unrolled_variant=True)
+            units.append((unrolled_unit, "unrolled"))
+            total_cost += ucost
+            total_spec += uspec
+            self.loops_unrolled += 1
+        self.sb_translations += 1
+        self.speculated_pairs += total_spec
+        return Translation(units=units, cost=total_cost,
+                           speculated_pairs=total_spec)
+
+    # ------------------------------------------------------------------
+
+    def _ssa_pipeline(self, body, terminator, alloc, entry_pc, mode,
+                      guest_insns, guest_bbs, allow_spec,
+                      unrolled_variant=False):
+        """SSA -> passes -> schedule -> allocate -> codegen."""
+        ssa = to_ssa(body + [terminator], alloc)
+        renamed_term = ssa.ops[-1]
+        full = ssa.ops[:-1] + ssa.writebacks + [renamed_term]
+        stages = None
+        if self.capture is not None:
+            stages = self.capture.setdefault(entry_pc, {})
+            stages["decoded"] = list(body) + [terminator]
+            stages["ssa"] = list(full)
+        full, pass_stats = run_pipeline(full, self.config.sbm_passes)
+        if stages is not None:
+            stages["optimized"] = list(full)
+        prefix, writebacks, term = _split_tail(full)
+        schedule = list_schedule(prefix, allow_mem_speculation=allow_spec)
+        final_ops = schedule.ops + writebacks + [term]
+        if stages is not None:
+            stages["scheduled"] = list(final_ops)
+        allocation = allocate(final_ops)
+        unit = self.codegen.generate(
+            uid=self._uid(), mode=mode, entry_pc=entry_pc,
+            ops=allocation.ops, allocation=allocation,
+            guest_insn_count=guest_insns, guest_bb_count=guest_bbs,
+            unrolled=unrolled_variant)
+        cost = self._sb_cost(guest_insns, pass_stats,
+                             scheduled_ops=len(prefix))
+        return unit, cost, schedule.speculated_pairs
+
+    @staticmethod
+    def _sb_cost(guest_insns, pass_stats, scheduled_ops) -> int:
+        return (costs.SB_TRANSLATE_FIXED
+                + costs.SB_TRANSLATE_PER_GUEST_INSN * guest_insns
+                + costs.SB_TRANSLATE_PER_IR_OP_PASS
+                * sum(s.ops_in for s in pass_stats)
+                + costs.SB_SCHEDULE_PER_IR_OP * scheduled_ops)
+
+
+def _split_tail(ops):
+    """Split optimized ops into (schedulable prefix, writebacks,
+    terminator)."""
+    term = ops[-1]
+    i = len(ops) - 1
+    while i > 0:
+        prev = ops[i - 1]
+        if (prev.op in ("mov", "fmov", "vmov") and prev.dst is not None
+                and is_arch(prev.dst)):
+            i -= 1
+        else:
+            break
+    return ops[:i], ops[i:-1], term
+
+
+def _dispatch_indices(unit: CodeUnit):
+    """Indices of instructions that transfer control back toward the TOL
+    (exit/exit_ind/ibtc) — where BBM inline profiling hooks attach."""
+    return [i for i, h in enumerate(unit.instrs)
+            if h.op in ("exit", "exit_ind", "ibtc")]

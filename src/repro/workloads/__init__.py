@@ -1,0 +1,17 @@
+"""Workload suite: SPEC2006- and Physicsbench-shaped kernels plus a
+parameterized synthetic generator."""
+
+from repro.workloads import physics, specfp, specint  # noqa: F401 (register)
+from repro.workloads.common import (
+    PHYSICS, SPECFP, SPECINT, Workload, all_workloads, get_workload,
+    suite_workloads,
+)
+from repro.workloads.generator import SyntheticSpec, generate, generate_quick
+
+SUITES = (SPECINT, SPECFP, PHYSICS)
+
+__all__ = [
+    "PHYSICS", "SPECFP", "SPECINT", "SUITES", "Workload", "all_workloads",
+    "get_workload", "suite_workloads", "SyntheticSpec", "generate",
+    "generate_quick",
+]

@@ -1,0 +1,131 @@
+"""Shared infrastructure for the workload suite.
+
+Each workload is a :class:`Workload`: a named builder producing a guest
+program whose *shape* (basic-block size, branch bias, dynamic/static
+instruction ratio, FP/trig/vector density) mimics the corresponding
+SPEC CPU2006 / Physicsbench benchmark (see DESIGN.md substitution table).
+``scale`` controls dynamic instruction counts so experiments can trade
+fidelity for wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.guest.program import GuestProgram, pack_f64s, pack_u32s
+
+SPECINT = "SPECINT2006"
+SPECFP = "SPECFP2006"
+PHYSICS = "Physicsbench"
+
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_MASK = (1 << 64) - 1
+
+
+class DeterministicRng:
+    """Tiny LCG so workload data is reproducible without the stdlib RNG."""
+
+    def __init__(self, seed: int):
+        self.state = (seed * 2654435761 + 1) & _MASK
+
+    def next_u32(self) -> int:
+        self.state = (self.state * _LCG_A + _LCG_C) & _MASK
+        return (self.state >> 32) & 0xFFFFFFFF
+
+    def u32(self, lo: int, hi: int) -> int:
+        return lo + self.next_u32() % (hi - lo + 1)
+
+    def f64(self, lo: float, hi: float) -> float:
+        return lo + (self.next_u32() / 0xFFFFFFFF) * (hi - lo)
+
+
+def u32_table(seed: int, n: int, lo: int = 0,
+              hi: int = 0xFFFFFFFF) -> bytes:
+    rng = DeterministicRng(seed)
+    return pack_u32s([rng.u32(lo, hi) for _ in range(n)])
+
+
+def f64_table(seed: int, n: int, lo: float = -1.0,
+              hi: float = 1.0) -> bytes:
+    rng = DeterministicRng(seed)
+    return pack_f64s([rng.f64(lo, hi) for _ in range(n)])
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    suite: str
+    build: Callable[[float], GuestProgram]
+    #: one-line description of what the kernel models.
+    description: str = ""
+
+    def program(self, scale: float = 1.0) -> GuestProgram:
+        return self.build(scale)
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(name: str, suite: str, description: str = ""):
+    """Decorator registering a workload builder."""
+    def wrap(fn):
+        _REGISTRY[name] = Workload(name=name, suite=suite, build=fn,
+                                   description=description)
+        return fn
+    return wrap
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_workloads() -> List[Workload]:
+    return list(_REGISTRY.values())
+
+
+def suite_workloads(suite: str) -> List[Workload]:
+    return [w for w in _REGISTRY.values() if w.suite == suite]
+
+
+def scaled(base: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(base * scale))
+
+
+def emit_warm_code(asm, stanzas: int, execs: int, seed: int) -> None:
+    """Emit ``stanzas`` distinct functions each called ``execs`` times.
+
+    With default thresholds and execs between the BBM and SBM thresholds,
+    this code settles in BBM: it models the lukewarm tail real applications
+    have (SPEC's is proportionally small, Physicsbench's is large) and
+    drives the IM/BBM shares of Fig. 4 and the translator overheads of
+    Fig. 6/7.
+    """
+    from repro.guest.assembler import EAX, EBX, ECX, M
+    rng = DeterministicRng(seed * 31 + 5)
+    names = [f"warm{seed}_{i}" for i in range(stanzas)]
+    for name in names:
+        with asm.counted_loop(ECX, execs):
+            asm.call(name)
+    skip = asm.fresh_label("warm_skip")
+    asm.jmp(skip)
+    for i, name in enumerate(names):
+        asm.label(name)
+        asm.mov(EAX, rng.u32(1, 0xFFFF))
+        asm.imul(EAX, rng.u32(3, 97))
+        asm.emit("XOR", EAX, rng.u32(1, 0xFFFFFF))
+        asm.mov(EBX, EAX)
+        asm.shr(EBX, rng.u32(1, 9))
+        asm.cmp(EBX, rng.u32(1, 0x7FFF))
+        label = asm.fresh_label("warm_br")
+        asm.jb(label)
+        asm.add(EAX, EBX)
+        asm.label(label)
+        asm.ret()
+    asm.label(skip)

@@ -1,0 +1,135 @@
+"""Parameterized synthetic program generator.
+
+Beyond the named suite, experiments (ablations, stress tests, property
+tests) need programs with dial-a-characteristic shapes.  The generator
+produces a guest program from a :class:`SyntheticSpec` controlling basic
+block size, branch bias, loop trip counts, FP/trig/vector/memory density
+and static code volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.guest.assembler import (
+    Assembler, EAX, EBX, ECX, EDX, EBP, ESI, EDI, F0, F1, F2, V0, V1, M,
+)
+from repro.guest.program import GuestProgram
+from repro.workloads.common import DeterministicRng, f64_table, u32_table
+
+_DATA = 0x0040_0000
+_FDATA = 0x0044_0000
+_OUT = 0x0048_0000
+
+
+@dataclass
+class SyntheticSpec:
+    seed: int = 1
+    #: number of distinct hot loops.
+    hot_loops: int = 2
+    #: iterations per hot loop.
+    trip_count: int = 2000
+    #: straight-line ALU ops per loop body (controls BB size).
+    bb_size: int = 6
+    #: probability that the in-loop conditional goes the biased way.
+    branch_bias: float = 0.9
+    #: include a conditional branch inside each loop body.
+    branchy: bool = True
+    #: loads+stores per loop body.
+    mem_ops: int = 1
+    #: scalar FP ops per loop body.
+    fp_ops: int = 0
+    #: trig calls per loop body.
+    trig_ops: int = 0
+    #: vector ops per loop body.
+    vec_ops: int = 0
+    #: number of distinct once-executed cold code stanzas.
+    cold_stanzas: int = 8
+
+
+def generate(spec: SyntheticSpec) -> GuestProgram:
+    """Build a program from a spec."""
+    asm = Assembler()
+    rng = DeterministicRng(spec.seed)
+    asm.data(_DATA, u32_table(spec.seed, 1024))
+    if spec.fp_ops or spec.trig_ops:
+        asm.data(_FDATA, f64_table(spec.seed + 1, 256, -2.0, 2.0))
+
+    asm.mov(EDI, 0)
+    for loop_idx in range(spec.hot_loops):
+        # Bias selector: EAX cycles 0..99; branch taken when below the
+        # bias threshold.
+        threshold = int(spec.branch_bias * 100)
+        asm.mov(EBP, 0)
+        with asm.counted_loop(ECX, spec.trip_count):
+            for i in range(spec.bb_size):
+                op = rng.u32(0, 3)
+                if op == 0:
+                    asm.add(EDI, rng.u32(1, 255))
+                elif op == 1:
+                    asm.emit("XOR", EDI, rng.u32(1, 0xFFFF))
+                elif op == 2:
+                    asm.shl(EDI, 1)
+                else:
+                    asm.sub(EDI, EBP)
+            for i in range(spec.mem_ops):
+                asm.mov(EAX, EBP)
+                asm.emit("AND", EAX, 1023)
+                if i % 2 == 0:
+                    asm.mov(EBX, M(None, EAX, 4, disp=_DATA))
+                    asm.add(EDI, EBX)
+                else:
+                    asm.mov(M(None, EAX, 4, disp=_DATA), EDI)
+            for i in range(spec.fp_ops):
+                asm.mov(EAX, EBP)
+                asm.emit("AND", EAX, 255)
+                asm.fld(F0, M(None, EAX, 8, disp=_FDATA))
+                asm.fmul(F0, F0)
+                asm.fadd(F1, F0)
+            for _ in range(spec.trig_ops):
+                asm.fsin(F1)
+            for i in range(spec.vec_ops):
+                asm.mov(EAX, EBP)
+                asm.emit("AND", EAX, 255)
+                asm.vld(V0, M(None, EAX, 4, disp=_DATA))
+                asm.vadd(V0, V0)
+            if spec.branchy:
+                asm.mov(EAX, EBP)
+                asm.mov(EBX, 100)
+                asm.push(EDX)
+                asm.push(EAX)
+                asm.idiv(EBX)        # EAX//100, remainder in EDX
+                asm.mov(EAX, EDX)
+                asm.pop(EBX)
+                asm.pop(EDX)
+                asm.cmp(EAX, threshold)
+                rare = asm.fresh_label("rare")
+                asm.jae(rare)
+                asm.inc(EDI)         # biased path
+                done = asm.fresh_label("bias_done")
+                asm.jmp(done)
+                asm.label(rare)
+                asm.emit("XOR", EDI, 0xFF)
+                asm.label(done)
+            asm.inc(EBP)
+            asm.emit("AND", EDI, 0xFFFFFF)
+    asm.mov(M(None, disp=_OUT), EDI)
+
+    for i in range(spec.cold_stanzas):
+        asm.mov(EAX, rng.u32(1, 0xFFFF))
+        asm.imul(EAX, rng.u32(3, 99))
+        asm.emit("XOR", EAX, rng.u32(1, 0xFFFF))
+        asm.mov(M(None, disp=_OUT + 8 + 4 * i), EAX)
+    asm.exit(0)
+    return asm.program()
+
+
+def generate_quick(seed: int = 1, guest_insns: int = 50_000,
+                   **overrides) -> GuestProgram:
+    """A convenience wrapper sized to roughly ``guest_insns``."""
+    spec = SyntheticSpec(seed=seed)
+    for key, value in overrides.items():
+        setattr(spec, key, value)
+    body = spec.bb_size + 2 * spec.mem_ops + 4 * spec.fp_ops \
+        + spec.trig_ops + 2 * spec.vec_ops + (10 if spec.branchy else 0) + 4
+    spec.trip_count = max(10, guest_insns // max(1, body * spec.hot_loops))
+    return generate(spec)

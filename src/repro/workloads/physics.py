@@ -1,0 +1,151 @@
+"""Physicsbench-shaped kernels (Yeh et al., "Parallax", ISCA 2007).
+
+Real-time physics: heavy use of trigonometry (rotations), scalar FP, and —
+crucially for the paper's evaluation — a *low dynamic-to-static instruction
+ratio*: scenes contain many distinct object-update routines, each executed
+for only a few simulated frames.  This keeps a large share of the dynamic
+stream in IM/BBM (translation overhead is not amortized, Fig. 4/6/7) and
+software-emulated trig raises the SBM emulation cost (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from repro.guest.assembler import (
+    Assembler, EAX, EBX, ECX, EDX, EBP, ESI, EDI,
+    F0, F1, F2, F3, F4, F5, F6, F7, M,
+)
+from repro.guest.program import GuestProgram
+from repro.workloads.common import (
+    PHYSICS, DeterministicRng, f64_table, register, scaled,
+)
+
+POS = 0x0030_0000
+VEL = 0x0034_0000
+ANG = 0x0038_0000
+OUT = 0x003C_0000
+
+
+def _object_update(asm, index: int, rng: DeterministicRng,
+                   trig_heavy: bool) -> None:
+    """Emit one distinct rigid-body update function ``objN``.
+
+    Each object's routine is unique code (different operation mix and
+    constants): this is what creates Physicsbench's large static footprint.
+    """
+    asm.label(f"obj{index}")
+    offset = 8 * (index % 64)
+    asm.fld(F0, M(None, disp=POS + offset))
+    asm.fld(F1, M(None, disp=VEL + offset))
+    asm.fadd(F0, F1)                        # integrate position
+    if trig_heavy and index % 3 == 0:
+        asm.fld(F2, M(None, disp=ANG + offset))
+        if index % 2 == 0:
+            asm.fsin(F2)
+        else:
+            asm.fcos(F2)
+        asm.fmul(F1, F2)                    # rotate velocity component
+    variant = rng.u32(0, 3)
+    if variant == 0:
+        asm.fmov(F3, F1)
+        asm.fmul(F3, F3)
+        asm.fadd(F0, F3)
+    elif variant == 1:
+        asm.fldi(F3, rng.u32(1, 5))
+        asm.fdiv(F1, F3)                    # damping
+    elif variant == 2:
+        asm.fabs(F1)
+        asm.fneg(F1)
+    else:
+        asm.fmov(F3, F0)
+        asm.fsqrt(F3)
+        asm.fadd(F0, F3)
+    # Ground collision check (biased: mostly no bounce).
+    asm.fldi(F4, -100)
+    asm.fcmp(F0, F4)
+    asm.ja(f"obj{index}_ok")
+    asm.fneg(F1)
+    asm.label(f"obj{index}_ok")
+    asm.fst(M(None, disp=POS + offset), F0)
+    asm.fst(M(None, disp=VEL + offset), F1)
+    asm.ret()
+
+
+def _physics_scene(seed: int, objects: int, steps: int,
+                   trig_heavy: bool = True, hot_particles: int = 0,
+                   warm_objects: int = 0):
+    """Template: per-frame loop calling every object's unique routine,
+    plus an optional shared hot particle loop.  ``warm_objects`` adds
+    routines invoked only every 8th frame (they settle in BBM: the
+    translation-overhead tail the paper attributes Physicsbench's high
+    TOL overhead to)."""
+    def build(scale: float = 1.0) -> GuestProgram:
+        asm = Assembler()
+        rng = DeterministicRng(seed)
+        asm.data(POS, f64_table(seed, 64, -5.0, 5.0))
+        asm.data(VEL, f64_table(seed + 1, 64, -1.0, 1.0))
+        asm.data(ANG, f64_table(seed + 2, 64, -3.0, 3.0))
+        n_steps = scaled(steps, scale)
+        asm.mov(EBP, 0)     # frame counter
+        with asm.counted_loop(EDX, n_steps):
+            for i in range(objects):
+                asm.call(f"obj{i}")
+            if warm_objects:
+                asm.mov(EAX, EBP)
+                asm.emit("AND", EAX, 7)
+                asm.jne("skip_warm_frame")
+                for i in range(objects, objects + warm_objects):
+                    asm.call(f"obj{i}")
+                asm.label("skip_warm_frame")
+            asm.inc(EBP)
+            if hot_particles:
+                asm.mov(ESI, 0)
+                with asm.counted_loop(ECX, hot_particles):
+                    asm.mov(EAX, ESI)
+                    asm.emit("AND", EAX, 63)
+                    asm.fld(F0, M(None, EAX, 8, disp=POS))
+                    asm.fld(F1, M(None, EAX, 8, disp=VEL))
+                    asm.fadd(F0, F1)
+                    asm.fst(M(None, EAX, 8, disp=POS), F0)
+                    asm.inc(ESI)
+        asm.fld(F7, M(None, disp=POS))
+        asm.fst(M(None, disp=OUT), F7)
+        asm.exit(0)
+        rng2 = DeterministicRng(seed + 7)
+        for i in range(objects + warm_objects):
+            _object_update(asm, i, rng2, trig_heavy)
+        return asm.program()
+    return build
+
+
+breakable = register(
+    "breakable", PHYSICS,
+    "fracturing bodies: moderate object count, fragment loop")(
+    _physics_scene(7001, objects=24, steps=420, hot_particles=64,
+                   warm_objects=40))
+continuous = register(
+    "continuous", PHYSICS,
+    "continuous collision detection: many unique routines, few frames")(
+    _physics_scene(7002, objects=48, steps=150))
+deformable = register(
+    "deformable", PHYSICS,
+    "soft-body mesh: shared mass-spring loop dominates")(
+    _physics_scene(7003, objects=20, steps=400, hot_particles=96,
+                   warm_objects=32))
+explosions = register(
+    "explosions", PHYSICS,
+    "debris shower: particle integration plus per-debris routines")(
+    _physics_scene(7004, objects=28, steps=380, hot_particles=80,
+                   warm_objects=44))
+highspeed = register(
+    "highspeed", PHYSICS,
+    "fast projectiles: trig-heavy trajectory updates")(
+    _physics_scene(7005, objects=24, steps=430, hot_particles=64,
+                   warm_objects=40))
+periodic = register(
+    "periodic", PHYSICS,
+    "periodic boundary scene: wide static code, very few frames")(
+    _physics_scene(7006, objects=56, steps=140))
+ragdoll = register(
+    "ragdoll", PHYSICS,
+    "articulated figures: many joint routines, few frames")(
+    _physics_scene(7007, objects=48, steps=160))

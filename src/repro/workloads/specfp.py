@@ -1,0 +1,278 @@
+"""SPECFP2006-shaped kernels.
+
+Floating-point codes: large straight-line basic blocks, few and highly
+biased branches, streaming memory access, very high dynamic-to-static
+instruction ratio.  Per the paper these push ~96% of the dynamic stream
+into SBM at the lowest emulation cost (~2.6 host/guest).
+"""
+
+from __future__ import annotations
+
+from repro.guest.assembler import (
+    Assembler, EAX, EBX, ECX, EDX, EBP, ESI, EDI,
+    F0, F1, F2, F3, F4, F5, F6, F7, M,
+)
+from repro.guest.program import GuestProgram
+from repro.workloads.common import (
+    SPECFP, emit_warm_code, f64_table, register, scaled,
+)
+
+A = 0x0020_0000
+B = 0x0024_0000
+C = 0x0028_0000
+OUT = 0x002C_0000
+
+
+def _fp_kernel(name: str, seed: int, body, n: int = 512,
+               base_iters: int = 60, cold: int = 6):
+    """Template: outer pass loop over an inner streaming loop whose body
+    is supplied by ``body(asm)`` (reads [A+ESI*8] in F0, [B+ESI*8] in F1,
+    accumulates into F7, may use F2..F6)."""
+    def build(scale: float = 1.0) -> GuestProgram:
+        asm = Assembler()
+        asm.data(A, f64_table(seed, n, 0.1, 2.0))
+        asm.data(B, f64_table(seed + 1, n, 0.1, 2.0))
+        iters = scaled(base_iters, scale)
+        asm.fldi(F7, 0)
+        asm.mov(EBP, A)
+        asm.mov(EBX, B)
+        asm.mov(EDI, C)
+        with asm.counted_loop(EDX, iters):
+            asm.mov(ESI, 0)
+            with asm.counted_loop(ECX, n):
+                asm.fld(F0, M(EBP, ESI, 8))
+                asm.fld(F1, M(EBX, ESI, 8))
+                body(asm)
+                asm.inc(ESI)
+        asm.fst(M(None, disp=OUT), F7)
+        emit_warm_code(asm, 3, 46, seed)
+        # Small cold tail: setup/IO style code executed once.
+        for i in range(cold):
+            asm.mov(EAX, 0x100 + i)
+            asm.imul(EAX, 17 + i)
+            asm.mov(M(None, disp=OUT + 16 + 4 * i), EAX)
+        asm.exit(0)
+        return asm.program()
+    return build
+
+
+def _body_daxpy(asm):
+    """bwaves-style: dense vector update."""
+    asm.fmul(F0, F1)
+    asm.fadd(F0, F1)
+    asm.fst(M(EDI, ESI, 8), F0)
+    asm.fadd(F7, F0)
+
+
+def _body_su3(asm):
+    """milc-style: small complex-matrix multiply chain."""
+    asm.fmov(F2, F0)
+    asm.fmul(F2, F1)
+    asm.fmov(F3, F0)
+    asm.fadd(F3, F1)
+    asm.fmul(F3, F3)
+    asm.fsub(F3, F2)
+    asm.fadd(F7, F3)
+
+
+def _body_stencil(asm):
+    """zeusmp/leslie3d-style: neighbour stencil."""
+    asm.fld(F2, M(EBP, ESI, 8, disp=8))
+    asm.fadd(F2, F0)
+    asm.fld(F3, M(EBP, ESI, 8, disp=16))
+    asm.fadd(F2, F3)
+    asm.fmul(F2, F1)
+    asm.fst(M(EDI, ESI, 8), F2)
+    asm.fadd(F7, F2)
+
+
+def _body_force(asm):
+    """gromacs/namd-style: pairwise force with rsqrt flavour."""
+    asm.fmov(F2, F0)
+    asm.fmul(F2, F2)
+    asm.fmov(F3, F1)
+    asm.fmul(F3, F3)
+    asm.fadd(F2, F3)          # r^2
+    asm.fsqrt(F2)             # r
+    asm.fmov(F3, F1)
+    asm.fdiv(F3, F2)          # 1/r scaled
+    asm.fadd(F7, F3)
+
+
+def _body_wave(asm):
+    """cactusADM/GemsFDTD-style: weighted neighbour update."""
+    asm.fld(F2, M(EBX, ESI, 8, disp=8))
+    asm.fmov(F3, F0)
+    asm.fmul(F3, F1)
+    asm.fadd(F3, F2)
+    asm.fmov(F4, F3)
+    asm.fmul(F4, F0)
+    asm.fsub(F4, F1)
+    asm.fst(M(EDI, ESI, 8), F4)
+    asm.fadd(F7, F4)
+
+
+def _body_lattice(asm):
+    """lbm-style: collision operator with many FP ops per point."""
+    asm.fmov(F2, F0)
+    asm.fadd(F2, F1)
+    asm.fmov(F3, F0)
+    asm.fsub(F3, F1)
+    asm.fmul(F2, F3)
+    asm.fmov(F4, F2)
+    asm.fmul(F4, F0)
+    asm.fadd(F4, F1)
+    asm.fmov(F5, F4)
+    asm.fmul(F5, F5)
+    asm.fadd(F7, F5)
+    asm.fst(M(EDI, ESI, 8), F5)
+
+
+bwaves = register("410.bwaves", SPECFP, "dense linear-solver update")(
+    _fp_kernel("bwaves", 410, _body_daxpy, base_iters=75))
+milc = register("433.milc", SPECFP, "SU(3) lattice QCD multiply chains")(
+    _fp_kernel("milc", 433, _body_su3, base_iters=62))
+zeusmp = register("434.zeusmp", SPECFP, "magnetohydrodynamics stencil")(
+    _fp_kernel("zeusmp", 434, _body_stencil, base_iters=55))
+gromacs = register("435.gromacs", SPECFP, "molecular force inner loop")(
+    _fp_kernel("gromacs", 435, _body_force, base_iters=52))
+cactus = register("436.cactusADM", SPECFP, "Einstein-equation update")(
+    _fp_kernel("cactusADM", 436, _body_wave, base_iters=52))
+leslie = register("437.leslie3d", SPECFP, "finite-volume fluid stencil")(
+    _fp_kernel("leslie3d", 437, _body_stencil, base_iters=58))
+namd = register("444.namd", SPECFP, "biomolecular pairwise forces")(
+    _fp_kernel("namd", 444, _body_force, base_iters=57))
+gems = register("459.GemsFDTD", SPECFP, "FDTD electromagnetic update")(
+    _fp_kernel("GemsFDTD", 459, _body_wave, base_iters=50))
+lbm = register("470.lbm", SPECFP, "lattice-Boltzmann collision")(
+    _fp_kernel("lbm", 470, _body_lattice, base_iters=55))
+
+
+@register("450.soplex", SPECFP,
+          "simplex pivoting: FP ratio tests with integer bookkeeping")
+def soplex(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n = 512
+    asm.data(A, f64_table(450, n, 0.5, 4.0))
+    asm.data(B, f64_table(451, n, 0.5, 4.0))
+    iters = scaled(58, scale)
+    asm.fldi(F7, 0)
+    asm.mov(EDI, 0)
+    asm.mov(EBP, A)
+    asm.mov(EBX, B)
+    with asm.counted_loop(EDX, iters):
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, n):
+            asm.fld(F0, M(EBP, ESI, 8))
+            asm.fld(F1, M(EBX, ESI, 8))
+            asm.fmov(F2, F0)
+            asm.fdiv(F2, F1)            # ratio test
+            asm.fcmp(F2, F0)
+            asm.jb("no_pivot")          # biased
+            asm.inc(EDI)
+            asm.fadd(F7, F2)
+            asm.label("no_pivot")
+            asm.fadd(F7, F1)
+            asm.inc(ESI)
+    asm.fst(M(None, disp=OUT), F7)
+    asm.mov(M(None, disp=OUT + 8), EDI)
+    emit_warm_code(asm, 3, 46, 450)
+    asm.exit(0)
+    return asm.program()
+
+
+@register("453.povray", SPECFP,
+          "ray-sphere intersections with normal rotation (some trig)")
+def povray(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n = 256
+    asm.data(A, f64_table(453, n, -1.0, 1.0))
+    asm.data(B, f64_table(454, n, 0.1, 3.0))
+    rays = scaled(40, scale)
+    asm.fldi(F7, 0)
+    asm.mov(EBP, A)
+    asm.mov(EBX, B)
+    with asm.counted_loop(EDX, rays):
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, n):
+            asm.fld(F0, M(EBP, ESI, 8))
+            asm.fld(F1, M(EBX, ESI, 8))
+            asm.fmov(F2, F0)
+            asm.fmul(F2, F2)
+            asm.fmov(F3, F1)
+            asm.fmul(F3, F3)
+            asm.fadd(F2, F3)
+            asm.fsqrt(F2)                # discriminant
+            # every 8th ray rotates the hit normal (trig)
+            asm.mov(EAX, ESI)
+            asm.emit("AND", EAX, 7)
+            asm.jne("no_rotate")
+            asm.fmov(F4, F0)
+            asm.fsin(F4)
+            asm.fadd(F2, F4)
+            asm.label("no_rotate")
+            asm.fadd(F7, F2)
+            asm.inc(ESI)
+    asm.fst(M(None, disp=OUT), F7)
+    emit_warm_code(asm, 3, 46, 453)
+    asm.exit(0)
+    return asm.program()
+
+
+@register("454.calculix", SPECFP,
+          "finite-element stiffness accumulation (dot products)")
+def calculix(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n = 512
+    asm.data(A, f64_table(455, n, 0.1, 1.5))
+    asm.data(B, f64_table(456, n, 0.1, 1.5))
+    iters = scaled(57, scale)
+    asm.fldi(F7, 0)
+    with asm.counted_loop(EDX, iters):
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, n // 2):
+            # Unrolled-by-2 dot product: long BBs.
+            asm.fld(F0, M(None, ESI, 8, disp=A))
+            asm.fld(F1, M(None, ESI, 8, disp=B))
+            asm.fmul(F0, F1)
+            asm.fadd(F7, F0)
+            asm.fld(F2, M(EBP, ESI, 8, disp=8))
+            asm.fld(F3, M(None, ESI, 8, disp=B + 8))
+            asm.fmul(F2, F3)
+            asm.fadd(F7, F2)
+            asm.add(ESI, 2)
+    asm.fst(M(None, disp=OUT), F7)
+    asm.exit(0)
+    return asm.program()
+
+
+@register("482.sphinx3", SPECFP,
+          "acoustic model scoring: gaussian products with flooring")
+def sphinx3(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n = 384
+    asm.data(A, f64_table(482, n, -2.0, 2.0))
+    asm.data(B, f64_table(483, n, 0.2, 2.0))
+    frames = scaled(60, scale)
+    asm.fldi(F7, 0)
+    asm.fldi(F6, -4)            # score floor
+    asm.mov(EBP, A)
+    asm.mov(EBX, B)
+    with asm.counted_loop(EDX, frames):
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, n):
+            asm.fld(F0, M(EBP, ESI, 8))     # obs - mean
+            asm.fld(F1, M(EBX, ESI, 8))     # inv variance
+            asm.fmov(F2, F0)
+            asm.fmul(F2, F0)
+            asm.fmul(F2, F1)
+            asm.fneg(F2)
+            asm.fcmp(F2, F6)
+            asm.ja("no_floor")           # biased: rarely floored
+            asm.fmov(F2, F6)
+            asm.label("no_floor")
+            asm.fadd(F7, F2)
+            asm.inc(ESI)
+    asm.fst(M(None, disp=OUT), F7)
+    asm.exit(0)
+    return asm.program()

@@ -1,0 +1,447 @@
+"""SPECINT2006-shaped kernels.
+
+Integer codes: small basic blocks, frequent (mostly biased) branches,
+pointer/array traffic, high dynamic-to-static instruction ratio.  Per the
+paper these characteristics put ~88% of the dynamic stream in SBM and make
+branch emulation dominate the SBM emulation cost (~4 host/guest).
+"""
+
+from __future__ import annotations
+
+from repro.guest.assembler import (
+    Assembler, EAX, EBX, ECX, EDX, EBP, ESI, EDI, M,
+)
+from repro.guest.program import GuestProgram, pack_u32s
+from repro.workloads.common import (
+    SPECINT, emit_warm_code, register, scaled, u32_table,
+)
+
+DATA = 0x0010_0000
+DATA2 = 0x0012_0000
+DATA3 = 0x0014_0000
+TABLE = 0x0016_0000
+OUT = 0x0018_0000
+
+
+def _cold_tail(asm, stanzas: int, seed: int) -> None:
+    """Emit `stanzas` distinct once-executed code blocks (cold static
+    code: keeps a realistic IM share and code footprint)."""
+    from repro.workloads.common import DeterministicRng
+    rng = DeterministicRng(seed)
+    skip = asm.fresh_label("cold_end")
+    for i in range(stanzas):
+        asm.mov(EAX, rng.u32(1, 0xFFFF))
+        asm.add(EAX, rng.u32(1, 0xFFFF))
+        asm.emit("XOR", EAX, rng.u32(1, 0xFFFF))
+        asm.shl(EAX, rng.u32(1, 7))
+        asm.cmp(EAX, rng.u32(1, 0xFFFF))
+        label = asm.fresh_label("cold")
+        asm.jne(label)
+        asm.inc(EDI)
+        asm.label(label)
+        asm.mov(M(None, disp=OUT + 64 + 4 * i), EAX)
+    asm.label(skip)
+
+
+@register("400.perlbench", SPECINT,
+          "interpreter dispatch loop: jump table, hashing, string walk")
+def perlbench(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n_ops = 8
+    # Bytecode stream: opcode values 0..7.
+    asm.data(DATA, u32_table(400, 512, 0, n_ops - 1))
+    iters = scaled(9000, scale)
+    # Jump table built at runtime (filled with handler addresses).
+    asm.mov(ESI, 0)
+    for i in range(n_ops):
+        asm.mov(EAX, f"op{i}")
+        asm.mov(M(None, disp=TABLE + 4 * i), EAX)
+    asm.mov(EDI, 0)              # accumulator ("interpreter state")
+    asm.mov(EBP, 0)              # bytecode pc
+    with asm.counted_loop(ECX, iters):
+        asm.mov(EAX, EBP)
+        asm.emit("AND", EAX, 511)
+        asm.mov(EBX, M(None, EAX, 4, disp=DATA))   # fetch opcode
+        asm.mov(EDX, M(None, EBX, 4, disp=TABLE))  # handler address
+        asm.inc(EBP)
+        asm.jmpi(EDX)                              # indirect dispatch
+        for i in range(n_ops):
+            asm.label(f"op{i}")
+            if i % 4 == 0:
+                asm.add(EDI, EBP)
+            elif i % 4 == 1:
+                asm.emit("XOR", EDI, 0x9E3779B9)
+                asm.shl(EDI, 1)
+            elif i % 4 == 2:
+                asm.sub(EDI, EBX)
+            else:
+                asm.imul(EDI, 33)
+            asm.jmp("dispatch_done")
+        asm.label("dispatch_done")
+        asm.emit("AND", EDI, 0xFFFFFF)
+    asm.mov(M(None, disp=OUT), EDI)
+    emit_warm_code(asm, 16, 48, 400)
+    _cold_tail(asm, 24, 400)
+    asm.exit(0)
+    return asm.program()
+
+
+@register("401.bzip2", SPECINT,
+          "run-length + move-to-front compression over a data block")
+def bzip2(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n = 256
+    asm.data(DATA, u32_table(401, n, 0, 15))
+    passes = scaled(55, scale)
+    asm.mov(EDI, 0)
+    with asm.counted_loop(EDX, passes):
+        asm.mov(ESI, 0)          # index
+        asm.mov(EBP, 0xFFFFFFFF)  # previous symbol (none)
+        asm.mov(EBX, 0)          # run length
+        with asm.counted_loop(ECX, n):
+            asm.mov(EAX, M(None, ESI, 4, disp=DATA))
+            asm.cmp(EAX, EBP)
+            asm.jne("run_break")
+            asm.inc(EBX)                     # extend run (taken rarely)
+            asm.jmp("run_next")
+            asm.label("run_break")
+            asm.add(EDI, EBX)                # emit previous run
+            asm.mov(EBX, 1)
+            asm.mov(EBP, EAX)
+            asm.label("run_next")
+            asm.shl(EAX, 4)
+            asm.emit("XOR", EDI, EAX)
+            asm.emit("AND", EDI, 0xFFFFFF)
+            asm.inc(ESI)
+    asm.mov(M(None, disp=OUT), EDI)
+    emit_warm_code(asm, 14, 52, 401)
+    _cold_tail(asm, 20, 401)
+    asm.exit(0)
+    return asm.program()
+
+
+@register("403.gcc", SPECINT,
+          "branchy decision trees over IR-like records, many functions")
+def gcc(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n = 512
+    asm.data(DATA, u32_table(403, n, 0, 0xFFFF))
+    iters = scaled(40, scale)
+    asm.mov(EDI, 0)
+    asm.mov(EBP, DATA)
+    with asm.counted_loop(EDX, iters):
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, n):
+            asm.mov(EAX, M(EBP, ESI, 4))
+            asm.test(EAX, 1)
+            asm.je("even")
+            asm.call("fold_odd")
+            asm.jmp("folded")
+            asm.label("even")
+            asm.call("fold_even")
+            asm.label("folded")
+            asm.add(EDI, EAX)
+            asm.emit("AND", EDI, 0x3FFFFF)
+            asm.inc(ESI)
+    asm.mov(M(None, disp=OUT), EDI)
+    emit_warm_code(asm, 22, 44, 403)
+    asm.exit(0)
+    # Two mid-sized "pass" functions with internal branching.
+    asm.label("fold_odd")
+    asm.mov(EBX, EAX)
+    asm.shr(EBX, 3)
+    asm.cmp(EBX, 0x700)
+    asm.jb("odd_small")
+    asm.imul(EAX, 3)
+    asm.ret()
+    asm.label("odd_small")
+    asm.add(EAX, EBX)
+    asm.ret()
+    asm.label("fold_even")
+    asm.mov(EBX, EAX)
+    asm.emit("AND", EBX, 0xFF)
+    asm.cmp(EBX, 0x80)
+    asm.jae("even_big")
+    asm.emit("XOR", EAX, 0x5555)
+    asm.ret()
+    asm.label("even_big")
+    asm.sub(EAX, EBX)
+    asm.ret()
+    return asm.program()
+
+
+@register("429.mcf", SPECINT,
+          "pointer chasing over a linked network (memory latency bound)")
+def mcf(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n = 1024
+    # next[] pointers forming one long cycle (pseudo-random permutation).
+    from repro.workloads.common import DeterministicRng
+    rng = DeterministicRng(429)
+    order = list(range(n))
+    for i in range(n - 1, 0, -1):
+        j = rng.u32(0, i)
+        order[i], order[j] = order[j], order[i]
+    nxt = [0] * n
+    for i in range(n):
+        nxt[order[i]] = order[(i + 1) % n]
+    asm.data(DATA, pack_u32s(nxt))
+    asm.data(DATA2, u32_table(4290, n, 0, 1000))
+    hops = scaled(45000, scale)
+    asm.mov(ESI, 0)     # current node
+    asm.mov(EDI, 0)
+    asm.mov(EBP, DATA)
+    asm.mov(EBX, DATA2)
+    with asm.counted_loop(ECX, hops):
+        asm.mov(EAX, M(EBX, ESI, 4))               # node cost
+        asm.add(EDI, EAX)
+        asm.cmp(EAX, 500)
+        asm.jb("cheap")
+        asm.sub(EDI, 7)
+        asm.label("cheap")
+        asm.mov(ESI, M(EBP, ESI, 4))               # follow pointer
+        asm.emit("AND", EDI, 0xFFFFFF)
+    asm.mov(M(None, disp=OUT), EDI)
+    emit_warm_code(asm, 18, 50, 429)
+    _cold_tail(asm, 16, 429)
+    asm.exit(0)
+    return asm.program()
+
+
+@register("445.gobmk", SPECINT,
+          "board scan with neighbour tests (nested loops, biased branches)")
+def gobmk(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    size = 19 * 19
+    asm.data(DATA, u32_table(445, size, 0, 2))   # empty/black/white
+    evals = scaled(130, scale)
+    asm.mov(EDI, 0)
+    asm.mov(EBP, DATA)
+    with asm.counted_loop(EDX, evals):
+        asm.mov(ESI, 19)                          # skip border row
+        with asm.counted_loop(ECX, size - 40):
+            asm.mov(EAX, M(EBP, ESI, 4))
+            asm.test(EAX, EAX)
+            asm.je("empty_pt")                    # most points empty-ish
+            asm.mov(EBX, M(EBP, ESI, 4, disp=-4))
+            asm.cmp(EBX, EAX)
+            asm.jne("no_chain")
+            asm.add(EDI, 3)
+            asm.label("no_chain")
+            asm.add(EDI, EAX)
+            asm.label("empty_pt")
+            asm.inc(ESI)
+            asm.emit("AND", EDI, 0x7FFFFF)
+    asm.mov(M(None, disp=OUT), EDI)
+    emit_warm_code(asm, 15, 46, 445)
+    _cold_tail(asm, 22, 445)
+    asm.exit(0)
+    return asm.program()
+
+
+@register("458.sjeng", SPECINT,
+          "game-tree node scoring: bit tricks, shifts, recursion-free "
+          "minimax accumulation")
+def sjeng(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n = 512
+    asm.data(DATA, u32_table(458, n))
+    iters = scaled(70, scale)
+    asm.mov(EDI, 0x1234)
+    asm.mov(EBP, DATA)
+    with asm.counted_loop(EDX, iters):
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, n):
+            asm.mov(EAX, M(EBP, ESI, 4))
+            asm.mov(EBX, EAX)
+            asm.shr(EBX, 16)
+            asm.emit("XOR", EAX, EBX)     # fold high into low
+            asm.mov(EBX, EAX)
+            asm.emit("AND", EBX, 0xF)
+            asm.cmp(EBX, 7)
+            asm.jbe("low_nibble")
+            asm.neg(EAX)
+            asm.label("low_nibble")
+            asm.add(EDI, EAX)
+            asm.sar(EDI, 1)
+            asm.emit("AND", EDI, 0xFFFFFF)
+            asm.inc(ESI)
+    asm.mov(M(None, disp=OUT), EDI)
+    emit_warm_code(asm, 17, 50, 458)
+    _cold_tail(asm, 18, 458)
+    asm.exit(0)
+    return asm.program()
+
+
+@register("462.libquantum", SPECINT,
+          "quantum register simulation: long uniform bit-toggle loops")
+def libquantum(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n = 2048
+    asm.data(DATA, u32_table(462, n))
+    gates = scaled(28, scale)
+    asm.mov(EDI, 0)
+    asm.mov(EBP, DATA)
+    with asm.counted_loop(EDX, gates):
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, n):
+            # Controlled-NOT style toggle: big BBs, one backward branch.
+            asm.mov(EAX, M(EBP, ESI, 4))
+            asm.mov(EBX, EAX)
+            asm.shr(EBX, 5)
+            asm.emit("XOR", EAX, EBX)
+            asm.shl(EAX, 1)
+            asm.emit("OR", EAX, 1)
+            asm.emit("XOR", EAX, 0xAAAAAAAA)
+            asm.mov(M(EBP, ESI, 4), EAX)
+            asm.add(EDI, EAX)
+            asm.emit("AND", EDI, 0xFFFFFF)
+            asm.inc(ESI)
+    asm.mov(M(None, disp=OUT), EDI)
+    emit_warm_code(asm, 8, 54, 462)
+    _cold_tail(asm, 10, 462)
+    asm.exit(0)
+    return asm.program()
+
+
+@register("464.h264ref", SPECINT,
+          "sum-of-absolute-differences motion search over 16x16 blocks")
+def h264ref(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n = 1024
+    asm.data(DATA, u32_table(464, n, 0, 255))
+    asm.data(DATA2, u32_table(4641, n, 0, 255))
+    searches = scaled(65, scale)
+    asm.mov(EDI, 0)
+    asm.mov(EBP, DATA)
+    with asm.counted_loop(EDX, searches):
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, n - 16):
+            asm.mov(EAX, M(EBP, ESI, 4))
+            asm.mov(EBX, M(EBP, ESI, 4, disp=DATA2 - DATA))
+            asm.sub(EAX, EBX)
+            asm.jns("positive")
+            asm.neg(EAX)
+            asm.label("positive")
+            asm.add(EDI, EAX)
+            asm.emit("AND", EDI, 0xFFFFFF)
+            asm.inc(ESI)
+    asm.mov(M(None, disp=OUT), EDI)
+    emit_warm_code(asm, 15, 50, 464)
+    _cold_tail(asm, 20, 464)
+    asm.exit(0)
+    return asm.program()
+
+
+@register("471.omnetpp", SPECINT,
+          "discrete event simulation: binary-heap pop/push of timestamps")
+def omnetpp(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    heap_n = 256
+    asm.data(DATA, u32_table(471, heap_n, 1, 0xFFFFF))
+    events = scaled(5200, scale)
+    asm.mov(EDI, 0)
+    asm.mov(EBP, DATA)
+    with asm.counted_loop(EDX, events):
+        # Sift-down from the root of a fixed-size "heap".
+        asm.mov(ESI, 0)
+        loop_top = asm.fresh_label("sift")
+        done = asm.fresh_label("sift_done")
+        asm.label(loop_top)
+        asm.mov(EAX, ESI)
+        asm.shl(EAX, 1)
+        asm.inc(EAX)                       # left child
+        asm.cmp(EAX, heap_n)
+        asm.jae(done)
+        asm.mov(EBX, M(EBP, ESI, 4))
+        asm.mov(ECX, M(EBP, EAX, 4))
+        asm.cmp(ECX, EBX)
+        asm.jae(done)                      # heap property holds
+        asm.mov(M(EBP, ESI, 4), ECX)
+        asm.mov(M(EBP, EAX, 4), EBX)
+        asm.mov(ESI, EAX)
+        asm.jmp(loop_top)
+        asm.label(done)
+        # Re-insert a new timestamp at the root.
+        asm.mov(EAX, M(EBP))
+        asm.imul(EAX, 1103515245)
+        asm.add(EAX, 12345)
+        asm.emit("AND", EAX, 0xFFFFF)
+        asm.emit("OR", EAX, 1)
+        asm.mov(M(EBP), EAX)
+        asm.add(EDI, EAX)
+        asm.emit("AND", EDI, 0xFFFFFF)
+    asm.mov(M(None, disp=OUT), EDI)
+    emit_warm_code(asm, 18, 46, 471)
+    _cold_tail(asm, 24, 471)
+    asm.exit(0)
+    return asm.program()
+
+
+@register("473.astar", SPECINT,
+          "grid path scan: neighbour cost compares, bounded updates")
+def astar(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n = 1024
+    asm.data(DATA, u32_table(473, n, 0, 9999))
+    sweeps = scaled(68, scale)
+    asm.mov(EDI, 0)
+    asm.mov(EBP, DATA)
+    with asm.counted_loop(EDX, sweeps):
+        asm.mov(ESI, 1)
+        with asm.counted_loop(ECX, n - 2):
+            asm.mov(EAX, M(EBP, ESI, 4))                   # cell cost
+            asm.mov(EBX, M(EBP, ESI, 4, disp=-4))          # west
+            asm.add(EBX, 10)
+            asm.cmp(EBX, EAX)
+            asm.jae("no_relax")                            # mostly holds
+            asm.mov(M(EBP, ESI, 4), EBX)
+            asm.inc(EDI)
+            asm.label("no_relax")
+            asm.add(EDI, EAX)
+            asm.emit("AND", EDI, 0xFFFFFF)
+            asm.inc(ESI)
+    asm.mov(M(None, disp=OUT), EDI)
+    emit_warm_code(asm, 15, 50, 473)
+    _cold_tail(asm, 18, 473)
+    asm.exit(0)
+    return asm.program()
+
+
+@register("483.xalancbmk", SPECINT,
+          "tree transform: type-dispatched node visits via call table")
+def xalancbmk(scale: float = 1.0) -> GuestProgram:
+    asm = Assembler()
+    n = 512
+    n_types = 4
+    asm.data(DATA, u32_table(483, n, 0, n_types - 1))
+    visits = scaled(38, scale)
+    for t in range(n_types):
+        asm.mov(EAX, f"visit{t}")
+        asm.mov(M(None, disp=TABLE + 4 * t), EAX)
+    asm.mov(EDI, 0)
+    asm.mov(EBP, DATA)
+    with asm.counted_loop(EDX, visits):
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, n):
+            asm.mov(EAX, M(EBP, ESI, 4))               # node type
+            asm.mov(EBX, M(None, EAX, 4, disp=TABLE))
+            asm.calli(EBX)                             # virtual dispatch
+            asm.inc(ESI)
+            asm.emit("AND", EDI, 0xFFFFFF)
+    asm.mov(M(None, disp=OUT), EDI)
+    emit_warm_code(asm, 19, 44, 483)
+    asm.exit(0)
+    for t in range(n_types):
+        asm.label(f"visit{t}")
+        if t == 0:
+            asm.add(EDI, 17)
+        elif t == 1:
+            asm.emit("XOR", EDI, 0x33CC33CC)
+        elif t == 2:
+            asm.imul(EDI, 5)
+        else:
+            asm.shr(EDI, 1)
+            asm.add(EDI, ESI)
+        asm.ret()
+    return asm.program()

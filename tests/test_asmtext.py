@@ -1,0 +1,156 @@
+"""Tests for the text-format assembler."""
+
+import pytest
+
+from repro.guest.asmtext import AsmSyntaxError, assemble_text
+from repro.guest.emulator import GuestEmulator
+from repro.guest.program import unpack_u32s
+from repro.system.controller import run_codesigned
+from repro.tol.config import TolConfig
+
+
+def run_text(source, max_steps=500_000):
+    emu = GuestEmulator(assemble_text(source))
+    emu.run(max_steps=max_steps)
+    assert emu.halted
+    return emu
+
+
+def test_sum_loop():
+    emu = run_text("""
+    ; sum 1..100
+        mov  eax, 0
+        mov  ecx, 100
+    top:
+        add  eax, ecx
+        dec  ecx
+        jne  top
+        mov  edi, eax
+        mov  eax, 1
+        mov  ebx, 0
+        syscall
+    """)
+    assert emu.state.get("EDI") == 5050
+    assert emu.os.exit_code == 0
+
+
+def test_memory_operand_forms():
+    emu = run_text("""
+    .data 0x4000 u32 10 20 30 40
+        mov  ebp, 0x4000
+        mov  esi, 2
+        mov  eax, [ebp + esi*4]        ; 30
+        add  eax, [0x4000]             ; +10
+        mov  [ebp + 12], eax
+        mov  edi, [ebp + esi*4 - 4]    ; 20
+        mov  eax, 1
+        mov  ebx, 0
+        syscall
+    """)
+    assert emu.state.get("EDI") == 20
+    assert emu.memory.read_u32(0x400C) == 40
+
+
+def test_fp_and_data_f64():
+    emu = run_text("""
+    .data 0x5000 f64 1.5 2.5
+        mov  ebp, 0x5000
+        fld  f0, [ebp]
+        fld  f1, [ebp + 8]
+        fadd f0, f1
+        fst  [ebp + 16], f0
+        mov  eax, 1
+        mov  ebx, 0
+        syscall
+    """)
+    assert emu.memory.read_f64(0x5010) == 4.0
+
+
+def test_entry_directive_and_labels():
+    emu = run_text("""
+        mov  edi, 111        ; skipped: entry is below
+        mov  eax, 1
+        mov  ebx, 1
+        syscall
+    start:
+        mov  edi, 222
+        mov  eax, 1
+        mov  ebx, 0
+        syscall
+    .entry start
+    """)
+    assert emu.state.get("EDI") == 222
+    assert emu.os.exit_code == 0
+
+
+def test_ascii_and_write_syscall():
+    emu = run_text("""
+    .ascii 0x6000 "hi!"
+        mov  eax, 2          ; SYS_WRITE
+        mov  ebx, 1
+        mov  ecx, 0x6000
+        mov  edx, 3
+        syscall
+        mov  eax, 1
+        mov  ebx, 0
+        syscall
+    """)
+    assert bytes(emu.os.stdout) == b"hi!"
+
+
+def test_char_immediates_and_case_insensitivity():
+    emu = run_text("""
+        MOV  EAX, 'A'
+        Add  eAx, 1
+        mov  edi, eax
+        mov  eax, 1
+        mov  ebx, 0
+        SYSCALL
+    """)
+    assert emu.state.get("EDI") == ord("A") + 1
+
+
+def test_vector_text():
+    emu = run_text("""
+    .data 0x7000 u32 1 2 3 4
+        mov  ebp, 0x7000
+        vld  v0, [ebp]
+        vadd v0, v0
+        vst  [ebp + 16], v0
+        mov  eax, 1
+        mov  ebx, 0
+        syscall
+    """)
+    assert unpack_u32s(emu.memory.read_bytes(0x7010, 16)) == (2, 4, 6, 8)
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AsmSyntaxError) as excinfo:
+        assemble_text("    mov eax, 1\n    frobnicate eax\n")
+    assert excinfo.value.line_no == 2
+    assert "frobnicate" in str(excinfo.value).lower()
+
+
+def test_error_on_bad_operand():
+    with pytest.raises(AsmSyntaxError):
+        assemble_text("    mov eax, [ebp + ecx + esi + edi]\n")
+
+
+def test_text_program_runs_on_full_darco():
+    program = assemble_text("""
+        mov  eax, 0
+        mov  ecx, 400
+    top:
+        add  eax, 7
+        dec  ecx
+        jne  top
+        mov  edi, eax
+        mov  eax, 1
+        mov  ebx, 0
+        syscall
+    """)
+    result, controller = run_codesigned(
+        program, config=TolConfig(bbm_threshold=3, sbm_threshold=8))
+    assert result.exit_code == 0
+    assert controller.x86.state.get("EDI") == 2800
+    assert controller.codesigned.tol.mode_distribution()["SBM"] > 0

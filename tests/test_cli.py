@@ -1,0 +1,88 @@
+"""CLI tests (in-process via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "SPECINT2006" in out
+    assert "429.mcf" in out
+    assert "ragdoll" in out
+
+
+def test_run_workload_with_stats(capsys):
+    code = main(["run", "401.bzip2", "--scale", "0.05", "--stats"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "exit=0" in out
+    assert "mode_distribution" in out
+
+
+def test_run_assembly_file(tmp_path, capsys):
+    source = """
+        mov  eax, 0
+        mov  ecx, 50
+    top:
+        add  eax, 2
+        dec  ecx
+        jne  top
+        mov  edi, eax
+        mov  eax, 1
+        mov  ebx, 0
+        syscall
+    """
+    path = tmp_path / "prog.s"
+    path.write_text(source)
+    assert main(["run", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "exit=0" in out
+
+
+def test_run_with_timing_and_power(capsys):
+    code = main(["run", "458.sjeng", "--scale", "0.05",
+                 "--timing", "--power", "--no-validate"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ipc" in out
+    assert "average power" in out
+
+
+def test_run_with_config_override(capsys):
+    code = main(["run", "401.bzip2", "--scale", "0.05", "--stats",
+                 "--set", "sbm_threshold=10000000",
+                 "--set", "dual_decoder=true"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "'SBM': 0" in out or "'SBM': 0.0" in out
+
+
+def test_run_rejects_bad_override():
+    with pytest.raises(SystemExit):
+        main(["run", "401.bzip2", "--set", "not_a_field=1"])
+    with pytest.raises(SystemExit):
+        main(["run", "401.bzip2", "--set", "malformed"])
+
+
+def test_run_nonzero_exit_code_propagates(tmp_path):
+    path = tmp_path / "fail.s"
+    path.write_text("""
+        mov  eax, 1
+        mov  ebx, 7
+        syscall
+    """)
+    assert main(["run", str(path)]) == 7
+
+
+def test_speed_command(capsys):
+    assert main(["speed", "--workload", "401.bzip2",
+                 "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "guest functional" in out
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        main(["run", "not.a.workload"])

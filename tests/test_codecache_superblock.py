@@ -1,0 +1,260 @@
+"""Unit tests for the code cache and the superblock region builder."""
+
+import pytest
+
+from repro.guest.assembler import Assembler, EAX, EBX, ECX, EDX, ESI, M
+from repro.guest.memory import PagedMemory
+from repro.host.isa import CodeUnit, HostInstr
+from repro.tol.codecache import CodeCache, PLAIN, UNROLLED
+from repro.tol.config import TolConfig
+from repro.tol.decoder import GisaFrontend
+from repro.tol.ir import TmpAllocator
+from repro.tol.profile import Profiler
+from repro.tol.superblock import (
+    assemble_loop, assemble_region, build_region, decode_bb,
+    detect_counted_loop,
+)
+
+
+def unit(uid, pc, n_instrs=4, mode="BBM"):
+    instrs = [HostInstr("nop") for _ in range(n_instrs - 1)]
+    instrs.append(HostInstr("exit", meta={"next_pc": 0, "guest_insns": 1}))
+    return CodeUnit(uid=uid, mode=mode, entry_pc=pc, instrs=instrs)
+
+
+# -- code cache ------------------------------------------------------------------
+
+
+def test_cache_insert_lookup_variants():
+    cache = CodeCache()
+    plain = unit(1, 0x1000)
+    unrolled = unit(2, 0x1000)
+    cache.insert(plain, PLAIN)
+    assert cache.lookup(0x1000) is plain
+    cache.insert(unrolled, UNROLLED)
+    assert cache.lookup(0x1000) is unrolled          # unrolled preferred
+    assert cache.lookup(0x1000, PLAIN) is plain
+    assert cache.lookup(0x2000) is None
+
+
+def test_cache_replacement_invalidates_old_unit():
+    cache = CodeCache()
+    old = unit(1, 0x1000)
+    cache.insert(old, PLAIN)
+    linker = unit(2, 0x2000)
+    cache.insert(linker, PLAIN)
+    cache.chain(linker, len(linker.instrs) - 1, old)
+    assert linker.instrs[-1].meta["link"] is old
+    new = unit(3, 0x1000, mode="SBM")
+    cache.insert(new, PLAIN)                         # replaces old
+    assert cache.lookup(0x1000) is new
+    assert linker.instrs[-1].meta["link"] is None    # chain unlinked
+
+
+def test_cache_capacity_flush():
+    cache = CodeCache(capacity_insns=10)
+    cache.insert(unit(1, 0x1000, n_instrs=6), PLAIN)
+    flushed = cache.insert(unit(2, 0x2000, n_instrs=6), PLAIN)
+    assert flushed
+    assert cache.lookup(0x1000) is None              # flushed out
+    assert cache.lookup(0x2000) is not None
+    assert cache.flushes == 1
+
+
+def test_cache_chain_rejects_non_exit():
+    cache = CodeCache()
+    a, b = unit(1, 0x1000), unit(2, 0x2000)
+    cache.insert(a, PLAIN)
+    cache.insert(b, PLAIN)
+    with pytest.raises(ValueError):
+        cache.chain(a, 0, b)   # instruction 0 is a nop
+
+
+def test_cache_size_accounting():
+    cache = CodeCache()
+    a = unit(1, 0x1000, n_instrs=7)
+    cache.insert(a, PLAIN)
+    assert cache.size_insns == 7
+    cache.invalidate(a)
+    assert cache.size_insns == 0
+    assert len(cache) == 0
+
+
+# -- basic block decoding --------------------------------------------------------
+
+
+def _memory_with(build):
+    asm = Assembler()
+    build(asm)
+    program = asm.program()
+    memory = PagedMemory()
+    program.load_into(memory)
+    return memory, program
+
+
+def test_decode_bb_stops_at_branch():
+    memory, program = _memory_with(lambda asm: (
+        asm.mov(EAX, 1), asm.add(EAX, 2), asm.jmp("off"),
+        asm.label("off"), asm.exit(0)))
+    bb = decode_bb(GisaFrontend(), memory, program.entry,
+                   TmpAllocator(), 64)
+    assert bb.guest_insn_count == 3
+    assert bb.terminator is not None
+    assert bb.terminator.guest.mnemonic == "JMP"
+
+
+def test_decode_bb_stops_before_interpreter_only():
+    memory, program = _memory_with(lambda asm: (
+        asm.mov(ECX, 4), asm.rep_movsd(), asm.exit(0)))
+    bb = decode_bb(GisaFrontend(), memory, program.entry,
+                   TmpAllocator(), 64)
+    assert bb.guest_insn_count == 1
+    assert bb.terminator is None        # fall-through exit before REP
+
+
+def test_decode_bb_respects_size_limit():
+    def build(asm):
+        for _ in range(50):
+            asm.inc(EAX)
+        asm.exit(0)
+    memory, program = _memory_with(build)
+    bb = decode_bb(GisaFrontend(), memory, program.entry,
+                   TmpAllocator(), 8)
+    assert bb.guest_insn_count == 8
+
+
+# -- counted-loop detection --------------------------------------------------------
+
+
+def _loop_bb(build):
+    memory, program = _memory_with(build)
+    return decode_bb(GisaFrontend(), memory,
+                     program.label_addr("top"), TmpAllocator(), 64)
+
+
+def test_detect_counted_loop_positive():
+    def build(asm):
+        asm.mov(ECX, 10)
+        asm.label("top")
+        asm.add(EAX, 1)
+        asm.dec(ECX)
+        asm.jne("top")
+        asm.exit(0)
+    bb = _loop_bb(build)
+    assert detect_counted_loop(bb) == 1  # ECX index
+
+
+def test_detect_counted_loop_rejects_flag_clobber_after_dec():
+    def build(asm):
+        asm.label("top")
+        asm.dec(ECX)
+        asm.add(EAX, 1)      # overwrites flags after DEC
+        asm.jne("top")
+        asm.exit(0)
+    bb = _loop_bb(build)
+    assert detect_counted_loop(bb) is None
+
+
+def test_detect_counted_loop_rejects_extra_counter_write():
+    def build(asm):
+        asm.label("top")
+        asm.add(ECX, 1)      # extra write to the counter
+        asm.dec(ECX)
+        asm.jne("top")
+        asm.exit(0)
+    bb = _loop_bb(build)
+    assert detect_counted_loop(bb) is None
+
+
+# -- region building ------------------------------------------------------------
+
+
+def _region(build, start_label, edges):
+    asm = Assembler()
+    build(asm)
+    program = asm.program()
+    memory = PagedMemory()
+    program.load_into(memory)
+    profiler = Profiler()
+    for (frm, to) in edges:
+        for _ in range(20):
+            profiler.record_edge(program.label_addr(frm),
+                                 program.label_addr(to))
+    return build_region(GisaFrontend(), memory,
+                        program.label_addr(start_label), profiler,
+                        TolConfig(), TmpAllocator()), program
+
+
+def test_region_follows_biased_edges():
+    def build(asm):
+        asm.label("a")
+        asm.cmp(EAX, 0)
+        asm.jne("c")
+        asm.label("b")
+        asm.inc(EBX)
+        asm.jmp("d")
+        asm.label("c")
+        asm.inc(EDX)
+        asm.label("d")
+        asm.exit(0)
+    region, program = _region(build, "a", [("a", "c")])
+    assert region is not None and not region.is_loop
+    assert len(region.bbs) >= 2
+    assert region.bbs[0].followed_taken is True
+    assert region.bbs[1].entry_pc == program.label_addr("c")
+
+
+def test_region_stops_at_indirect():
+    def build(asm):
+        asm.label("a")
+        asm.mov(EAX, "a")
+        asm.jmpi(EAX)
+    region, _ = _region(build, "a", [])
+    assert len(region.bbs) == 1
+
+
+def test_region_detects_single_bb_loop():
+    def build(asm):
+        asm.label("top")
+        asm.add(EAX, 3)
+        asm.dec(ECX)
+        asm.jne("top")
+        asm.exit(0)
+    region, _ = _region(build, "top", [("top", "top")])
+    assert region.is_loop
+    assert region.counted_reg == 1
+
+
+def test_assemble_region_sbm_converts_to_asserts():
+    def build(asm):
+        asm.label("a")
+        asm.cmp(EAX, 0)
+        asm.je("b")
+        asm.inc(EDX)
+        asm.label("b")
+        asm.inc(EBX)
+        asm.exit(0)
+    region, _ = _region(build, "a", [("a", "b")])
+    assembled = assemble_region(region, mode="SBM")
+    kinds = [op.op for op in assembled.body]
+    assert any(k.startswith("assert") for k in kinds)
+    assembled_x = assemble_region(region, mode="SBX")
+    kinds_x = [op.op for op in assembled_x.body]
+    assert any(k.startswith("side_exit") for k in kinds_x)
+
+
+def test_assemble_loop_unrolled_has_guard_and_copies():
+    def build(asm):
+        asm.label("top")
+        asm.add(EAX, 3)
+        asm.dec(ECX)
+        asm.jne("top")
+        asm.exit(0)
+    region, _ = _region(build, "top", [("top", "top")])
+    plain = assemble_loop(region, unroll=1)
+    unrolled = assemble_loop(region, unroll=4)
+    assert plain.terminator.attrs.get("loop_back")
+    assert unrolled.guest_insn_count == 4 * plain.guest_insn_count
+    assert any(op.op == "guard_exit_false" for op in unrolled.body)
+    assert unrolled.terminator.op == "jmp"
+    assert unrolled.terminator.attrs.get("loop_back")

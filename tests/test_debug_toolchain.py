@@ -1,0 +1,119 @@
+"""Debug toolchain tests, including fault injection: we deliberately break
+an optimization pass / the code generator and check that the divergence
+finder pinpoints the culpable unit and stage."""
+
+import pytest
+
+from repro.guest.assembler import Assembler, EAX, EBX, ECX, EDI
+from repro.debug.divergence import find_divergence
+from repro.debug.tracing import DispatchTracer, ModeTracer, tol_stats_dump
+from repro.tol.config import TolConfig
+from repro.tol.ir import Const, IRInstr
+from repro.tol.opt.passes import PassStats, register_pass
+from repro.system.controller import Controller, ValidationError
+
+FAST = TolConfig(bbm_threshold=3, sbm_threshold=8)
+
+
+def hot_loop_program(n=400):
+    asm = Assembler()
+    asm.mov(EAX, 0)
+    with asm.counted_loop(ECX, n):
+        asm.add(EAX, 3)
+    asm.mov(EDI, EAX)
+    asm.exit(0)
+    return asm.program()
+
+
+def test_clean_run_reports_no_divergence():
+    assert find_divergence(hot_loop_program(), config=FAST) is None
+
+
+# -- fault injection -----------------------------------------------------------
+
+
+@register_pass("_inject_add_skew")
+def _inject_add_skew(ops):
+    """A deliberately broken 'optimization': rewrites the first add-with-
+    constant into an off-by-one."""
+    stats = PassStats("_inject_add_skew", ops_in=len(ops))
+    out = []
+    done = False
+    for instr in ops:
+        if (not done and instr.op == "add" and len(instr.srcs) == 2
+                and isinstance(instr.srcs[1], Const)
+                and instr.srcs[1].value == 3):
+            instr = instr.with_changes(
+                srcs=(instr.srcs[0], Const(4)))
+            done = True
+        out.append(instr)
+    stats.ops_out = len(out)
+    return out, stats
+
+
+def test_validation_catches_injected_optimizer_bug():
+    config = TolConfig(
+        bbm_threshold=3, sbm_threshold=8,
+        sbm_passes=("constfold", "constprop", "_inject_add_skew",
+                    "cse", "constprop", "dce"))
+    controller = Controller(hot_loop_program(), config=config)
+    with pytest.raises(ValidationError):
+        controller.run()
+
+
+def test_divergence_finder_blames_superblock_unit():
+    config = TolConfig(
+        bbm_threshold=3, sbm_threshold=8,
+        sbm_passes=("constfold", "constprop", "_inject_add_skew",
+                    "cse", "constprop", "dce"))
+    divergence = find_divergence(hot_loop_program(), config=config)
+    assert divergence is not None
+    assert divergence.unit is not None
+    assert divergence.mode in ("SBM", "SBX")
+    assert "EAX" in divergence.state_diff
+
+
+def test_divergence_finder_blames_bbm_bug():
+    # Break the BBM pipeline instead: divergence must appear in a BBM unit
+    # (before any superblock forms, with a high SBM threshold).
+    config = TolConfig(
+        bbm_threshold=3, sbm_threshold=10_000_000,
+        bbm_passes=("constfold", "constprop", "_inject_add_skew", "dce"))
+    divergence = find_divergence(hot_loop_program(), config=config)
+    assert divergence is not None
+    assert divergence.mode == "BBM"
+
+
+def test_stage_capture_records_pipeline_stages():
+    from repro.debug.divergence import STAGE_ORDER
+    controller = Controller(hot_loop_program(), config=FAST)
+    translator = controller.codesigned.tol.translator
+    translator.capture = {}
+    controller.run()
+    assert translator.capture, "no superblock captured"
+    stages = next(iter(translator.capture.values()))
+    for name in STAGE_ORDER:
+        assert name in stages and stages[name]
+
+
+def test_mode_tracer_sees_im_to_translated_transitions():
+    controller = Controller(hot_loop_program(), config=FAST)
+    tracer = ModeTracer(controller.codesigned.tol)
+    controller.run()
+    modes = tracer.mode_sequence()
+    assert modes[0] == "IM"
+    assert "BBM" in modes
+    assert "SBM" in modes
+
+
+def test_dispatch_tracer_and_stats_dump():
+    controller = Controller(hot_loop_program(), config=FAST)
+    tracer = DispatchTracer(controller.codesigned.tol)
+    controller.run()
+    assert len(tracer.records) > 5  # chaining keeps dispatch counts small
+    text = tracer.format(20)
+    assert "IM" in text
+    dump = tol_stats_dump(controller.codesigned.tol)
+    assert 0.99 < sum(dump["mode_distribution"].values()) <= 1.01
+    assert dump["guest_icount"] > 0
+    assert dump["sb_translations"] >= 1

@@ -1,0 +1,259 @@
+"""Differential tests: the TOL's decode-to-IR interpreter must match the
+authoritative guest emulator instruction by instruction.
+
+This is the correctness backbone of the whole TOL: every guest mnemonic's IR
+expansion is checked against the independent reference implementation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.guest.assembler import (
+    EAX, EBX, ECX, EDX, EBP, ESI, EDI, F0, F1, F2, V0, V1, Assembler, M,
+)
+from repro.guest.emulator import GuestEmulator
+from repro.guest.memory import PagedMemory
+from repro.guest.program import pack_f64s, pack_u32s
+from repro.guest.state import GuestState
+from repro.guest.syscalls import GuestOS
+from repro.tol.decoder import GisaFrontend
+from repro.tol.interp import END, OK, SYSCALL, Interpreter
+
+
+def interp_run(program, max_steps=100_000, os=None):
+    """Run a program to completion on the IM interpreter (executing
+    syscalls locally for this standalone test)."""
+    memory = PagedMemory()
+    program.load_into(memory)
+    state = GuestState()
+    state.eip = program.entry
+    state.set("ESP", program.stack_top)
+    os = os if os is not None else GuestOS()
+    interp = Interpreter(GisaFrontend(), state, memory)
+    for _ in range(max_steps):
+        result = interp.step()
+        if result.status == SYSCALL:
+            os.execute(state, memory)
+            interp.advance_past_syscall()
+            if os.exited:
+                break
+        elif result.status == END:
+            break
+    else:
+        raise AssertionError("interpreter did not finish")
+    return state, memory, os, interp
+
+
+def lockstep_compare(program, max_steps=50_000):
+    """Run reference emulator and interpreter in lockstep, comparing the
+    full architectural state after every instruction."""
+    ref = GuestEmulator(program)
+    memory = PagedMemory()
+    program.load_into(memory)
+    state = GuestState()
+    state.eip = program.entry
+    state.set("ESP", program.stack_top)
+    interp = Interpreter(GisaFrontend(), state, memory)
+    os = GuestOS()
+    steps = 0
+    while not ref.halted and steps < max_steps:
+        result = interp.step()
+        if result.status == SYSCALL:
+            os.execute(state, memory)
+            interp.advance_past_syscall()
+        elif result.status == END:
+            break
+        ref.step()
+        diff = state.diff(ref.state)
+        assert not diff, (
+            f"state diverged after {steps} steps at "
+            f"eip={ref.state.eip:#x}: {diff}")
+        steps += 1
+        if os.exited:
+            break
+    assert os.exited or steps == max_steps or ref.halted
+    return steps
+
+
+def build_program(build):
+    asm = Assembler()
+    build(asm)
+    return asm.program()
+
+
+def test_lockstep_alu_flags_branches():
+    def build(asm):
+        asm.mov(EAX, 0)
+        asm.mov(EBX, 1)
+        with asm.counted_loop(ECX, 20):
+            asm.add(EAX, EBX)
+            asm.imul(EBX, 3)
+            asm.cmp(EAX, 1000)
+            asm.jg("skip")
+            asm.sub(EAX, 1)
+            asm.label("skip")
+            asm.emit("AND", EBX, 0xFFFF)
+        asm.exit(0)
+    steps = lockstep_compare(build_program(build))
+    assert steps > 100
+
+
+def test_lockstep_memory_stack_calls():
+    def build(asm):
+        asm.data(0x3000, pack_u32s(range(50)))
+        asm.mov(EBP, 0x3000)
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, 10):
+            asm.mov(EAX, M(EBP, ESI, 4))
+            asm.call("process")
+            asm.mov(M(EBP, ESI, 4, disp=0x100), EAX)
+            asm.inc(ESI)
+        asm.exit(0)
+        asm.label("process")
+        asm.push(EBX)
+        asm.mov(EBX, EAX)
+        asm.shl(EBX, 1)
+        asm.add(EAX, EBX)
+        asm.pop(EBX)
+        asm.ret()
+    steps = lockstep_compare(build_program(build))
+    assert steps > 50
+
+
+def test_lockstep_fp_trig_vector():
+    def build(asm):
+        asm.data(0x5000, pack_f64s([0.1 * i for i in range(16)]))
+        asm.data(0x6000, pack_u32s(range(16)))
+        asm.mov(EBP, 0x5000)
+        asm.mov(EDX, 0x6000)
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, 8):
+            asm.fld(F0, M(EBP, ESI, 8))
+            asm.fsin(F0)
+            asm.fld(F1, M(EBP, ESI, 8, disp=8))
+            asm.fmul(F0, F1)
+            asm.fsqrt(F1)
+            asm.fst(M(EBP, ESI, 8, disp=0x200), F0)
+            asm.vld(V0, M(EDX))
+            asm.vadd(V0, V0)
+            asm.vst(M(EDX, disp=0x40), V0)
+            asm.inc(ESI)
+        asm.exit(0)
+    lockstep_compare(build_program(build))
+
+
+def test_lockstep_division_and_shifts():
+    def build(asm):
+        asm.mov(EDI, 1000)
+        with asm.counted_loop(ECX, 30):
+            asm.mov(EAX, EDI)
+            asm.mov(EBX, ECX)
+            asm.idiv(EBX)
+            asm.add(EDI, EDX)
+            asm.mov(EDX, EDI)
+            asm.sar(EDX, 3)
+            asm.emit("XOR", EDI, EDX)
+            asm.emit("OR", EDI, 1)
+        asm.exit(0)
+    lockstep_compare(build_program(build))
+
+
+def test_lockstep_string_ops():
+    def build(asm):
+        asm.data(0x7000, pack_u32s(range(64)))
+        asm.mov(ESI, 0x7000)
+        asm.mov(EDI, 0x7200)
+        asm.mov(ECX, 64)
+        asm.rep_movsd()
+        asm.mov(EAX, 0xAB)
+        asm.mov(EDI, 0x7400)
+        asm.mov(ECX, 32)
+        asm.rep_stosd()
+        asm.exit(0)
+    lockstep_compare(build_program(build))
+
+
+def test_lockstep_neg_not_xchg_lea():
+    def build(asm):
+        asm.mov(EAX, 7)
+        asm.mov(EBX, 0)
+        asm.neg(EAX)
+        asm.js("negative")
+        asm.mov(EBX, 1)
+        asm.label("negative")
+        asm.emit("NOT", EAX)
+        asm.xchg(EAX, EBX)
+        asm.lea(ECX, M(EAX, EBX, 4, disp=0x10))
+        asm.test(ECX, 0xFF)
+        asm.jne("done")
+        asm.inc(ECX)
+        asm.label("done")
+        asm.exit(0)
+    lockstep_compare(build_program(build))
+
+
+def test_lockstep_inc_dec_preserve_cf():
+    def build(asm):
+        # Set CF via a borrow, then INC/DEC must preserve it.
+        asm.mov(EAX, 0)
+        asm.sub(EAX, 1)    # CF=1
+        asm.inc(EBX)
+        asm.jb("cf_kept")  # must still see CF=1
+        asm.mov(EDI, 99)
+        asm.label("cf_kept")
+        asm.dec(EBX)
+        asm.jb("cf_kept2")
+        asm.mov(EDI, 98)
+        asm.label("cf_kept2")
+        asm.exit(0)
+    lockstep_compare(build_program(build))
+
+
+# -- property-based differential test over random ALU/branch programs --------
+
+_ALU_OPS = ("ADD", "SUB", "AND", "OR", "XOR", "IMUL")
+_CC = ("E", "NE", "L", "LE", "G", "GE", "B", "BE", "A", "AE", "S", "NS")
+_REGS = (EAX, EBX, ECX, EDX, ESI, EDI)
+
+
+@st.composite
+def _random_program(draw):
+    asm = Assembler()
+    # Random initial register values.
+    for reg in _REGS:
+        asm.mov(reg, draw(st.integers(0, 0xFFFFFFFF)))
+    n_blocks = draw(st.integers(2, 5))
+    for block in range(n_blocks):
+        asm.label(f"blk{block}")
+        for _ in range(draw(st.integers(1, 6))):
+            op = draw(st.sampled_from(_ALU_OPS))
+            dst = draw(st.sampled_from(_REGS))
+            if draw(st.booleans()):
+                asm.emit(op, dst, draw(st.sampled_from(_REGS)))
+            else:
+                asm.emit(op, dst, draw(st.integers(0, 0xFFFFFFFF)))
+        # Conditional forward skip keeps control flow acyclic.
+        cc = draw(st.sampled_from(_CC))
+        asm.emit(f"J{cc}", f"blk{block}_end")
+        dst = draw(st.sampled_from(_REGS))
+        asm.emit("INC", dst)
+        asm.label(f"blk{block}_end")
+    asm.exit(0)
+    return asm.program()
+
+
+@settings(max_examples=60, deadline=None)
+@given(_random_program())
+def test_random_alu_programs_match_reference(program):
+    lockstep_compare(program, max_steps=2_000)
+
+
+def test_interp_counts_costs():
+    def build(asm):
+        asm.mov(EAX, 1)
+        asm.add(EAX, 2)
+        asm.exit(0)
+    state, memory, os, interp = interp_run(build_program(build))
+    assert interp.icount == 5  # mov, add, then the 3-instruction exit seq
+    assert interp.ir_ops_evaluated > 4  # flag expansions included
+    assert os.exit_code == 0

@@ -1,0 +1,37 @@
+"""The examples are part of the public API surface: they must run clean.
+
+(Each is executed in-process with a guard on runtime; the heavier sweep
+examples are exercised at reduced scope elsewhere in the suite.)"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/multi_isa_frontend.py",
+    "examples/optimization_explorer.py",
+    "examples/debugging_a_miscompilation.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs_clean(path, capsys):
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path} produced no output"
+    assert "Traceback" not in out
+
+
+def test_quickstart_reports_superblocks(capsys):
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "exit code        : 0" in out
+    assert "mode_distribution" in out
+
+
+def test_multi_isa_reaches_sbm(capsys):
+    runpy.run_path("examples/multi_isa_frontend.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "SBM" in out

@@ -1,0 +1,82 @@
+"""Tests for statistics export and per-sample auto warm-up selection."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.guest.assembler import Assembler, EAX, ECX, EDI
+from repro.debug.export import metrics_csv, run_record, to_json, units_csv
+from repro.harness.figures import run_workload_metrics
+from repro.power.model import PowerModel
+from repro.sampling.warmup import WarmupSimulator
+from repro.timing.run import run_with_timing
+from repro.tol.config import TolConfig
+from repro.system.controller import run_codesigned
+from repro.workloads import get_workload
+
+FAST = TolConfig(bbm_threshold=3, sbm_threshold=8)
+
+
+def small_program(n=600):
+    asm = Assembler()
+    asm.mov(EAX, 0)
+    with asm.counted_loop(ECX, n):
+        asm.add(EAX, 3)
+    asm.mov(EDI, EAX)
+    asm.exit(0)
+    return asm.program()
+
+
+def test_run_record_json_roundtrip(tmp_path):
+    result, controller, core = run_with_timing(
+        small_program(), tol_config=FAST)
+    report = PowerModel(core.config).report(core)
+    record = run_record(controller.codesigned.tol, result=result,
+                        timing_core=core, power_report=report)
+    path = tmp_path / "run.json"
+    text = to_json(record, str(path))
+    parsed = json.loads(path.read_text())
+    assert parsed == json.loads(text)
+    assert parsed["run"]["exit_code"] == 0
+    assert parsed["tol"]["guest_icount"] > 0
+    assert parsed["timing"]["instructions"] > 0
+    assert parsed["power"]["average_power_w"] > 0
+
+
+def test_units_csv_lists_code_cache(tmp_path):
+    result, controller = run_codesigned(small_program(), config=FAST)
+    path = tmp_path / "units.csv"
+    text = units_csv(controller.codesigned.tol, str(path))
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert rows, "code cache should not be empty"
+    modes = {row["mode"] for row in rows}
+    assert "SBM" in modes
+    hot = max(rows, key=lambda r: int(r["guest_retired"]))
+    assert int(hot["guest_retired"]) > 500
+    assert path.read_text() == text
+
+
+def test_metrics_csv(tmp_path):
+    metrics = [run_workload_metrics(get_workload("401.bzip2"), scale=0.05,
+                                    validate=False)]
+    text = metrics_csv(metrics, str(tmp_path / "m.csv"))
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert rows[0]["name"] == "401.bzip2"
+    assert float(rows[0]["sbm"]) > 0
+
+
+def test_run_sampled_auto_picks_per_sample():
+    program = get_workload("473.astar").program(scale=0.4)
+    sim = WarmupSimulator(program, tol_config=TolConfig())
+    candidates = [(1.0, 300), (8.0, 300)]
+    result = sim.run_sampled_auto(
+        sample_starts=[20_000, 60_000], sample_length=2_000,
+        candidates=candidates)
+    assert len(result.samples) == 2
+    assert result.cpi > 0
+    for sample in result.samples:
+        assert (sample.scale_factor, sample.warmup_length) in candidates
+    # Short warm-ups need downscaling to reach steady state.
+    assert any(s.scale_factor > 1 for s in result.samples)

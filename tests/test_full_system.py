@@ -1,0 +1,335 @@
+"""End-to-end tests: full DARCO runs with validation against the
+authoritative x86 component.
+
+Every run here exercises the complete pipeline — interpretation, BBM
+translation, superblock formation with asserts/speculation, chaining, IBTC
+— and the controller validates emulated state against the reference at
+every syscall and at program end.  Programs are sized so code gets promoted
+through all three modes.
+"""
+
+import pytest
+
+from repro.guest.assembler import (
+    EAX, EBX, ECX, EDX, EBP, ESI, EDI, F0, F1, F2, V0, V1, Assembler, M,
+)
+from repro.guest.program import pack_f64s, pack_u32s, unpack_u32s
+from repro.guest.syscalls import SYS_WRITE
+from repro.tol.config import TolConfig
+from repro.system.controller import run_codesigned
+
+FAST = TolConfig(bbm_threshold=3, sbm_threshold=8)
+
+
+def build(fn):
+    asm = Assembler()
+    fn(asm)
+    return asm.program()
+
+
+def run(fn_or_program, config=FAST, **kw):
+    program = fn_or_program if not callable(fn_or_program) \
+        else build(fn_or_program)
+    return run_codesigned(program, config=config, **kw)
+
+
+def test_hot_loop_promotes_to_superblock():
+    def body(asm):
+        asm.mov(EAX, 0)
+        asm.mov(EBX, 0)
+        with asm.counted_loop(ECX, 500):
+            asm.inc(EBX)
+            asm.add(EAX, EBX)
+        asm.mov(EDX, EAX)
+        asm.exit(0)
+    result, controller = run(body)
+    assert result.exit_code == 0
+    tol = controller.codesigned.tol
+    # The hot loop must reach superblock mode and dominate execution.
+    dist = tol.mode_distribution()
+    assert dist["SBM"] > 0, f"no SBM execution: {dist}"
+    assert dist["SBM"] > dist["IM"]
+    # Correct final state (validated by controller, but double check).
+    assert controller.x86.state.get("EDX") == 500 * 501 // 2
+
+
+def test_loop_is_unrolled_with_runtime_guard():
+    def body(asm):
+        asm.mov(EAX, 0)
+        with asm.counted_loop(ECX, 1000):
+            asm.add(EAX, 7)
+        asm.mov(EDI, EAX)
+        asm.exit(0)
+    result, controller = run(body)
+    tol = controller.codesigned.tol
+    assert tol.translator.loops_unrolled >= 1
+    # Both variants live in the cache.
+    pcs = [u.entry_pc for u in tol.cache.units() if u.unrolled]
+    assert pcs, "unrolled variant missing from code cache"
+    assert controller.x86.state.get("EDI") == 7000
+
+
+def test_unrolled_loop_trip_count_not_multiple_of_factor():
+    # 1003 iterations with unroll factor 4: the guard must hand the tail
+    # iterations to the plain variant.
+    def body(asm):
+        asm.mov(EAX, 0)
+        with asm.counted_loop(ECX, 1003):
+            asm.inc(EAX)
+        asm.mov(EDI, EAX)
+        asm.exit(0)
+    result, controller = run(body)
+    assert controller.x86.state.get("EDI") == 1003
+
+
+def test_function_calls_returns_and_ibtc():
+    def body(asm):
+        asm.mov(ESI, 0)
+        asm.mov(EDI, 0)
+        with asm.counted_loop(ECX, 200):
+            asm.mov(EAX, ECX)
+            asm.call("work")
+            asm.add(EDI, EAX)
+        asm.exit(0)
+        asm.label("work")
+        asm.imul(EAX, 3)
+        asm.add(EAX, 1)
+        asm.ret()
+    result, controller = run(body)
+    assert result.exit_code == 0
+    tol = controller.codesigned.tol
+    # Returns are indirect: the IBTC must be exercised.
+    assert tol.host.ibtc.hits > 0
+
+
+def test_biased_branch_becomes_assert_and_fails_occasionally():
+    # Branch taken 15/16 times: biased, so SBM converts it to an assert
+    # that fails on the 16th iteration -> rollback + interpretation.
+    def body(asm):
+        asm.mov(EAX, 0)
+        asm.mov(EBX, 0)
+        with asm.counted_loop(ECX, 1024):
+            asm.mov(EDX, ECX)
+            asm.emit("AND", EDX, 15)
+            asm.je("rare")
+            asm.inc(EAX)
+            asm.jmp("cont")
+            asm.label("rare")
+            asm.add(EBX, 2)
+            asm.label("cont")
+        asm.mov(ESI, EAX)
+        asm.mov(EDI, EBX)
+        asm.exit(0)
+    result, controller = run(body)
+    tol = controller.codesigned.tol
+    assert controller.x86.state.get("ESI") == 1024 - 64
+    assert controller.x86.state.get("EDI") == 128
+    assert tol.stats.assert_failures > 0
+
+
+def test_repeated_assert_failures_demote_to_multi_exit():
+    # A 50/50 branch that looks biased early: once the superblock is
+    # built, asserts fail every other iteration until demotion to SBX.
+    def body(asm):
+        asm.mov(EAX, 0)
+        asm.mov(EBX, 0)
+        # Phase 1: biased warm-up (branch always taken).
+        with asm.counted_loop(ECX, 120):
+            asm.mov(EDX, 0)
+            asm.test(EDX, 1)
+            asm.je("t1")
+            asm.inc(EBX)
+            asm.label("t1")
+            asm.inc(EAX)
+        # Phase 2: alternating.
+        with asm.counted_loop(ECX, 400):
+            asm.mov(EDX, ECX)
+            asm.emit("AND", EDX, 1)
+            asm.test(EDX, EDX)
+            asm.je("t2")
+            asm.inc(EBX)
+            asm.label("t2")
+            asm.inc(EAX)
+        asm.mov(ESI, EAX)
+        asm.exit(0)
+    result, controller = run(body)
+    tol = controller.codesigned.tol
+    assert controller.x86.state.get("ESI") == 520
+    assert tol.stats.assert_failures > 0
+
+
+def test_memory_workload_with_pointer_writes():
+    def body(asm):
+        table = asm.data(0x4000, pack_u32s(range(64)))
+        asm.mov(EBP, table)
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, 300):
+            asm.mov(EAX, ESI)
+            asm.emit("AND", EAX, 63)
+            asm.mov(EBX, M(EBP, EAX, 4))
+            asm.add(EBX, ECX)
+            asm.mov(M(EBP, EAX, 4), EBX)
+            asm.inc(ESI)
+        asm.exit(0)
+    result, controller = run(body)
+    assert result.exit_code == 0
+    # Memory was validated against the reference at end of run.
+    assert result.validations >= 1
+
+
+def test_fp_trig_loop_matches_reference_bitexact():
+    def body(asm):
+        data = asm.data(0x5000, pack_f64s([0.01 * i for i in range(32)]))
+        asm.mov(EBP, data)
+        asm.mov(ESI, 0)
+        with asm.counted_loop(ECX, 150):
+            asm.mov(EAX, ESI)
+            asm.emit("AND", EAX, 31)
+            asm.fld(F0, M(EBP, EAX, 8))
+            asm.fsin(F0)
+            asm.fld(F1, M(EBP, EAX, 8))
+            asm.fcos(F1)
+            asm.fmul(F0, F1)
+            asm.fst(M(EBP, EAX, 8, disp=0x400), F0)
+            asm.inc(ESI)
+        asm.exit(0)
+    result, controller = run(body)
+    assert result.exit_code == 0  # validation would raise on any FP diff
+
+
+def test_vector_loop():
+    def body(asm):
+        data = asm.data(0x6000, pack_u32s(range(32)))
+        asm.mov(EBP, 0x6000)
+        with asm.counted_loop(ECX, 100):
+            asm.vld(V0, M(EBP))
+            asm.vld(V1, M(EBP, disp=16))
+            asm.vadd(V0, V1)
+            asm.vmul(V0, V1)
+            asm.vst(M(EBP, disp=64), V0)
+        asm.exit(0)
+    result, controller = run(body)
+    assert result.exit_code == 0
+
+
+def test_syscalls_inside_hot_code():
+    def body(asm):
+        msg = asm.data(0x7000, b"x" * 8)
+        asm.mov(ESI, 0)
+        with asm.counted_loop(EDI, 40):
+            asm.mov(EAX, SYS_WRITE)
+            asm.mov(EBX, 1)
+            asm.mov(ECX, msg)
+            asm.mov(EDX, 2)
+            asm.syscall()
+            asm.add(ESI, EAX)
+        asm.exit(5)
+    result, controller = run(body)
+    assert result.exit_code == 5
+    assert result.stdout == b"xx" * 40
+    assert result.syscalls == 41  # 40 writes + exit
+    assert controller.x86.state.get("ESI") == 80
+
+
+def test_string_ops_stay_in_interpreter():
+    def body(asm):
+        asm.data(0x8000, pack_u32s(range(128)))
+        with asm.counted_loop(EDX, 30):
+            asm.mov(ESI, 0x8000)
+            asm.mov(EDI, 0x9000)
+            asm.mov(ECX, 128)
+            asm.rep_movsd()
+        asm.exit(0)
+    result, controller = run(body)
+    assert result.exit_code == 0
+    x86mem = controller.x86.memory
+    assert unpack_u32s(x86mem.read_bytes(0x9000, 512)) == tuple(range(128))
+
+
+def test_data_requests_serve_pages_lazily():
+    def body(asm):
+        asm.data(0x10000, pack_u32s([7] * 1024))       # 4KB page
+        asm.data(0x20000, pack_u32s([9] * 1024))       # another page
+        asm.mov(EAX, M(None, disp=0x10000)) if False else None
+        asm.mov(EBP, 0x10000)
+        asm.mov(EAX, M(EBP))
+        asm.mov(EBP, 0x20000)
+        asm.mov(EBX, M(EBP))
+        asm.add(EAX, EBX)
+        asm.mov(EDI, EAX)
+        asm.exit(0)
+    result, controller = run(body)
+    assert controller.x86.state.get("EDI") == 16
+    # code page + stack + two data pages at minimum
+    assert result.data_requests >= 3
+
+
+def test_deep_call_chain_with_recursion():
+    def body(asm):
+        asm.mov(EAX, 12)
+        asm.call("fib")
+        asm.mov(EDI, EAX)
+        asm.exit(0)
+        asm.label("fib")            # fib(n) iterative-ish recursion
+        asm.cmp(EAX, 2)
+        asm.jb("base")
+        asm.push(EAX)
+        asm.sub(EAX, 1)
+        asm.call("fib")
+        asm.pop(EBX)                # n
+        asm.push(EAX)               # fib(n-1)
+        asm.mov(EAX, EBX)
+        asm.sub(EAX, 2)
+        asm.call("fib")
+        asm.pop(EBX)
+        asm.add(EAX, EBX)
+        asm.ret()
+        asm.label("base")
+        asm.ret()
+    result, controller = run(body)
+    assert controller.x86.state.get("EDI") == 144
+
+
+def test_store_load_aliasing_patterns_survive_speculation():
+    # Loads and stores through different registers that sometimes alias:
+    # exercises sld32/st32chk and the alias table.
+    def body(asm):
+        asm.data(0xA000, pack_u32s(range(16)))
+        asm.mov(EBP, 0xA000)
+        asm.mov(ESI, 0xA000)
+        asm.mov(EAX, 0)
+        with asm.counted_loop(ECX, 200):
+            asm.mov(EBX, M(ESI, disp=4))     # load, may-alias next store
+            asm.mov(M(EBP, disp=4), ECX)     # store to same address!
+            asm.mov(EDX, M(ESI, disp=4))     # reload
+            asm.add(EAX, EDX)
+        asm.mov(EDI, EAX)
+        asm.exit(0)
+    result, controller = run(body)
+    # Validation proves correctness regardless of speculation failures.
+    expected = sum(range(1, 201))
+    assert controller.x86.state.get("EDI") == expected
+
+
+def test_chaining_links_units():
+    def body(asm):
+        asm.mov(EAX, 0)
+        with asm.counted_loop(ECX, 300):
+            asm.inc(EAX)
+            asm.cmp(EAX, 0)          # never zero -> biased
+            asm.je("never")
+            asm.add(EAX, 0)
+            asm.label("never")
+        asm.exit(0)
+    result, controller = run(body)
+    tol = controller.codesigned.tol
+    assert tol.stats.chains_made > 0
+
+
+def test_validation_counts_and_exit_codes():
+    def body(asm):
+        asm.mov(EAX, 1)
+        asm.exit(42)
+    result, controller = run(body)
+    assert result.exit_code == 42
+    assert result.validations >= 1

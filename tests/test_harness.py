@@ -1,0 +1,68 @@
+"""Smoke tests for the experiment harness (figures, speed, ablations,
+case study) on reduced scales."""
+
+import pytest
+
+from repro.harness.ablations import (
+    ablate_speculation, format_rows, sweep_thresholds,
+)
+from repro.harness.figures import (
+    fig4_table, fig5_table, fig6_table, fig7_table, run_workload_metrics,
+    suite_average,
+)
+from repro.harness.speed import measure_speed
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def two_metrics():
+    return [
+        run_workload_metrics(get_workload("429.mcf"), scale=0.1,
+                             validate=False),
+        run_workload_metrics(get_workload("ragdoll"), scale=0.5,
+                             validate=False),
+    ]
+
+
+def test_metrics_fields(two_metrics):
+    m = two_metrics[0]
+    assert m.name == "429.mcf"
+    assert m.guest_icount > 1000
+    assert abs(sum(m.mode_fraction.values()) - 1.0) < 1e-9
+    assert 0 < m.tol_overhead_fraction < 1
+    assert abs(sum(m.overhead_breakdown.values()) - 1.0) < 1e-9
+    assert m.app_host_insns > 0 and m.tol_host_insns > 0
+    assert m.static_code_bytes > 100
+
+
+def test_all_tables_render(two_metrics):
+    for table_fn in (fig4_table, fig5_table, fig6_table, fig7_table):
+        text = table_fn(two_metrics)
+        assert "429.mcf" in text
+        assert "ragdoll" in text
+        assert "AVG" in text
+
+
+def test_suite_average_empty_is_zero(two_metrics):
+    assert suite_average(two_metrics, "NoSuchSuite", lambda m: 1.0) == 0.0
+
+
+def test_speed_report_renders():
+    report = measure_speed("401.bzip2", scale=0.1)
+    text = report.table()
+    assert "guest functional" in text
+    assert report.guest_emulation_ips > 0
+    assert report.host_emulation_ips > report.guest_emulation_ips
+
+
+def test_ablation_rows_format():
+    rows = ablate_speculation("471.omnetpp", scale=0.1)
+    text = format_rows(rows)
+    assert "speculation on" in text and "speculation off" in text
+    assert format_rows([]) == "(no rows)"
+
+
+def test_threshold_sweep_monotone_im_share():
+    rows = sweep_thresholds("ragdoll", scale=0.4)
+    im_shares = [r.metrics["im_share"] for r in rows]
+    assert im_shares == sorted(im_shares)

@@ -1,0 +1,241 @@
+"""Unit + property tests for the optimization passes.
+
+Property tests evaluate random straight-line IR before and after each pass
+with the IR evaluator and require identical architectural results — the
+semantics-preservation invariant every pass must satisfy.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.guest.memory import PagedMemory
+from repro.guest.state import GuestState
+from repro.tol.ir import (
+    CF, Const, Flag, GFReg, GReg, IRInstr, OF, SF, Tmp, TmpAllocator, ZF,
+)
+from repro.tol.ir_eval import eval_ops
+from repro.tol.opt.passes import (
+    available_passes, const_copy_prop, const_fold, cse_rle_forwarding,
+    dead_code_elim, get_pass, run_pipeline,
+)
+
+EAX, EBX, ECX = GReg(0), GReg(3), GReg(1)
+
+
+def t(i):
+    return Tmp(i)
+
+
+def test_registry_contains_standard_passes():
+    for name in ("constfold", "constprop", "cse", "dce"):
+        assert name in available_passes()
+        assert get_pass(name)
+    with pytest.raises(KeyError):
+        get_pass("nonexistent-pass")
+
+
+def test_const_fold_arithmetic():
+    ops = [IRInstr("add", t(1), (Const(2), Const(3))),
+           IRInstr("mov", EAX, (t(1),))]
+    out, stats = const_fold(ops)
+    assert out[0].op == "mov"
+    assert out[0].srcs == (Const(5),)
+    assert stats.changed == 1
+
+
+def test_const_fold_wraps_32bit():
+    ops = [IRInstr("add", t(1), (Const(0xFFFFFFFF), Const(2)))]
+    out, _ = const_fold(ops)
+    assert out[0].srcs == (Const(1),)
+
+
+def test_const_fold_trig_uses_recipe():
+    from repro.guest.semantics import gisa_sin
+    from repro.tol.ir import FTmp
+    ops = [IRInstr("fsin", FTmp(9), (Const(1.25),))]
+    out, _ = const_fold(ops)
+    assert out[0].op == "fmov"
+    assert out[0].srcs[0].value == gisa_sin(1.25)
+
+
+def test_copy_prop_through_temps():
+    ops = [
+        IRInstr("mov", t(1), (Const(7),)),
+        IRInstr("mov", t(2), (t(1),)),
+        IRInstr("add", t(3), (t(2), t(2))),
+        IRInstr("mov", EAX, (t(3),)),
+    ]
+    out, _ = const_copy_prop(ops)
+    assert out[2].srcs == (Const(7), Const(7))
+
+
+def test_copy_prop_arch_copy_invalidated_by_redefinition():
+    # t1 copies EBX; EBX is then redefined; t1 uses must NOT become EBX.
+    ops = [
+        IRInstr("mov", t(1), (EBX,)),
+        IRInstr("mov", EBX, (Const(0),)),
+        IRInstr("add", t(2), (t(1), Const(1))),
+    ]
+    out, _ = const_copy_prop(ops)
+    assert out[2].srcs[0] == t(1)
+
+
+def test_cse_dedups_pure_expressions():
+    ops = [
+        IRInstr("add", t(1), (EAX, EBX)),
+        IRInstr("add", t(2), (EAX, EBX)),
+        IRInstr("mov", ECX, (t(2),)),
+    ]
+    out, stats = cse_rle_forwarding(ops)
+    assert out[1].op == "mov"
+    assert out[1].srcs == (t(1),)
+    assert stats.changed == 1
+
+
+def test_rle_redundant_load_eliminated():
+    ops = [
+        IRInstr("ld32", t(1), (EAX,), imm=4),
+        IRInstr("ld32", t(2), (EAX,), imm=4),
+    ]
+    out, _ = cse_rle_forwarding(ops)
+    assert out[1].op == "mov"
+    assert out[1].srcs == (t(1),)
+
+
+def test_rle_blocked_by_intervening_store():
+    ops = [
+        IRInstr("ld32", t(1), (EAX,), imm=4),
+        IRInstr("st32", None, (EBX, Const(9)), imm=0),
+        IRInstr("ld32", t(2), (EAX,), imm=4),
+    ]
+    out, _ = cse_rle_forwarding(ops)
+    assert out[2].op == "ld32"  # store may alias: reload
+
+
+def test_store_to_load_forwarding():
+    ops = [
+        IRInstr("st32", None, (EAX, t(5)), imm=8),
+        IRInstr("ld32", t(6), (EAX,), imm=8),
+    ]
+    out, _ = cse_rle_forwarding(ops)
+    assert out[1].op == "mov"
+    assert out[1].srcs == (t(5),)
+
+
+def test_dce_removes_dead_flag_defs_lazy_flags():
+    # Two flag defs; only the second is architecturally visible.
+    ops = [
+        IRInstr("mov", ZF, (Const(1),)),
+        IRInstr("mov", ZF, (Const(0),)),
+        IRInstr("mov", EAX, (Const(5),)),
+    ]
+    out, stats = dead_code_elim(ops)
+    assert len(out) == 2
+    assert out[0].srcs == (Const(0),)
+
+
+def test_dce_keeps_flag_consumed_before_overwrite():
+    ops = [
+        IRInstr("mov", ZF, (Const(1),)),
+        IRInstr("add", t(1), (ZF, Const(1))),
+        IRInstr("mov", ZF, (Const(0),)),
+        IRInstr("mov", EAX, (t(1),)),
+    ]
+    out, _ = dead_code_elim(ops)
+    assert len(out) == 4
+
+
+def test_dce_respects_side_exits():
+    # A flag def before a side exit is architecturally visible there even
+    # though it is overwritten later.
+    ops = [
+        IRInstr("mov", CF, (Const(1),)),
+        IRInstr("side_exit_true", None, (t(9),),
+                attrs={"target_pc": 0x100, "guest_insns": 1}),
+        IRInstr("mov", CF, (Const(0),)),
+    ]
+    out, _ = dead_code_elim(ops)
+    assert len(out) == 3
+
+
+def test_dce_removes_dead_loads():
+    ops = [
+        IRInstr("ld32", t(1), (EAX,), imm=0),
+        IRInstr("mov", EBX, (Const(1),)),
+    ]
+    out, _ = dead_code_elim(ops)
+    assert len(out) == 1
+    assert out[0].op == "mov"
+
+
+# -- property-based semantic preservation ------------------------------------
+
+_PURE_BINOPS = ("add", "sub", "mul", "and", "or", "xor", "cmpeq",
+                "cmplts", "cmpltu")
+
+
+@st.composite
+def _random_region(draw):
+    """Random straight-line IR over temps/arch regs with loads/stores into
+    a small scratch area."""
+    alloc = TmpAllocator()
+    ops = []
+    defined = [GReg(i) for i in range(4)]
+    n = draw(st.integers(3, 25))
+    for _ in range(n):
+        kind = draw(st.integers(0, 9))
+        if kind <= 5:
+            op = draw(st.sampled_from(_PURE_BINOPS))
+            a = draw(st.sampled_from(defined))
+            b = draw(st.one_of(
+                st.sampled_from(defined),
+                st.integers(0, 0xFFFF).map(Const)))
+            dst = alloc.tmp()
+            ops.append(IRInstr(op, dst, (a, b)))
+            defined.append(dst)
+        elif kind <= 7:
+            src = draw(st.sampled_from(defined))
+            dst = draw(st.sampled_from(
+                [GReg(i) for i in range(4)] + [alloc.tmp()]))
+            ops.append(IRInstr("mov", dst, (src,)))
+            if isinstance(dst, Tmp):
+                defined.append(dst)
+        elif kind == 8:
+            slot = draw(st.integers(0, 7))
+            dst = alloc.tmp()
+            ops.append(IRInstr("ld32", dst, (Const(0x9000),),
+                               imm=slot * 4))
+            defined.append(dst)
+        else:
+            slot = draw(st.integers(0, 7))
+            src = draw(st.sampled_from(defined))
+            ops.append(IRInstr("st32", None, (Const(0x9000), src),
+                               imm=slot * 4))
+    return ops
+
+
+def _run_region(ops):
+    state = GuestState()
+    for i in range(8):
+        state.gpr[i] = (i + 1) * 0x1111
+    memory = PagedMemory()
+    for slot in range(8):
+        memory.write_u32(0x9000 + slot * 4, 0xA0 + slot)
+    eval_ops(ops, state, memory)
+    return state, memory
+
+
+@settings(max_examples=120, deadline=None)
+@given(_random_region(),
+       st.sampled_from([("constfold",), ("constprop",), ("cse",),
+                        ("dce",),
+                        ("constfold", "constprop", "cse", "constprop",
+                         "dce")]))
+def test_passes_preserve_semantics(ops, pipeline):
+    before_state, before_mem = _run_region(ops)
+    optimized, _ = run_pipeline(ops, pipeline)
+    after_state, after_mem = _run_region(optimized)
+    assert after_state.diff(before_state) == {}
+    for slot in range(8):
+        assert after_mem.read_u32(0x9000 + slot * 4) == \
+            before_mem.read_u32(0x9000 + slot * 4)

@@ -1,0 +1,78 @@
+"""Power model tests."""
+
+import pytest
+
+from repro.power.model import PowerModel, PowerReport
+from repro.timing.config import TimingConfig
+from repro.timing.core import InOrderCore
+
+
+def _loaded_core(n=5000, config=None):
+    core = InOrderCore(config)
+    for i in range(n):
+        if i % 5 == 0:
+            core.feed(0x1000 + (i % 64) * 4, "load", 1, (2,),
+                      mem_addr=0x8000 + (i % 128) * 64)
+        elif i % 7 == 0:
+            core.feed(0x1000 + (i % 64) * 4, "branch", None, (1,),
+                      branch=(True, 0x1000))
+        else:
+            core.feed(0x1000 + (i % 64) * 4, "simple", 3, (1,))
+    return core
+
+
+def test_report_basic_quantities():
+    config = TimingConfig()
+    core = _loaded_core(config=config)
+    report = PowerModel(config).report(core)
+    assert report.instructions == 5000
+    assert report.total_dynamic_pj > 0
+    assert report.leakage_power_mw > 0
+    assert report.runtime_s > 0
+    assert report.average_power_w > 0
+    assert report.energy_per_instruction_pj > 0
+
+
+def test_breakdown_sums_to_one():
+    core = _loaded_core()
+    report = PowerModel().report(core)
+    breakdown = report.breakdown()
+    assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+    assert breakdown["frontend"] > 0
+    assert breakdown["l1d"] > 0
+
+
+def test_wider_core_leaks_more():
+    narrow = PowerModel(TimingConfig(issue_width=1)).report(
+        _loaded_core(config=TimingConfig(issue_width=1)))
+    wide = PowerModel(TimingConfig(issue_width=4)).report(
+        _loaded_core(config=TimingConfig(issue_width=4)))
+    assert wide.leakage_power_mw > narrow.leakage_power_mw
+
+
+def test_bigger_caches_cost_more_per_access():
+    from repro.timing.config import CacheConfig
+    small_cfg = TimingConfig()
+    big_cfg = TimingConfig(
+        l1d=CacheConfig(size_bytes=128 * 1024, assoc=4, hit_latency=3))
+    small = PowerModel(small_cfg).report(_loaded_core(config=small_cfg))
+    big = PowerModel(big_cfg).report(_loaded_core(config=big_cfg))
+    # Same-ish access counts, higher per-access energy for the big cache.
+    assert big.dynamic_energy_pj["l1d"] > small.dynamic_energy_pj["l1d"]
+
+
+def test_dram_energy_on_misses():
+    config = TimingConfig(prefetch_enable=False)
+    core = InOrderCore(config)
+    for i in range(2000):
+        core.feed(0x100, "load", 1, (1,),
+                  mem_addr=0x10000 + i * 4096)  # page-new misses
+    report = PowerModel(config).report(core)
+    assert report.dynamic_energy_pj["dram"] > 0
+
+
+def test_empty_report_is_safe():
+    report = PowerReport()
+    assert report.average_power_w == 0.0
+    assert report.energy_per_instruction_pj == 0.0
+    assert report.breakdown() == {}

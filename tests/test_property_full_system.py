@@ -1,0 +1,93 @@
+"""The strongest correctness property in the repository: random programs
+from the synthetic generator run through the FULL co-designed stack
+(interpretation, translation, superblocks, speculation, chaining) with the
+controller validating emulated vs authoritative state at every
+synchronization point and at program end.
+
+Any divergence anywhere in the decoder, optimizer, scheduler, register
+allocator, code generator, host emulator or synchronization protocol fails
+these tests.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tol.config import TolConfig
+from repro.system.controller import run_codesigned
+from repro.workloads.generator import SyntheticSpec, generate
+
+#: Aggressive thresholds so even short random programs reach SBM, with
+#: unrolling and speculation active.
+AGGRESSIVE = TolConfig(bbm_threshold=2, sbm_threshold=6,
+                       unroll_factor=3)
+
+
+@st.composite
+def _specs(draw):
+    return SyntheticSpec(
+        seed=draw(st.integers(0, 10_000)),
+        hot_loops=draw(st.integers(1, 3)),
+        trip_count=draw(st.integers(20, 250)),
+        bb_size=draw(st.integers(1, 10)),
+        branch_bias=draw(st.sampled_from([0.5, 0.8, 0.95, 1.0])),
+        branchy=draw(st.booleans()),
+        mem_ops=draw(st.integers(0, 3)),
+        fp_ops=draw(st.integers(0, 2)),
+        trig_ops=draw(st.integers(0, 1)),
+        vec_ops=draw(st.integers(0, 1)),
+        cold_stanzas=draw(st.integers(0, 5)),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(_specs())
+def test_random_programs_validate_end_to_end(spec):
+    program = generate(spec)
+    result, controller = run_codesigned(program, config=AGGRESSIVE,
+                                        validate=True)
+    assert result.exit_code == 0
+    # Both components agree on the final instruction count.
+    assert controller.x86.icount == controller.codesigned.guest_icount
+
+
+@settings(max_examples=12, deadline=None)
+@given(_specs(), st.sampled_from([
+    TolConfig(bbm_threshold=2, sbm_threshold=6, mem_speculation=False),
+    TolConfig(bbm_threshold=2, sbm_threshold=6, unroll_enable=False),
+    TolConfig(bbm_threshold=2, sbm_threshold=6, chaining_enable=False),
+    TolConfig(bbm_threshold=2, sbm_threshold=6, ibtc_enable=False),
+    TolConfig(bbm_threshold=2, sbm_threshold=6, sbm_passes=()),
+    TolConfig(bbm_threshold=2, sbm_threshold=6, assert_fail_limit=0),
+    TolConfig(bbm_threshold=10_000_000),          # interpreter only
+]))
+def test_random_programs_validate_across_feature_configs(spec, config):
+    """Correctness must hold whichever mechanisms are enabled."""
+    program = generate(spec)
+    result, controller = run_codesigned(program, config=config,
+                                        validate=True)
+    assert result.exit_code == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000))
+def test_tiny_alias_table_still_correct(seed):
+    """Alias-table overflow forces conservative failures, never wrong
+    results."""
+    spec = SyntheticSpec(seed=seed, hot_loops=1, trip_count=120,
+                         bb_size=3, mem_ops=3, branchy=True)
+    config = TolConfig(bbm_threshold=2, sbm_threshold=6,
+                       alias_table_size=1)
+    program = generate(spec)
+    result, controller = run_codesigned(program, config=config,
+                                        validate=True)
+    assert result.exit_code == 0
+
+
+def test_mode_coverage_of_property_runs():
+    """Sanity: the aggressive config really exercises all three modes."""
+    spec = SyntheticSpec(seed=7, hot_loops=2, trip_count=200, bb_size=4,
+                         branchy=True, mem_ops=1, cold_stanzas=4)
+    program = generate(spec)
+    result, controller = run_codesigned(program, config=AGGRESSIVE)
+    dist = controller.codesigned.tol.mode_distribution()
+    assert dist["IM"] > 0 and dist["BBM"] > 0 and dist["SBM"] > 0

@@ -1,0 +1,139 @@
+"""Edge cases of the synchronization protocol and rollback machinery:
+restartable string operations across missing pages, vector-state rollback,
+and pause interaction with chained loop units."""
+
+import pytest
+
+from repro.guest.assembler import (
+    Assembler, EAX, EBX, ECX, EDI, ESI, V0, V1, M,
+)
+from repro.guest.memory import PAGE_SIZE, PagedMemory
+from repro.guest.program import pack_u32s, unpack_u32s
+from repro.guest.state import GuestState
+from repro.host.emulator import EXIT_ASSERT, HostEmulator
+from repro.host.isa import CodeUnit, HostInstr as H
+from repro.tol.config import TolConfig
+from repro.system.controller import Controller, run_codesigned
+
+FAST = TolConfig(bbm_threshold=3, sbm_threshold=8)
+
+
+def build(fn):
+    asm = Assembler()
+    fn(asm)
+    return asm.program()
+
+
+def test_rep_movsd_across_page_boundaries():
+    """The copy spans two data pages, both served lazily mid-instruction;
+    per-element register updates make REP restartable at each fault."""
+    src = 0x20000 - 64          # last 64 bytes of one page
+    def body(asm):
+        asm.data(src, pack_u32s(range(100, 132)))   # crosses into 0x20000
+        asm.mov(ESI, src)
+        asm.mov(EDI, 0x30000 - 64)                  # dst also crosses
+        asm.mov(ECX, 32)
+        asm.rep_movsd()
+        asm.exit(0)
+    result, controller = run_codesigned(build(body), config=FAST)
+    assert result.exit_code == 0
+    copied = unpack_u32s(
+        controller.x86.memory.read_bytes(0x30000 - 64, 128))
+    assert copied == tuple(range(100, 132))
+    # The interpreter faulted at least twice mid-REP (src + dst pages).
+    assert result.data_requests >= 4
+
+
+def test_vector_state_rolls_back_on_assert_failure():
+    emu = HostEmulator(PagedMemory())
+    state = GuestState()
+    state.set("V0", [1, 2, 3, 4])
+    unit = CodeUnit(uid=1, mode="SBM", entry_pc=0x1000, instrs=[
+        H("chkpt", meta={"guest_pc": 0x1000}),
+        H("li", d=16, imm=9),
+        H("vsplat", d=1, a=16),          # clobber guest V0 speculatively
+        H("li", d=17, imm=0),
+        H("assert_nz", a=17),            # fail
+        H("exit", meta={"next_pc": 0, "guest_insns": 1}),
+    ])
+    event = emu.execute(unit, state)
+    assert event.kind == EXIT_ASSERT
+    assert state.get("V0") == [1, 2, 3, 4]
+
+
+def test_pause_inside_chained_loop_is_architecturally_clean():
+    def body(asm):
+        asm.mov(EAX, 0)
+        with asm.counted_loop(ECX, 3000):
+            asm.add(EAX, 1)
+        asm.mov(EDI, EAX)
+        asm.exit(0)
+    controller = Controller(build(body), config=FAST)
+    # Pause repeatedly at short intervals; state must stay consistent with
+    # the reference at every pause (the reference can always catch up).
+    for target in (500, 1200, 2500, 4000):
+        result = controller.run(until_icount=target)
+        if result.exit_code is not None:
+            break
+        controller.x86.run_to_icount(controller.codesigned.guest_icount)
+        diff = controller.codesigned.state.diff(controller.x86.state)
+        assert not diff, f"pause at {target} left divergent state: {diff}"
+    final = controller.run()
+    assert final.exit_code == 0
+    assert controller.x86.state.get("EDI") == 3000
+
+
+def test_code_spanning_page_boundary():
+    """A hot loop placed so its code crosses a page boundary: the second
+    code page is faulted in mid-decode."""
+    def body(asm):
+        # Pad with cold straight-line code to push the loop near the
+        # page boundary.
+        for i in range(560):
+            asm.mov(EAX, i)
+        asm.mov(EBX, 0)
+        with asm.counted_loop(ECX, 400):
+            asm.add(EBX, 2)
+            asm.emit("XOR", EBX, 0)
+            asm.add(EBX, 0)
+        asm.mov(EDI, EBX)
+        asm.exit(0)
+    program = build(body)
+    assert program.static_code_bytes > PAGE_SIZE  # really crosses a page
+    result, controller = run_codesigned(program, config=FAST)
+    assert result.exit_code == 0
+    assert controller.x86.state.get("EDI") == 800
+
+
+def test_vector_loop_with_speculation_and_rollback_pressure():
+    def body(asm):
+        asm.data(0x40000, pack_u32s(range(16)))
+        asm.mov(EBX, 0x40000)
+        with asm.counted_loop(ECX, 300):
+            asm.vld(V0, M(EBX))
+            asm.vld(V1, M(EBX, disp=16))
+            asm.vadd(V0, V1)
+            asm.vst(M(EBX, disp=32), V0)
+            asm.mov(EAX, M(EBX, disp=32))   # reload what vst wrote
+            asm.add(ESI, EAX)
+        asm.mov(EDI, ESI)
+        asm.exit(0)
+    result, controller = run_codesigned(build(body), config=FAST)
+    assert result.exit_code == 0  # validation covers vector memory
+
+
+def test_cold_code_only_program_never_translates():
+    def body(asm):
+        for i in range(200):
+            asm.add(EAX, i % 7)
+        asm.mov(EDI, EAX)
+        asm.exit(0)
+    config = TolConfig(bbm_threshold=10, sbm_threshold=60)
+    result, controller = run_codesigned(build(body), config=config)
+    tol = controller.codesigned.tol
+    assert result.exit_code == 0
+    assert tol.translator.bb_translations == 0
+    dist = tol.mode_distribution()
+    assert dist["BBM"] == 0 and dist["SBM"] == 0
+    # Syscalls execute on the x86 component, so they are not IM-counted.
+    assert dist["IM"] == result.guest_icount - result.syscalls

@@ -1,0 +1,213 @@
+"""Unit tests for linear-scan register allocation and code generation."""
+
+import pytest
+
+from repro.guest.memory import PagedMemory
+from repro.guest.state import GuestState
+from repro.host.emulator import HostEmulator, TOL_AREA_BASE
+from repro.host.isa import GUEST_GPR_HOME
+from repro.tol.codegen import CodeGenerator, CodegenError
+from repro.tol.ir import (
+    Const, GFReg, GReg, IRInstr, Tmp, TmpAllocator,
+)
+from repro.tol.regalloc import (
+    FIRST_SCRATCH_IREG, allocate, home_of,
+)
+
+EAX, EBX = GReg(0), GReg(3)
+
+
+def t(i):
+    return Tmp(i)
+
+
+def _exit(pc=0x2000, gi=1):
+    return IRInstr("exit", attrs={"next_pc": pc, "guest_insns": gi})
+
+
+def gen_unit(ops, uid=1, entry=0x1000, gi=1, mode="BBM"):
+    allocation = allocate(ops)
+    return CodeGenerator().generate(
+        uid=uid, mode=mode, entry_pc=entry, ops=allocation.ops,
+        allocation=allocation, guest_insn_count=gi)
+
+
+def run_unit(unit, state=None, memory=None):
+    memory = memory if memory is not None else PagedMemory()
+    state = state if state is not None else GuestState()
+    emu = HostEmulator(memory)
+    event = emu.execute(unit, state)
+    return event, state, memory, emu
+
+
+# -- register allocation -------------------------------------------------------
+
+
+def test_distinct_live_temps_get_distinct_registers():
+    ops = [
+        IRInstr("add", t(1), (EAX, Const(1))),
+        IRInstr("add", t(2), (EAX, Const(2))),
+        IRInstr("add", t(3), (t(1), t(2))),
+        IRInstr("mov", EAX, (t(3),)),
+        _exit(),
+    ]
+    result = allocate(ops)
+    assert result.assignment[t(1)] != result.assignment[t(2)]
+    assert result.spilled == 0
+
+
+def test_home_coalescing_assigns_home_register():
+    ops = [
+        IRInstr("add", t(1), (EAX, Const(1))),
+        IRInstr("mov", EAX, (t(1),)),
+        _exit(),
+    ]
+    result = allocate(ops)
+    assert result.assignment[t(1)] == home_of(EAX)
+
+
+def test_home_coalescing_blocked_by_later_entry_read():
+    ops = [
+        IRInstr("add", t(1), (EAX, Const(1))),
+        IRInstr("add", t(2), (EAX, Const(2))),   # entry read AFTER t1 def
+        IRInstr("mov", EAX, (t(1),)),
+        IRInstr("mov", EBX, (t(2),)),
+        _exit(),
+    ]
+    result = allocate(ops)
+    assert result.assignment[t(1)] != home_of(EAX)
+
+
+def test_spilling_under_extreme_pressure_still_correct():
+    # More simultaneously-live temps than scratch registers.
+    n = 70
+    ops = [IRInstr("add", t(i), (EAX, Const(i))) for i in range(1, n)]
+    total = Tmp(1000)
+    ops.append(IRInstr("mov", total, (t(1),)))
+    for i in range(2, n):
+        nxt = Tmp(1000 + i)
+        ops.append(IRInstr("add", nxt, (total, t(i))))
+        total = nxt
+    ops.append(IRInstr("mov", EAX, (total,)))
+    ops.append(_exit())
+    allocation = allocate(ops)
+    assert allocation.spilled > 0
+    unit = CodeGenerator().generate(
+        uid=1, mode="BBM", entry_pc=0x1000, ops=allocation.ops,
+        allocation=allocation, guest_insn_count=1)
+    event, state, memory, emu = run_unit(unit)
+    # sum of (EAX + i) for i in 1..69 with EAX=0 -> sum(1..69)
+    assert state.get("EAX") == sum(range(1, n))
+    # Spill slots live in the TOL-private area, not guest memory.
+    assert not list(memory.present_pages())
+    assert list(emu.tol_memory.present_pages())
+
+
+def test_spill_roundtrip_preserves_every_value():
+    n = 60
+    ops = [IRInstr("add", t(i), (EAX, Const(i * 7))) for i in range(1, n)]
+    for i in range(1, n):
+        ops.append(IRInstr("st32", None,
+                           (Const(0x8000), t(i)), imm=4 * i))
+    ops.append(_exit())
+    allocation = allocate(ops)
+    unit = CodeGenerator().generate(
+        uid=1, mode="BBM", entry_pc=0x1000, ops=allocation.ops,
+        allocation=allocation, guest_insn_count=1)
+    event, state, memory, emu = run_unit(unit)
+    for i in range(1, n):
+        assert memory.read_u32(0x8000 + 4 * i) == (i * 7) & 0xFFFFFFFF
+
+
+# -- code generation -----------------------------------------------------------
+
+
+def test_codegen_immediate_forms():
+    ops = [
+        IRInstr("add", t(1), (EAX, Const(5))),
+        IRInstr("sub", t(2), (t(1), Const(3))),
+        IRInstr("and", t(3), (t(2), Const(0xFF))),
+        IRInstr("mov", EAX, (t(3),)),
+        _exit(),
+    ]
+    unit = gen_unit(ops)
+    host_ops = [h.op for h in unit.instrs]
+    assert "addi32" in host_ops
+    assert "andi32" in host_ops
+    assert "li" not in host_ops  # everything used an immediate form
+
+
+def test_codegen_commutative_swap():
+    ops = [
+        IRInstr("add", t(1), (Const(9), EAX)),
+        IRInstr("mov", EBX, (t(1),)),
+        _exit(),
+    ]
+    unit = gen_unit(ops)
+    addi = next(h for h in unit.instrs if h.op == "addi32")
+    assert addi.imm == 9
+
+
+def test_codegen_trig_expansion_matches_reference():
+    from repro.guest.semantics import gisa_cos, gisa_sin
+    for ir_op, ref in (("fsin", gisa_sin), ("fcos", gisa_cos)):
+        ops = [
+            IRInstr(ir_op, GFReg(0), (GFReg(1),)),
+            _exit(),
+        ]
+        unit = gen_unit(ops)
+        assert sum(1 for h in unit.instrs if h.op in
+                   ("fmul", "fadd", "fsub", "ffloor", "lif")) > 20
+        state = GuestState()
+        state.fpr[1] = 1.2345
+        event, state, _, _ = run_unit(unit, state=state)
+        assert state.fpr[0] == ref(1.2345)
+
+
+def test_codegen_branch_exit_stubs():
+    ops = [
+        IRInstr("cmpeq", t(1), (EAX, Const(0))),
+        IRInstr("br_true", None, (t(1),),
+                attrs={"taken_pc": 0x3000, "fall_pc": 0x1010,
+                       "guest_insns": 2}),
+    ]
+    unit = gen_unit(ops, gi=2)
+    exits = [h for h in unit.instrs if h.op == "exit"]
+    assert len(exits) == 2
+    targets = {h.meta["next_pc"] for h in exits}
+    assert targets == {0x3000, 0x1010}
+    assert unit.exit_indices and len(unit.exit_indices) == 2
+
+    state = GuestState()
+    state.set("EAX", 0)
+    event, state, _, _ = run_unit(unit, state=state)
+    assert event.next_pc == 0x3000
+    state2 = GuestState()
+    state2.set("EAX", 7)
+    event2, _, _, _ = run_unit(unit, state=state2)
+    assert event2.next_pc == 0x1010
+
+
+def test_codegen_ibtc_vs_plain_indirect():
+    ops = [IRInstr("exit_ind", None, (EAX,), attrs={"guest_insns": 1})]
+    with_ibtc = CodeGenerator(ibtc_enabled=True)
+    without = CodeGenerator(ibtc_enabled=False)
+    allocation = allocate(list(ops))
+    u1 = with_ibtc.generate(1, "BBM", 0x1000, allocation.ops, allocation, 1)
+    u2 = without.generate(2, "BBM", 0x1000, allocation.ops, allocation, 1)
+    assert any(h.op == "ibtc" for h in u1.instrs)
+    assert any(h.op == "exit_ind" for h in u2.instrs)
+
+
+def test_codegen_rejects_unallocated_temp():
+    from repro.tol.regalloc import AllocationResult
+    bogus = AllocationResult(ops=[IRInstr("mov", EAX, (t(999),)), _exit()],
+                             assignment={})
+    with pytest.raises(CodegenError):
+        CodeGenerator().generate(1, "BBM", 0x1000, bogus.ops, bogus, 1)
+
+
+def test_codegen_unit_starts_with_checkpoint():
+    unit = gen_unit([_exit()])
+    assert unit.instrs[0].op == "chkpt"
+    assert unit.instrs[0].meta["guest_pc"] == 0x1000

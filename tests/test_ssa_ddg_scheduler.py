@@ -1,0 +1,195 @@
+"""Unit tests for SSA conversion, DDG construction and list scheduling."""
+
+import pytest
+
+from repro.tol.ddg import alias_relation, build_ddg, op_latency
+from repro.tol.ir import (
+    Const, Flag, GReg, IRInstr, Tmp, TmpAllocator, ZF,
+)
+from repro.tol.scheduler import list_schedule
+from repro.tol.ssa import to_ssa
+
+EAX, EBX = GReg(0), GReg(3)
+
+
+def t(i):
+    return Tmp(i)
+
+
+# -- SSA ----------------------------------------------------------------------
+
+
+def test_ssa_renames_arch_defs_and_builds_writebacks():
+    ops = [
+        IRInstr("add", t(1), (EAX, Const(1))),
+        IRInstr("mov", EAX, (t(1),)),
+        IRInstr("add", t(2), (EAX, Const(2))),   # reads NEW version
+        IRInstr("mov", EAX, (t(2),)),
+    ]
+    alloc = TmpAllocator()
+    alloc._next = 100
+    result = to_ssa(ops, alloc)
+    # No architectural destinations remain in the body.
+    assert all(not isinstance(op.dst, (GReg, Flag)) for op in result.ops)
+    # Exactly one writeback for EAX, carrying the final version.
+    assert len(result.writebacks) == 1
+    assert result.writebacks[0].dst == EAX
+    # The second add reads the renamed first version, not entry EAX.
+    assert result.ops[2].srcs[0] != EAX
+
+
+def test_ssa_entry_reads_stay_architectural():
+    ops = [IRInstr("add", t(1), (EAX, EBX))]
+    result = to_ssa(ops, TmpAllocator())
+    assert result.ops[0].srcs == (EAX, EBX)
+    assert result.writebacks == []
+
+
+def test_ssa_renames_duplicate_temp_defs_from_unrolling():
+    body = [
+        IRInstr("add", t(1), (EAX, Const(1))),
+        IRInstr("mov", EAX, (t(1),)),
+    ]
+    alloc = TmpAllocator()
+    alloc._next = 50
+    result = to_ssa(body + body, alloc)  # two copies: t1 defined twice
+    defs = [op.dst for op in result.ops if op.dst is not None]
+    assert len(defs) == len(set(defs)), "SSA must leave single defs"
+
+
+def test_ssa_flag_versions_become_temps():
+    ops = [
+        IRInstr("mov", ZF, (Const(1),)),
+        IRInstr("add", t(1), (ZF, Const(0))),
+        IRInstr("mov", ZF, (Const(0),)),
+    ]
+    result = to_ssa(ops, TmpAllocator())
+    assert isinstance(result.ops[1].srcs[0], Tmp)
+    assert result.exit_values[ZF] == result.writebacks[-1].srcs[0] or \
+        any(wb.dst == ZF for wb in result.writebacks)
+
+
+# -- alias analysis --------------------------------------------------------------
+
+
+def _ld(base, disp):
+    return IRInstr("ld32", t(90), (base,), imm=disp)
+
+
+def _st(base, disp):
+    return IRInstr("st32", None, (base, t(91)), imm=disp)
+
+
+def test_alias_same_base_disjoint():
+    assert alias_relation(_st(EAX, 0), _ld(EAX, 4)) == "no"
+    assert alias_relation(_st(EAX, 0), _ld(EAX, 0)) == "must"
+    assert alias_relation(_st(EAX, 0), _ld(EAX, 2)) == "must"  # overlap
+
+
+def test_alias_const_bases():
+    assert alias_relation(_st(Const(0x1000), 0),
+                          _ld(Const(0x2000), 0)) == "no"
+    assert alias_relation(_st(Const(0x1000), 4),
+                          _ld(Const(0x1004), 0)) == "must"
+
+
+def test_alias_unknown_bases_may():
+    assert alias_relation(_st(EAX, 0), _ld(EBX, 0)) == "may"
+
+
+# -- DDG -------------------------------------------------------------------------
+
+
+def test_ddg_true_dependences():
+    ops = [
+        IRInstr("add", t(1), (EAX, Const(1))),
+        IRInstr("add", t(2), (t(1), Const(2))),
+        IRInstr("add", t(3), (EBX, Const(3))),   # independent
+    ]
+    ddg = build_ddg(ops)
+    assert any(j == 1 for (j, _lat) in ddg.succs[0])
+    assert ddg.preds_count[2] == 0
+
+
+def test_ddg_memory_edges_and_soft_edges():
+    ops = [
+        IRInstr("st32", None, (EAX, t(1)), imm=0),
+        IRInstr("ld32", t(2), (EBX,), imm=0),        # may alias: soft
+        IRInstr("ld32", t(3), (EAX,), imm=0),        # must alias: hard
+    ]
+    ddg = build_ddg(ops)
+    assert (0, 1) in ddg.soft_edges
+    assert any(j == 2 for (j, _lat) in ddg.succs[0])
+
+
+def test_ddg_critical_path_priorities():
+    ops = [
+        IRInstr("ld32", t(1), (EAX,), imm=0),    # latency 3, feeds chain
+        IRInstr("add", t(2), (t(1), Const(1))),
+        IRInstr("add", t(3), (EBX, Const(1))),   # independent leaf
+    ]
+    ddg = build_ddg(ops)
+    assert ddg.priority[0] > ddg.priority[2]
+    assert op_latency(ops[0]) == 3
+
+
+# -- scheduler --------------------------------------------------------------------
+
+
+def test_schedule_respects_hard_dependences():
+    ops = [
+        IRInstr("add", t(1), (EAX, Const(1))),
+        IRInstr("add", t(2), (t(1), Const(2))),
+        IRInstr("add", t(3), (t(2), Const(3))),
+    ]
+    result = list_schedule(ops)
+    positions = {op.dst: i for i, op in enumerate(result.ops)}
+    assert positions[t(1)] < positions[t(2)] < positions[t(3)]
+
+
+def test_schedule_hoists_load_and_marks_speculation():
+    ops = [
+        IRInstr("st32", None, (EAX, t(1)), imm=0),
+        IRInstr("ld32", t(2), (EBX,), imm=0),     # may-alias, long chain
+        IRInstr("add", t(3), (t(2), Const(1))),
+        IRInstr("add", t(4), (t(3), Const(1))),
+    ]
+    result = list_schedule(ops, allow_mem_speculation=True)
+    ops_by_pos = {op.op: i for i, op in enumerate(result.ops)}
+    if result.speculated_pairs:
+        assert "sld32" in ops_by_pos and "st32chk" in ops_by_pos
+        assert ops_by_pos["sld32"] < ops_by_pos["st32chk"]
+        spec_load = next(o for o in result.ops if o.op == "sld32")
+        assert spec_load.attrs["seq"] == 1   # original program position
+
+
+def test_schedule_without_speculation_keeps_order():
+    ops = [
+        IRInstr("st32", None, (EAX, t(1)), imm=0),
+        IRInstr("ld32", t(2), (EBX,), imm=0),
+    ]
+    result = list_schedule(ops, allow_mem_speculation=False)
+    assert [op.op for op in result.ops] == ["st32", "ld32"]
+    assert result.speculated_pairs == 0
+
+
+def test_schedule_guard_blocks_stores():
+    ops = [
+        IRInstr("cmpltu", t(1), (Const(4), GReg(1))),
+        IRInstr("guard_exit_false", None, (t(1),),
+                attrs={"target_pc": 0x100, "guest_insns": 0}),
+        IRInstr("st32", None, (EAX, t(2)), imm=0),
+    ]
+    result = list_schedule(ops)
+    kinds = [op.op for op in result.ops]
+    assert kinds.index("guard_exit_false") < kinds.index("st32")
+
+
+def test_vector_memory_never_speculated():
+    from repro.tol.ir import VTmp
+    ops = [
+        IRInstr("st32", None, (EAX, t(1)), imm=0),
+        IRInstr("ldv", VTmp(5), (EBX,), imm=0),
+    ]
+    result = list_schedule(ops, allow_mem_speculation=True)
+    assert [op.op for op in result.ops] == ["st32", "ldv"]

@@ -1,0 +1,104 @@
+"""Stage-blame tests: the debug toolchain's second step (paper §V-D) —
+after pinpointing the culpable region, replay its captured per-stage IR to
+find the TOL pipeline stage where the bug first appeared."""
+
+import pytest
+
+from repro.guest.assembler import Assembler, EAX, ECX, EDI
+from repro.guest.emulator import GuestEmulator
+from repro.guest.memory import PagedMemory
+from repro.guest.state import GuestState
+from repro.debug.divergence import STAGE_ORDER, blame_stage
+from repro.tol.config import TolConfig
+from repro.tol.ir import Const, IRInstr
+from repro.tol.opt.passes import PassStats, register_pass
+from repro.system.controller import Controller, ValidationError
+
+
+def hot_loop_program():
+    asm = Assembler()
+    asm.mov(EAX, 0)
+    with asm.counted_loop(ECX, 300):
+        asm.add(EAX, 3)
+    asm.mov(EDI, EAX)
+    asm.exit(0)
+    return asm.program()
+
+
+def _capture_stages(config):
+    """Run to completion (or divergence), returning captured stages for
+    the hottest region plus a reference-execution harness for it."""
+    program = hot_loop_program()
+    controller = Controller(program, config=config, validate=False)
+    translator = controller.codesigned.tol.translator
+    translator.capture = {}
+    controller.run()
+    entry_pc, stages = max(translator.capture.items(),
+                           key=lambda kv: len(kv[1].get("decoded", [])))
+
+    # Reference: step the guest emulator from region entry through one
+    # region iteration (guest_insn_count instructions).
+    unit = controller.codesigned.tol.cache.lookup(entry_pc)
+    n_guest = unit.guest_insn_count if unit is not None else 4
+
+    def make_reference(entry_state):
+        def reference_stepper(state, memory):
+            ref = GuestEmulator(program)
+            ref.state.restore(entry_state.snapshot())
+            ref.state.eip = entry_pc
+            for _ in range(n_guest):
+                ref.step()
+            return ref.state, ref.state.eip
+        return reference_stepper
+
+    # Entry state: run the reference up to the first visit of entry_pc.
+    ref = GuestEmulator(program)
+    while ref.state.eip != entry_pc:
+        ref.step()
+    entry_state = ref.state.copy()
+
+    def memory_factory():
+        memory = PagedMemory()
+        program.load_into(memory)
+        return memory
+
+    return stages, entry_state, memory_factory, make_reference(entry_state)
+
+
+def test_blame_clean_translation_has_no_bad_stage():
+    stages, entry_state, memory_factory, reference = _capture_stages(
+        TolConfig(bbm_threshold=3, sbm_threshold=8, unroll_enable=False))
+    blame = blame_stage(stages, entry_state, memory_factory, reference)
+    assert blame.first_bad_stage is None
+    assert all(blame.per_stage_ok.values())
+    assert set(blame.per_stage_ok) <= set(STAGE_ORDER)
+
+
+@register_pass("_blame_inject_mul")
+def _blame_inject_mul(ops):
+    """Broken pass: turns the first add-constant-3 into times-3."""
+    stats = PassStats("_blame_inject_mul", ops_in=len(ops))
+    out = []
+    done = False
+    for instr in ops:
+        if (not done and instr.op == "add" and len(instr.srcs) == 2
+                and isinstance(instr.srcs[1], Const)
+                and instr.srcs[1].value == 3):
+            instr = instr.with_changes(op="mul")
+            done = True
+        out.append(instr)
+    stats.ops_out = len(out)
+    return out, stats
+
+
+def test_blame_pinpoints_optimizer_stage():
+    config = TolConfig(
+        bbm_threshold=3, sbm_threshold=8, unroll_enable=False,
+        sbm_passes=("constfold", "constprop", "_blame_inject_mul", "dce"))
+    stages, entry_state, memory_factory, reference = _capture_stages(config)
+    blame = blame_stage(stages, entry_state, memory_factory, reference)
+    # decoded and ssa stages are pre-bug; 'optimized' is the first bad one.
+    assert blame.per_stage_ok.get("decoded") is True
+    assert blame.per_stage_ok.get("ssa") is True
+    assert blame.first_bad_stage == "optimized"
+    assert "optimized" in str(blame)

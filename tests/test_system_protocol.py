@@ -1,0 +1,157 @@
+"""Tests for the controller's synchronization protocol (paper §V-A):
+initialization, data requests, syscall routing, dirty-page propagation,
+validation cadence, and pause/resume."""
+
+import pytest
+
+from repro.guest.assembler import (
+    Assembler, EAX, EBX, ECX, EDX, EDI, ESI, M,
+)
+from repro.guest.program import pack_u32s
+from repro.guest.syscalls import SYS_RAND, SYS_READ, SYS_WRITE, GuestOS
+from repro.tol.config import TolConfig
+from repro.system.controller import Controller, run_codesigned
+from repro.system.x86comp import ProcessTracker, X86Component
+
+FAST = TolConfig(bbm_threshold=3, sbm_threshold=8)
+
+
+def build(fn):
+    asm = Assembler()
+    fn(asm)
+    return asm.program()
+
+
+def test_process_tracker_initialized_on_launch():
+    program = build(lambda asm: asm.exit(0))
+    component = X86Component(program)
+    assert not component.tracker.launched
+    component.launch()
+    assert component.tracker.launched
+    assert component.tracker.asid != 0
+    assert component.tracker.entry_pc == program.entry
+
+
+def test_codesigned_memory_is_lazy():
+    def body(asm):
+        asm.data(0x9000, pack_u32s([5]))
+        asm.mov(EBX, M(None, disp=0x9000))
+        asm.mov(EDI, EBX)
+        asm.exit(0)
+    controller = Controller(build(body), config=FAST)
+    controller.initialize()
+    # Before running, the co-designed component holds no pages at all.
+    assert not list(controller.codesigned.memory.present_pages())
+    controller.run()
+    pages = set(controller.codesigned.memory.present_pages())
+    assert 0x9 in pages        # data page arrived on demand
+    assert 0x1 in pages        # code page arrived on demand
+    # Untouched pages were never transferred.
+    assert 0x8 not in pages
+
+
+def test_syscall_read_propagates_dirty_pages():
+    def body(asm):
+        asm.mov(EAX, SYS_READ)
+        asm.mov(EBX, 0)
+        asm.mov(ECX, 0xA000)         # buffer
+        asm.mov(EDX, 8)
+        asm.syscall()
+        # The co-designed component must see the bytes the x86 component's
+        # syscall wrote.
+        asm.mov(ESI, M(None, disp=0xA000))
+        asm.mov(EDI, M(None, disp=0xA004))
+        asm.exit(0)
+    # Touch the buffer first so the co-designed component has the page
+    # *before* the syscall (forcing the dirty-page propagation path).
+    def body2(asm):
+        asm.mov(ESI, M(None, disp=0xA000))  # fault the page in early
+        body(asm)
+    result, controller = run_codesigned(
+        build(body2), config=FAST, os=GuestOS(stdin=b"ABCDEFGH"))
+    assert result.exit_code == 0
+    assert controller.x86.state.get("ESI") == 0x44434241  # 'ABCD'
+    assert controller.x86.state.get("EDI") == 0x48474645  # 'EFGH'
+
+
+def test_syscall_results_visible_to_codesigned():
+    def body(asm):
+        asm.mov(EAX, SYS_RAND)
+        asm.syscall()
+        asm.mov(EDI, EAX)       # syscall result must flow back
+        asm.exit(0)
+    result, controller = run_codesigned(build(body), config=FAST)
+    assert controller.x86.state.get("EDI") != 0
+    assert controller.codesigned.state.get("EDI") == \
+        controller.x86.state.get("EDI")
+
+
+def test_stdout_interleaving_across_hot_code():
+    def body(asm):
+        msg = asm.data(0xB000, b"ab")
+        with asm.counted_loop(EDI, 25):
+            asm.mov(EAX, SYS_WRITE)
+            asm.mov(EBX, 1)
+            asm.mov(ECX, msg)
+            asm.mov(EDX, 2)
+            asm.syscall()
+        asm.exit(0)
+    result, _ = run_codesigned(build(body), config=FAST)
+    assert result.stdout == b"ab" * 25
+
+
+def test_validation_cadence_config():
+    def body(asm):
+        msg = asm.data(0xB000, b"x")
+        with asm.counted_loop(EDI, 10):
+            asm.mov(EAX, SYS_WRITE)
+            asm.mov(EBX, 1)
+            asm.mov(ECX, msg)
+            asm.mov(EDX, 1)
+            asm.syscall()
+        asm.exit(0)
+    every = TolConfig(bbm_threshold=3, sbm_threshold=8, validate_every=1)
+    result, _ = run_codesigned(build(body), config=every)
+    assert result.validations == result.syscalls + 1  # + final
+
+    sparse = TolConfig(bbm_threshold=3, sbm_threshold=8, validate_every=5)
+    result2, _ = run_codesigned(build(body), config=sparse)
+    assert result2.validations < result.validations
+    assert result2.validations >= 2
+
+
+def test_validate_disabled_still_runs():
+    def body(asm):
+        asm.mov(EAX, 1)
+        asm.exit(3)
+    result, _ = run_codesigned(build(body), config=FAST, validate=False)
+    assert result.exit_code == 3
+    assert result.validations == 0
+
+
+def test_pause_and_resume_mid_run():
+    def body(asm):
+        asm.mov(EAX, 0)
+        with asm.counted_loop(ECX, 2000):
+            asm.inc(EAX)
+        asm.mov(EDI, EAX)
+        asm.exit(0)
+    controller = Controller(build(body), config=FAST)
+    paused = controller.run(until_icount=1500)
+    assert paused.exit_code is None
+    assert paused.guest_icount >= 1500
+    # Resume to completion.
+    final = controller.run()
+    assert final.exit_code == 0
+    assert controller.x86.state.get("EDI") == 2000
+
+
+def test_guest_icounts_stay_synchronized():
+    def body(asm):
+        asm.mov(EAX, 0)
+        with asm.counted_loop(ECX, 500):
+            asm.add(EAX, 2)
+        asm.exit(0)
+    controller = Controller(build(body), config=FAST)
+    result = controller.run()
+    assert controller.x86.icount == controller.codesigned.guest_icount

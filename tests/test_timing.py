@@ -1,0 +1,243 @@
+"""Timing simulator tests: predictors, caches, prefetcher, pipeline model,
+and full-system integration."""
+
+import pytest
+
+from repro.timing.branch import BTB, Gshare
+from repro.timing.cache import Cache, MemoryHierarchy, StridePrefetcher, TLB
+from repro.timing.config import CacheConfig, TimingConfig, TLBConfig
+from repro.timing.core import InOrderCore
+
+
+# -- branch predictors ---------------------------------------------------------
+
+
+def test_gshare_learns_static_bias():
+    predictor = Gshare(entries=256, history_bits=4)
+    for _ in range(100):
+        predictor.update(0x1000, True)
+    assert predictor.predict(0x1000)
+    correct = predictor.update(0x1000, True)
+    assert correct
+
+
+def test_gshare_learns_alternating_pattern_via_history():
+    predictor = Gshare(entries=1024, history_bits=8)
+    outcomes = [True, False] * 200
+    mispredicts_late = 0
+    for i, taken in enumerate(outcomes):
+        correct = predictor.update(0x2000, taken)
+        if i > 300 and not correct:
+            mispredicts_late += 1
+    assert mispredicts_late <= 2  # history disambiguates the pattern
+
+
+def test_btb_hit_after_update():
+    btb = BTB(entries=64)
+    assert btb.lookup(0x1000) is None
+    btb.update(0x1000, 0x2000)
+    assert btb.lookup(0x1000) == 0x2000
+
+
+def test_btb_conflict_eviction():
+    btb = BTB(entries=64)
+    btb.update(0x1000, 0xAAAA)
+    btb.update(0x1000 + 64 * 4, 0xBBBB)  # same index, different tag
+    assert btb.lookup(0x1000) is None
+
+
+# -- caches ----------------------------------------------------------------------
+
+
+def test_cache_hit_after_fill():
+    cache = Cache(CacheConfig(size_bytes=1024, assoc=2, line_bytes=64))
+    assert not cache.access(0x100)
+    assert cache.access(0x100)
+    assert cache.access(0x13F)  # same line
+    assert not cache.access(0x140)  # next line
+
+
+def test_cache_lru_eviction():
+    cache = Cache(CacheConfig(size_bytes=256, assoc=2, line_bytes=64))
+    # 2 sets, 2 ways. Set 0 gets lines 0, 2, 4 (addr 0, 128, 256).
+    cache.access(0)
+    cache.access(128)
+    cache.access(0)      # line 0 now MRU
+    cache.access(256)    # evicts line 2 (LRU)
+    assert cache.access(0)
+    assert not cache.access(128)
+
+
+def test_cache_prefetch_counted_separately():
+    cache = Cache(CacheConfig(size_bytes=1024, assoc=2, line_bytes=64))
+    cache.prefetch(0x400)
+    assert cache.accesses == 0
+    assert cache.prefetch_fills == 1
+    assert cache.access(0x400)
+    assert cache.prefetch_hits == 1
+
+
+def test_tlb_behaviour():
+    tlb = TLB(TLBConfig(entries=8, assoc=2))
+    assert not tlb.access(0x1000)
+    assert tlb.access(0x1FFF)      # same page
+    assert not tlb.access(0x5000)
+
+
+def test_stride_prefetcher_detects_stream():
+    config = TimingConfig()
+    mem = MemoryHierarchy(config)
+    pc = 0x100
+    # A regular stride-64 stream: after training, lines should be
+    # prefetched ahead.
+    for i in range(50):
+        mem.data_latency(pc, 0x10000 + i * 64)
+    assert mem.prefetcher.issued > 0
+    assert mem.l1d.prefetch_hits > 0
+
+
+# -- pipeline model -----------------------------------------------------------------
+
+
+def feed_simple(core, n, klass="simple", dep_chain=False):
+    """Feed a loop-like stream (PCs wrap over a small hot region)."""
+    done = 0
+    for i in range(n):
+        srcs = (1,) if dep_chain else (2,)
+        dst = 1 if dep_chain else 3
+        done = core.feed(0x1000 + (i % 64) * 4, klass, dst, srcs)
+    return done
+
+
+def test_superscalar_ilp_vs_dependency_chain():
+    # Independent instructions should sustain close to issue_width IPC;
+    # a serial chain is limited to 1 per cycle.
+    core_ilp = InOrderCore(TimingConfig(issue_width=2))
+    feed_simple(core_ilp, 12000, dep_chain=False)
+    ilp_stats = core_ilp.finalize()
+
+    core_dep = InOrderCore(TimingConfig(issue_width=2))
+    feed_simple(core_dep, 12000, dep_chain=True)
+    dep_stats = core_dep.finalize()
+
+    assert ilp_stats.ipc > 1.5
+    assert dep_stats.ipc <= 1.05
+    assert ilp_stats.cycles < dep_stats.cycles
+
+
+def test_issue_width_scales_throughput():
+    results = {}
+    for width in (1, 2, 4):
+        cfg = TimingConfig(issue_width=width, fetch_width=8)
+        cfg.units = dict(cfg.units)
+        cfg.units["simple"] = (width, 1, True)  # scale ALUs with width
+        core = InOrderCore(cfg)
+        feed_simple(core, 12000)
+        results[width] = core.finalize().ipc
+    assert results[1] <= 1.05
+    assert results[2] > results[1]
+    assert results[4] > results[2]
+
+
+def test_load_latency_and_cache_misses_slow_execution():
+    cfg = TimingConfig()
+    core_hits = InOrderCore(cfg)
+    for i in range(1000):
+        core_hits.feed(0x100, "load", 1, (1,), mem_addr=0x8000)  # same line
+    hit_stats = core_hits.finalize()
+
+    core_miss = InOrderCore(TimingConfig(prefetch_enable=False))
+    for i in range(1000):
+        # Pointer-chase over 4MB: misses everywhere, serialized on reg 1.
+        addr = 0x8000 + (i * 7919 % 65536) * 64
+        core_miss.feed(0x100, "load", 1, (1,), mem_addr=addr)
+    miss_stats = core_miss.finalize()
+    assert miss_stats.cycles > hit_stats.cycles * 3
+
+
+def test_mispredicted_branches_add_bubbles():
+    import random
+    rng = random.Random(7)
+    core = InOrderCore(TimingConfig())
+    for i in range(2000):
+        taken = rng.random() < 0.5
+        core.feed(0x1000, "branch", None, (3,), branch=(taken, 0x2000))
+        core.feed(0x1004 + i % 16 * 4, "simple", 4, (5,))
+    stats = core.finalize()
+    assert stats.mispredicts > 100
+    # Bubbles force CPI well above the ideal.
+    assert stats.cpi > 1.5
+
+
+def test_biased_branches_predict_well():
+    core = InOrderCore(TimingConfig())
+    for i in range(2000):
+        core.feed(0x1000, "branch", None, (3,), branch=(True, 0x2000))
+        core.feed(0x1004, "simple", 4, (5,))
+    stats = core.finalize()
+    assert stats.mispredicts < 20
+
+
+def test_nonpipelined_divider_serializes():
+    cfg = TimingConfig()
+    core = InOrderCore(cfg)
+    for i in range(500):
+        core.feed(0x100 + i * 4, "complex", 3, (2,))
+    serial = core.finalize()
+    # ~occupancy-limited: at least `latency` cycles per op.
+    assert serial.cpi >= cfg.units["complex"][1] * 0.9
+
+
+def test_report_shape():
+    core = InOrderCore()
+    feed_simple(core, 100)
+    report = core.report()
+    for key in ("instructions", "cycles", "ipc", "l1d_miss_rate",
+                "stalls", "mispredict_rate"):
+        assert key in report
+
+
+# -- full-system integration -----------------------------------------------------
+
+
+def test_timing_attached_to_full_run():
+    from repro.guest.assembler import Assembler, EAX, EBX, ECX
+    from repro.timing.run import run_with_timing
+    from repro.tol.config import TolConfig
+
+    asm = Assembler()
+    asm.mov(EAX, 0)
+    with asm.counted_loop(ECX, 400):
+        asm.add(EAX, ECX)
+    asm.mov(EBX, EAX)
+    asm.exit(0)
+    program = asm.program()
+
+    result, controller, core = run_with_timing(
+        program, tol_config=TolConfig(bbm_threshold=3, sbm_threshold=8))
+    assert result.exit_code == 0
+    stats = core.finalize()
+    assert stats.instructions > 1000
+    assert stats.cycles > 0
+    assert 0.0 < stats.ipc <= 4.0  # sane range for a cold, tiny program
+
+
+def test_timing_without_tol_overhead_is_smaller():
+    from repro.guest.assembler import Assembler, EAX, ECX
+    from repro.timing.run import run_with_timing
+    from repro.tol.config import TolConfig
+
+    asm = Assembler()
+    asm.mov(EAX, 0)
+    with asm.counted_loop(ECX, 300):
+        asm.add(EAX, 3)
+    asm.exit(0)
+    program = asm.program()
+    cfg = TolConfig(bbm_threshold=3, sbm_threshold=8)
+
+    _, _, core_all = run_with_timing(program, tol_config=cfg,
+                                     include_tol_overhead=True)
+    _, _, core_app = run_with_timing(program, tol_config=cfg,
+                                     include_tol_overhead=False)
+    assert core_all.finalize().instructions > \
+        core_app.finalize().instructions

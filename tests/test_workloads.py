@@ -1,0 +1,94 @@
+"""Workload suite tests: every kernel must build, run to completion on the
+reference emulator, and (sampled) run correctly through the full co-designed
+stack with validation."""
+
+import pytest
+
+from repro.guest.emulator import GuestEmulator
+from repro.tol.config import TolConfig
+from repro.system.controller import run_codesigned
+from repro.workloads import (
+    PHYSICS, SPECFP, SPECINT, all_workloads, generate_quick, get_workload,
+    suite_workloads, SyntheticSpec, generate,
+)
+
+ALL = all_workloads()
+SMALL = 0.12  # scale factor keeping reference runs quick
+
+
+def test_suite_is_complete():
+    assert len(suite_workloads(SPECINT)) == 11
+    assert len(suite_workloads(SPECFP)) == 13
+    assert len(suite_workloads(PHYSICS)) == 7
+    assert len(ALL) == 31
+
+
+@pytest.mark.parametrize("workload", ALL, ids=lambda w: w.name)
+def test_workload_builds_and_terminates(workload):
+    program = workload.program(scale=SMALL)
+    emu = GuestEmulator(program)
+    emu.run(max_steps=3_000_000)
+    assert emu.halted, f"{workload.name} did not exit"
+    assert emu.os.exit_code == 0
+    assert emu.icount > 500
+
+
+@pytest.mark.parametrize("name", [
+    "429.mcf", "462.libquantum", "453.povray", "ragdoll", "continuous",
+])
+def test_selected_workloads_validate_on_darco(name):
+    program = get_workload(name).program(scale=SMALL)
+    result, controller = run_codesigned(
+        program, config=TolConfig(bbm_threshold=5, sbm_threshold=20))
+    assert result.exit_code == 0  # controller validated state + memory
+
+
+def test_scaling_changes_dynamic_size():
+    w = get_workload("401.bzip2")
+    small = GuestEmulator(w.program(scale=0.1))
+    small.run(max_steps=3_000_000)
+    big = GuestEmulator(w.program(scale=0.3))
+    big.run(max_steps=3_000_000)
+    assert big.icount > small.icount * 2
+
+
+def test_workloads_are_deterministic():
+    w = get_workload("458.sjeng")
+    a = GuestEmulator(w.program(scale=0.1))
+    a.run(max_steps=3_000_000)
+    b = GuestEmulator(w.program(scale=0.1))
+    b.run(max_steps=3_000_000)
+    assert a.state.diff(b.state) == {}
+
+
+def test_physics_static_code_is_larger_than_specfp():
+    rag = get_workload("ragdoll").program(scale=1.0)
+    fp = get_workload("410.bwaves").program(scale=1.0)
+    assert rag.static_code_bytes > fp.static_code_bytes
+
+
+def test_generator_respects_size_target():
+    program = generate_quick(seed=3, guest_insns=30_000)
+    emu = GuestEmulator(program)
+    emu.run(max_steps=3_000_000)
+    assert emu.halted
+    assert 10_000 < emu.icount < 90_000
+
+
+def test_generator_feature_knobs():
+    spec = SyntheticSpec(seed=5, hot_loops=1, trip_count=50, fp_ops=2,
+                         trig_ops=1, vec_ops=1, mem_ops=2)
+    program = generate(spec)
+    emu = GuestEmulator(program)
+    emu.run(max_steps=1_000_000)
+    assert emu.halted
+    from repro.guest.isa import InsnClass
+    assert emu.class_counts[InsnClass.FP_TRIG] >= 50
+    assert emu.class_counts[InsnClass.VEC] >= 50
+
+
+def test_generator_program_validates_on_darco():
+    program = generate_quick(seed=11, guest_insns=20_000, trig_ops=1)
+    result, controller = run_codesigned(
+        program, config=TolConfig(bbm_threshold=5, sbm_threshold=20))
+    assert result.exit_code == 0
