@@ -1,0 +1,97 @@
+"""Interpreter fast-path speed: closure-compiled vs op-list interpretation.
+
+The IM interpreter's fast path (:mod:`repro.tol.ir_eval.compile_ops`)
+replaces per-instruction op-list walking with one cached specialized
+closure per decode address.  This benchmark measures both modes on the
+same workload with a standalone interpreter (syscalls executed locally, so
+only interpretation speed is timed) and asserts the fast path clears a 2x
+KIPS bar.
+
+Run as a script to (re)generate ``BENCH_fastpath.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.guest.memory import PagedMemory
+from repro.guest.state import GuestState
+from repro.guest.syscalls import GuestOS
+from repro.tol.decoder import GisaFrontend
+from repro.tol.interp import END, SYSCALL, Interpreter
+from repro.workloads import get_workload
+
+WORKLOAD = "429.mcf"
+SCALE = 0.4
+STEPS = 120_000
+
+
+def measure_interp_kips(fastpath: bool, steps: int = STEPS,
+                        workload_name: str = WORKLOAD,
+                        scale: float = SCALE):
+    """KIPS of a standalone interpreter run over ``steps`` guest
+    instructions; returns ``(kips, icount)``."""
+    program = get_workload(workload_name).program(scale=scale)
+    memory = PagedMemory()
+    program.load_into(memory)
+    state = GuestState()
+    state.eip = program.entry
+    state.set("ESP", program.stack_top)
+    interp = Interpreter(GisaFrontend(), state, memory, fastpath=fastpath)
+    os = GuestOS()
+
+    t0 = time.perf_counter()
+    while interp.icount < steps:
+        result = interp.step()
+        if result.status == SYSCALL:
+            os.execute(state, memory)
+            interp.advance_past_syscall()
+            if os.exited:
+                break
+        elif result.status == END:
+            break
+    dt = time.perf_counter() - t0
+    return interp.icount / dt / 1e3, interp.icount
+
+
+def compare(steps: int = STEPS):
+    slow_kips, slow_icount = measure_interp_kips(False, steps=steps)
+    fast_kips, fast_icount = measure_interp_kips(True, steps=steps)
+    assert slow_icount == fast_icount, "modes executed different work"
+    return {
+        "workload": WORKLOAD,
+        "scale": SCALE,
+        "guest_insns": fast_icount,
+        "interpreted_kips": round(slow_kips, 1),
+        "compiled_kips": round(fast_kips, 1),
+        "speedup": round(fast_kips / slow_kips, 2),
+    }
+
+
+def test_fastpath_speedup(benchmark):
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print("\n=== interpreter fast path ===")
+    print(f"op-list interpretation: {results['interpreted_kips']:.1f} KIPS")
+    print(f"closure-compiled:       {results['compiled_kips']:.1f} KIPS")
+    print(f"speedup:                {results['speedup']:.2f}x")
+    assert results["speedup"] >= 2.0
+
+
+def main(argv):
+    steps = 5_000 if "--smoke" in argv else STEPS
+    results = compare(steps=steps)
+    print(json.dumps(results, indent=2))
+    if "--smoke" not in argv:
+        out = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+        out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -139,8 +139,12 @@ class HostEmulator:
     def __init__(self, memory: PagedMemory,
                  alias_table_size: int = 32,
                  ibtc_size: int = 256,
-                 fuel_per_dispatch: int = 50_000_000):
+                 fuel_per_dispatch: int = 50_000_000,
+                 fastpath: bool = True):
         self.memory = memory
+        #: Closure-compile straight-line register-op runs per code unit
+        #: (bypassed automatically while a trace_sink is attached).
+        self.fastpath = fastpath
         self.iregs: List[int] = [0] * NUM_IREGS
         self.fregs: List[float] = [0.0] * NUM_FREGS
         self.vregs: List[List[int]] = [[0, 0, 0, 0] for _ in range(NUM_VREGS)]
@@ -324,9 +328,18 @@ class HostEmulator:
         executed = 0
         fuel = self.fuel_per_dispatch
         iregs, fregs, vregs = self.iregs, self.fregs, self.vregs
+        # The per-instruction trace sink must observe every instruction, so
+        # tracing runs disable the compiled segments.
+        use_fast = self.fastpath and self.trace_sink is None
         while True:
             unit.exec_count += 1
             instrs = unit.instrs
+            prog = None
+            if use_fast:
+                prog = unit.__dict__.get("_fastprog")
+                if prog is None:
+                    prog = _compile_unit(unit)
+                    unit._fastprog = prog
             index = 0
             size = len(instrs)
             try:
@@ -336,6 +349,15 @@ class HostEmulator:
                             f"fuel exhausted in unit {unit.uid} "
                             f"(entry {unit.entry_pc:#x}): likely a "
                             f"translation bug (infinite loop)")
+                    if prog is not None:
+                        seg = prog[index]
+                        if seg is not None:
+                            length, fn = seg
+                            executed += length
+                            self._region_insns += length
+                            fn(iregs, fregs, vregs)
+                            index += length
+                            continue
                     ins = instrs[index]
                     executed += 1
                     self._region_insns += 1
@@ -927,3 +949,166 @@ def _h_stfchk(emu, unit, index, ins):
     if emu.alias_table.store_conflicts(addr, 8, ins.meta["seq"]):
         raise emu._Fail(EXIT_SPEC)
     emu._write_f64(addr, emu.fregs[ins.b])
+
+
+# ---------------------------------------------------------------------------
+# Closure compilation of code units (threaded-code fast path).
+#
+# Straight-line runs of pure register ops are compiled once per unit into a
+# single exec'd closure over (iregs, fregs, vregs), so steady-state replay
+# of hot BBM/superblock code stops re-dispatching per host instruction.
+# Memory ops, branches, checkpoints and the co-designed special ops stay on
+# the interpretive path: they interact with undo logging, page faults,
+# hooks and per-instruction accounting, and compiling them would change
+# observable statistics on the failure paths.  Each statement must compute
+# exactly what the corresponding inline case or _SLOW_HANDLERS entry
+# computes (tests/test_fastpath.py holds the two paths to equality).
+# ---------------------------------------------------------------------------
+
+_FAST_NS = {
+    "u32": u32,
+    "s32": s32,
+    "idiv32": sem.idiv32,
+    "fdiv64": sem.fdiv64,
+    "gisa_sqrt": sem.gisa_sqrt,
+    "ftrunc32": sem.ftrunc32,
+    "_floor": math.floor,
+}
+
+#: op -> statement template over I (iregs), F (fregs), V (vregs).
+_FAST_STMTS = {
+    "nop": None,
+    "mov": "I[{d}] = I[{a}]",
+    "add32": "I[{d}] = (I[{a}] + I[{b}]) & 0xFFFFFFFF",
+    "addi32": "I[{d}] = (I[{a}] + {imm}) & 0xFFFFFFFF",
+    "sub32": "I[{d}] = (I[{a}] - I[{b}]) & 0xFFFFFFFF",
+    "mul32": "I[{d}] = (s32(I[{a}]) * s32(I[{b}])) & 0xFFFFFFFF",
+    "div32s": "I[{d}] = idiv32(I[{a}], I[{b}])[0]",
+    "rem32s": "I[{d}] = idiv32(I[{a}], I[{b}])[1]",
+    "and32": "I[{d}] = (I[{a}] & I[{b}]) & 0xFFFFFFFF",
+    "andi32": "I[{d}] = (I[{a}] & {imm}) & 0xFFFFFFFF",
+    "or32": "I[{d}] = (I[{a}] | I[{b}]) & 0xFFFFFFFF",
+    "ori32": "I[{d}] = (I[{a}] | {imm}) & 0xFFFFFFFF",
+    "xor32": "I[{d}] = (I[{a}] ^ I[{b}]) & 0xFFFFFFFF",
+    "xori32": "I[{d}] = (I[{a}] ^ {imm}) & 0xFFFFFFFF",
+    "shl32": "I[{d}] = (I[{a}] << (I[{b}] & 31)) & 0xFFFFFFFF",
+    "shli32": "I[{d}] = (I[{a}] << ({imm} & 31)) & 0xFFFFFFFF",
+    "shr32": "I[{d}] = u32(I[{a}]) >> (I[{b}] & 31)",
+    "shri32": "I[{d}] = u32(I[{a}]) >> ({imm} & 31)",
+    "sar32": "I[{d}] = u32(s32(I[{a}]) >> (I[{b}] & 31))",
+    "sari32": "I[{d}] = u32(s32(I[{a}]) >> ({imm} & 31))",
+    "not32": "I[{d}] = (~I[{a}]) & 0xFFFFFFFF",
+    "neg32": "I[{d}] = (-I[{a}]) & 0xFFFFFFFF",
+    "add64": "I[{d}] = (I[{a}] + I[{b}]) & 0xFFFFFFFFFFFFFFFF",
+    "cmpeq": "I[{d}] = int(u32(I[{a}]) == u32(I[{b}]))",
+    "cmpeqi": "I[{d}] = int(u32(I[{a}]) == u32({imm}))",
+    "cmpne": "I[{d}] = int(u32(I[{a}]) != u32(I[{b}]))",
+    "cmpnei": "I[{d}] = int(u32(I[{a}]) != u32({imm}))",
+    "cmplt32s": "I[{d}] = int(s32(I[{a}]) < s32(I[{b}]))",
+    "cmplt32u": "I[{d}] = int(u32(I[{a}]) < u32(I[{b}]))",
+    "cmple32s": "I[{d}] = int(s32(I[{a}]) <= s32(I[{b}]))",
+    "cmple32u": "I[{d}] = int(u32(I[{a}]) <= u32(I[{b}]))",
+    "addcf32": "I[{d}] = int(((I[{a}] + I[{b}]) & 0xFFFFFFFF)"
+               " < u32(I[{a}]))",
+    "addof32": "I[{d}] = ((~(I[{a}] ^ I[{b}])) & (I[{a}]"
+               " ^ ((I[{a}] + I[{b}]) & 0xFFFFFFFF))) >> 31 & 1",
+    "subcf32": "I[{d}] = int(u32(I[{a}]) < u32(I[{b}]))",
+    "subof32": "I[{d}] = ((I[{a}] ^ I[{b}]) & (I[{a}]"
+               " ^ ((I[{a}] - I[{b}]) & 0xFFFFFFFF))) >> 31 & 1",
+    "mulof32": "I[{d}] = int(s32(I[{a}]) * s32(I[{b}])"
+               " != s32(u32(s32(I[{a}]) * s32(I[{b}]))))",
+    "fmov": "F[{d}] = F[{a}]",
+    "fadd": "F[{d}] = F[{a}] + F[{b}]",
+    "fsub": "F[{d}] = F[{a}] - F[{b}]",
+    "fmul": "F[{d}] = F[{a}] * F[{b}]",
+    "fdiv": "F[{d}] = fdiv64(F[{a}], F[{b}])",
+    "fneg": "F[{d}] = -F[{a}]",
+    "fabs": "F[{d}] = abs(F[{a}])",
+    "fsqrt": "F[{d}] = gisa_sqrt(F[{a}])",
+    "ffloor": "F[{d}] = float(_floor(F[{a}]))",
+    "fcmpeq": "I[{d}] = int(F[{a}] == F[{b}])",
+    "fcmplt": "I[{d}] = int(F[{a}] < F[{b}])",
+    "fcmpun": "I[{d}] = int(F[{a}] != F[{a}] or F[{b}] != F[{b}])",
+    "i2f": "F[{d}] = float(s32(I[{a}]))",
+    "f2i": "I[{d}] = ftrunc32(F[{a}])",
+    "vmov": "V[{d}] = list(V[{a}])",
+    "vadd32": "V[{d}] = [(_x + _y) & 0xFFFFFFFF"
+              " for _x, _y in zip(V[{a}], V[{b}])]",
+    "vsub32": "V[{d}] = [(_x - _y) & 0xFFFFFFFF"
+              " for _x, _y in zip(V[{a}], V[{b}])]",
+    "vmul32": "V[{d}] = [(s32(_x) * s32(_y)) & 0xFFFFFFFF"
+              " for _x, _y in zip(V[{a}], V[{b}])]",
+    "vsplat": "V[{d}] = [I[{a}] & 0xFFFFFFFF] * 4",
+}
+
+
+def _fast_stmt(ins):
+    """Statement for one fast op, or False when the op must stay slow."""
+    template = _FAST_STMTS.get(ins.op)
+    if template is None:
+        # "nop" maps to None but is compilable (it only needs counting).
+        return None if ins.op == "nop" else False
+    imm = ins.imm
+    if imm is not None and isinstance(imm, float) and not math.isfinite(imm):
+        return False
+    return template.format(d=ins.d, a=ins.a, b=ins.b, imm=repr(imm))
+
+
+def _li_stmt(ins):
+    if isinstance(ins.imm, float):
+        return False
+    return f"I[{ins.d}] = {ins.imm & 0xFFFFFFFFFFFFFFFF}"
+
+
+def _lif_stmt(ins):
+    value = float(ins.imm)
+    if not math.isfinite(value):
+        return False
+    return f"F[{ins.d}] = {value!r}"
+
+
+def _compile_segment(stmts):
+    body = "\n".join(f"    {s}" for s in stmts if s is not None)
+    if not body:
+        body = "    pass"
+    src = f"def _seg(I, F, V):\n{body}"
+    namespace = dict(_FAST_NS)
+    exec(compile(src, "<host_fastpath>", "exec"), namespace)
+    return namespace["_seg"]
+
+
+def _compile_unit(unit):
+    """Build the unit's fast program: a list aligned to instruction
+    indices where entry i is ``(length, closure)`` for a compiled
+    straight-line segment starting at i, or None (interpretive path).
+    Segments break at branch targets so control can always enter them."""
+    instrs = unit.instrs
+    size = len(instrs)
+    targets = {ins.target for ins in instrs if ins.target is not None}
+    prog = [None] * size
+    i = 0
+    while i < size:
+        stmt = _stmt_for(instrs[i])
+        if stmt is False:
+            i += 1
+            continue
+        stmts = [stmt]
+        j = i + 1
+        while j < size and j not in targets:
+            stmt = _stmt_for(instrs[j])
+            if stmt is False:
+                break
+            stmts.append(stmt)
+            j += 1
+        prog[i] = (j - i, _compile_segment(stmts))
+        i = j
+    return prog
+
+
+def _stmt_for(ins):
+    if ins.op == "li":
+        return _li_stmt(ins)
+    if ins.op == "lif":
+        return _lif_stmt(ins)
+    return _fast_stmt(ins)
+

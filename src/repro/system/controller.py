@@ -65,6 +65,7 @@ class Controller:
         self.validations = 0
         self.syscall_events = 0
         self._sync_events = 0
+        self._last_validated_icount = 0
         self._initialized = False
 
     # -- phase 1: Initialization ------------------------------------------------
@@ -157,15 +158,26 @@ class Controller:
     # -- validation ----------------------------------------------------------------
 
     def _should_validate(self) -> bool:
+        """Validation epoch: every N sync events, and (optionally) only
+        after enough guest instructions retired since the last comparison.
+        Amortizes validation cost without weakening the contract — final
+        validation in :meth:`_finish` always runs."""
         if not self.validate:
             return False
         every = self.config.validate_every
-        return every > 0 and self._sync_events % every == 0
+        if every <= 0 or self._sync_events % every != 0:
+            return False
+        gap = self.config.validate_min_icount_gap
+        if gap > 0 and (self.codesigned.guest_icount
+                        - self._last_validated_icount) < gap:
+            return False
+        return True
 
     def _validate_states(self, final: bool = False) -> None:
         """Compare emulated vs authoritative state (paper §V-D,
         Correctness)."""
         self.validations += 1
+        self._last_validated_icount = self.codesigned.guest_icount
         mine = self.codesigned.state
         authoritative = self.x86.state
         diff = mine.diff(authoritative)

@@ -29,6 +29,10 @@ class CodeCache:
         self.flushes = 0
         self.insertions = 0
         self.invalidations = 0
+        #: Units larger than the whole cache, refused outright (the TOL
+        #: still executes them from the translator's hand-back; they are
+        #: simply never cached).
+        self.oversize_rejections = 0
 
     def __len__(self) -> int:
         return len(self._units)
@@ -51,15 +55,25 @@ class CodeCache:
     # -- insertion / invalidation ------------------------------------------------
 
     def insert(self, unit: CodeUnit, variant: str = PLAIN) -> bool:
-        """Insert a unit; returns True if the cache flushed to make room."""
-        flushed = False
-        if self.size_insns + unit.size() > self.capacity_insns:
-            self.flush()
-            flushed = True
+        """Insert a unit; returns True if the cache flushed to make room.
+
+        The unit it replaces (same PC and variant) is invalidated *before*
+        the capacity check, so retranslating a large unit in place never
+        triggers a spurious full-cache flush.  A unit that could never fit
+        (larger than the whole cache) is rejected instead of being inserted
+        with ``size_insns > capacity_insns``.
+        """
         key = (unit.entry_pc, variant)
         old = self._units.get(key)
         if old is not None:
             self.invalidate(old)
+        if unit.size() > self.capacity_insns:
+            self.oversize_rejections += 1
+            return False
+        flushed = False
+        if self.size_insns + unit.size() > self.capacity_insns:
+            self.flush()
+            flushed = True
         self._units[key] = unit
         self.size_insns += unit.size()
         self.insertions += 1

@@ -78,11 +78,28 @@ class TolConfig:
     #: where to translate/optimize").
     background_translation: bool = False
 
+    # -- simulator fast paths ---------------------------------------------------
+    #: Closure-compile guest IR expansions per decode address so the IM
+    #: interpreter executes one specialized closure per instruction instead
+    #: of re-walking the op list (simulator wall-clock only; simulated
+    #: costs and results are identical either way).
+    interp_fastpath: bool = True
+    #: Closure-compile straight-line register-op runs of translated code
+    #: units (same contract: wall-clock only, bypassed while tracing).
+    host_fastpath: bool = True
+
     # -- validation ---------------------------------------------------------------
     #: Compare emulated vs authoritative state every N synchronization
     #: events (1 = every syscall; 0 disables periodic comparison — the
     #: end-of-application comparison always runs).
     validate_every: int = 1
+    #: Validation epoch in guest instructions: skip a due validation when
+    #: fewer than this many guest instructions retired since the previous
+    #: one (0 = validate on every due sync event, the seed behaviour).
+    #: Amortizes validation cost in syscall-dense phases without weakening
+    #: the authoritative-emulator contract — the end-of-application
+    #: comparison always runs.
+    validate_min_icount_gap: int = 0
 
     def scaled_thresholds(self, factor: float) -> "TolConfig":
         """A copy with promotion thresholds downscaled (warm-up

@@ -55,6 +55,26 @@ class Frontend:
                alloc: TmpAllocator) -> DecodedInstr:
         raise NotImplementedError
 
+    def decode_compiled(self, memory: PagedMemory, pc: int):
+        """Decode at ``pc`` and closure-compile the IR expansion (cached).
+
+        Returns ``(decoded, fn)`` where ``fn`` is the compiled closure from
+        :func:`repro.tol.ir_eval.compile_ops`, or ``None`` when the op list
+        is empty or uncompilable (callers fall back to ``eval_ops``).  The
+        cache is keyed by decode address, mirroring the decode cache: guest
+        code is immutable for the simulated programs, so entries never need
+        invalidation.  Works for any subclass that implements ``decode``.
+        """
+        cache = self.__dict__.setdefault("_compiled_cache", {})
+        entry = cache.get(pc)
+        if entry is None:
+            from repro.tol.ir_eval import compile_ops
+            decoded = self.decode(memory, pc)
+            fn = compile_ops(decoded.ops) if decoded.ops else None
+            entry = (decoded, fn)
+            cache[pc] = entry
+        return entry
+
 
 class _Emitter:
     """Helper accumulating IR for one guest instruction."""

@@ -6,6 +6,14 @@ first instruction.  Guarantees forward progress and acts as the safety net
 for instructions excluded from translations (complex string operations) and
 after speculation failures (paper §V-B1).
 
+The hot loop uses a closure-compiled fast path: the IR expansion of each
+decode address is compiled once (:func:`repro.tol.ir_eval.compile_ops`) and
+cached, so steady-state interpretation executes one specialized Python
+closure per guest instruction instead of re-walking the op list.  IR-op
+accounting (``ir_ops_evaluated``, per-step ``ir_ops``) is identical on both
+paths — the fast path changes simulator wall-clock speed, never simulated
+cost.
+
 System calls and program end are *signalled*, not executed: only the x86
 component interacts with the operating system.
 """
@@ -13,7 +21,7 @@ component interacts with the operating system.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from repro.guest.isa import u32
+from repro.guest.isa import GPR_NAMES, u32
 from repro.guest.memory import PagedMemory
 from repro.guest.state import GuestState
 from repro.tol.decoder import DecodedInstr, Frontend
@@ -23,6 +31,17 @@ OK = "ok"
 SYSCALL = "syscall"
 END = "end"
 
+_EAX = GPR_NAMES.index("EAX")
+_ECX = GPR_NAMES.index("ECX")
+_ESI = GPR_NAMES.index("ESI")
+_EDI = GPR_NAMES.index("EDI")
+
+#: Step-kind codes for the per-address fast cache.
+_K_NORMAL = 0
+_K_SYSCALL = 1
+_K_END = 2
+_K_STRING = 3
+
 
 @dataclass
 class StepResult:
@@ -31,18 +50,31 @@ class StepResult:
     ir_ops: int = 0
     #: True when the executed instruction ended a basic block.
     ended_bb: bool = False
+    #: False when a chunked string operation yielded before finishing its
+    #: element count; EIP still points at the instruction and the next
+    #: step resumes it (per-element restartability).
+    completed: bool = True
 
 
 class Interpreter:
     """Decode-to-IR interpreter over the emulated guest state."""
 
+    #: Elements a REP string op executes per step before yielding control
+    #: (bounds the work of one step against corrupted counts, e.g. an ECX
+    #: of 0xFFFFFFFF, while per-element register updates keep the op
+    #: restartable).
+    string_chunk_elements = 65536
+
     def __init__(self, frontend: Frontend, state: GuestState,
-                 memory: PagedMemory):
+                 memory: PagedMemory, fastpath: bool = True):
         self.frontend = frontend
         self.state = state
         self.memory = memory
+        self.fastpath = fastpath
         self.icount = 0
         self.ir_ops_evaluated = 0
+        #: decode address -> (kind, decoded, closure_or_None, StepResult).
+        self._fastcache = {}
 
     def current(self) -> DecodedInstr:
         """Decode (cached) the instruction at EIP; may raise PageFault."""
@@ -56,59 +88,103 @@ class Interpreter:
         faults propagate with architectural state untouched, so the
         instruction is simply retried once the page arrives.
         """
-        decoded = self.current()
+        state = self.state
+        entry = self._fastcache.get(state.eip)
+        if entry is None:
+            entry = self._fill_cache(state.eip)
+        kind, decoded, fn, result = entry
+        if kind == _K_NORMAL:
+            if fn is not None:
+                outcome, target = fn(state, self.memory)
+            else:
+                outcome, target = eval_ops(decoded.ops, state, self.memory)
+            if outcome == FALLTHROUGH:
+                state.eip = decoded.guest.next_addr
+            else:
+                state.eip = u32(target)
+            self.icount += 1
+            self.ir_ops_evaluated += result.ir_ops
+            return result
+        if kind == _K_STRING:
+            return self._step_string(decoded)
+        return result  # SYSCALL / END signal (no state change)
+
+    def _fill_cache(self, pc: int):
+        """Decode + classify + closure-compile the instruction at ``pc``."""
+        if self.fastpath:
+            decoded, fn = self.frontend.decode_compiled(self.memory, pc)
+        else:
+            decoded = self.current()
+            fn = None
         mnemonic = decoded.guest.mnemonic
         if mnemonic == "SYSCALL":
-            return StepResult(SYSCALL)
-        if mnemonic == "HLT":
-            return StepResult(END)
-        if decoded.interpreter_only:
-            elements = self._exec_string_op(decoded)
+            entry = (_K_SYSCALL, decoded, None, StepResult(SYSCALL))
+        elif mnemonic == "HLT":
+            entry = (_K_END, decoded, None, StepResult(END))
+        elif decoded.interpreter_only:
+            entry = (_K_STRING, decoded, None, None)
+        else:
+            # The OK StepResult is immutable per decode address, so one
+            # instance is reused across steps.
+            entry = (_K_NORMAL, decoded, fn,
+                     StepResult(OK, ir_ops=len(decoded.ops),
+                                ended_bb=decoded.is_branch))
+        self._fastcache[pc] = entry
+        return entry
+
+    def _step_string(self, decoded: DecodedInstr) -> StepResult:
+        elements, done = self._exec_string_op(decoded)
+        self.ir_ops_evaluated += elements * 3
+        if done:
             self.state.eip = decoded.guest.next_addr
             self.icount += 1
-            return StepResult(OK, ir_ops=elements * 3,
-                              ended_bb=decoded.is_branch)
-        outcome, target = eval_ops(decoded.ops, self.state, self.memory)
-        if outcome == FALLTHROUGH:
-            self.state.eip = decoded.guest.next_addr
-        else:
-            self.state.eip = u32(target)
-        self.icount += 1
-        self.ir_ops_evaluated += len(decoded.ops)
-        return StepResult(OK, ir_ops=len(decoded.ops),
-                          ended_bb=decoded.is_branch)
+        return StepResult(OK, ir_ops=elements * 3,
+                          ended_bb=decoded.is_branch and done,
+                          completed=done)
 
-    def advance_past_syscall(self) -> None:
-        """Move EIP past a SYSCALL after the controller has run it."""
+    def advance_past_syscall(self) -> int:
+        """Move EIP past a SYSCALL after the controller has run it.
+
+        Returns the IR ops accounted for the step (the SYSCALL expansion is
+        empty, so normally 0) and keeps ``ir_ops_evaluated`` consistent
+        with the per-step sums.
+        """
         decoded = self.current()
         self.state.eip = decoded.guest.next_addr
         self.icount += 1
+        ir_ops = len(decoded.ops)
+        self.ir_ops_evaluated += ir_ops
+        return ir_ops
 
     # -- interpreter-native complex instructions -----------------------------
 
-    def _exec_string_op(self, decoded: DecodedInstr) -> int:
-        """Execute a REP string op; returns the number of elements moved.
+    def _exec_string_op(self, decoded: DecodedInstr):
+        """Execute up to one chunk of a REP string op.
 
+        Returns ``(elements, done)``: the number of elements moved this
+        chunk and whether the operation ran to completion (ECX == 0).
         Per-element register updates make the operation restartable at any
-        page fault, mirroring x86 semantics.
+        page fault or chunk boundary, mirroring x86 semantics.
         """
         state, memory = self.state, self.memory
         mnemonic = decoded.guest.mnemonic
+        gpr = state.gpr
+        budget = self.string_chunk_elements
         elements = 0
         if mnemonic == "REP_MOVSD":
-            while state.get("ECX") != 0:
-                value = memory.read_u32(state.get("ESI"))
-                memory.write_u32(state.get("EDI"), value)
-                state.set("ESI", u32(state.get("ESI") + 4))
-                state.set("EDI", u32(state.get("EDI") + 4))
-                state.set("ECX", u32(state.get("ECX") - 1))
+            while gpr[_ECX] != 0 and elements < budget:
+                value = memory.read_u32(gpr[_ESI])
+                memory.write_u32(gpr[_EDI], value)
+                gpr[_ESI] = (gpr[_ESI] + 4) & 0xFFFFFFFF
+                gpr[_EDI] = (gpr[_EDI] + 4) & 0xFFFFFFFF
+                gpr[_ECX] = (gpr[_ECX] - 1) & 0xFFFFFFFF
                 elements += 1
         elif mnemonic == "REP_STOSD":
-            while state.get("ECX") != 0:
-                memory.write_u32(state.get("EDI"), state.get("EAX"))
-                state.set("EDI", u32(state.get("EDI") + 4))
-                state.set("ECX", u32(state.get("ECX") - 1))
+            while gpr[_ECX] != 0 and elements < budget:
+                memory.write_u32(gpr[_EDI], gpr[_EAX])
+                gpr[_EDI] = (gpr[_EDI] + 4) & 0xFFFFFFFF
+                gpr[_ECX] = (gpr[_ECX] - 1) & 0xFFFFFFFF
                 elements += 1
         else:
             raise ValueError(f"unexpected interpreter-only {mnemonic}")
-        return elements
+        return elements, gpr[_ECX] == 0

@@ -10,6 +10,18 @@ Three users:
    optimization pass to prove the pass semantics-preserving.
 3. The debug toolchain replays a region at the IR level to pinpoint the
    stage at which a translation bug appeared (paper §V-D, debug toolchain).
+
+Two execution strategies share one contract:
+
+- :func:`eval_ops` walks the op list interpretively (reference semantics);
+- :func:`compile_ops` translates an op list once into a single Python
+  closure (specialized on opcodes and operands, temps resolved to locals)
+  that the interpreter caches per decode address.  The closure returns the
+  same ``(outcome, pc)`` pairs as :func:`eval_ops` and preserves the
+  memory-before-architectural-write ordering, so page faults mid-closure
+  leave architectural state untouched exactly like the interpretive path.
+  Ops the compiler does not know are reported by returning ``None`` and the
+  caller falls back to :func:`eval_ops`.
 """
 
 from __future__ import annotations
@@ -194,3 +206,242 @@ _EVAL = {
     "vmul": lambda a, b: [(s32(x) * s32(y)) & _M32 for x, y in zip(a, b)],
     "vsplat": lambda a: [u32(a)] * 4,
 }
+
+
+# ---------------------------------------------------------------------------
+# Closure compilation (the hot-loop fast path).
+#
+# Each template must compute exactly what the corresponding _EVAL lambda (or
+# eval_ops special case) computes; the differential tests in
+# tests/test_fastpath.py hold the two paths to instruction-level equality.
+# Source operand expressions are pure (a local, a list index or a literal),
+# so templates may mention an operand more than once.
+# ---------------------------------------------------------------------------
+
+
+class _Unsupported(Exception):
+    """Op list contains something compile_ops does not handle."""
+
+
+#: Source templates for pure value ops ({a}, {b} are operand expressions).
+_SRC = {
+    "mov": "{a}",
+    "add": "(({a}) + ({b})) & 0xFFFFFFFF",
+    "sub": "(({a}) - ({b})) & 0xFFFFFFFF",
+    "mul": "(s32({a}) * s32({b})) & 0xFFFFFFFF",
+    "div": "idiv32({a}, {b})[0]",
+    "rem": "idiv32({a}, {b})[1]",
+    "and": "(({a}) & ({b})) & 0xFFFFFFFF",
+    "or": "(({a}) | ({b})) & 0xFFFFFFFF",
+    "xor": "(({a}) ^ ({b})) & 0xFFFFFFFF",
+    "shl": "(({a}) << (({b}) & 31)) & 0xFFFFFFFF",
+    "shr": "u32({a}) >> (({b}) & 31)",
+    "sar": "u32(s32({a}) >> (({b}) & 31))",
+    "not": "(~({a})) & 0xFFFFFFFF",
+    "neg": "(-({a})) & 0xFFFFFFFF",
+    "cmpeq": "int(u32({a}) == u32({b}))",
+    "cmpne": "int(u32({a}) != u32({b}))",
+    "cmplts": "int(s32({a}) < s32({b}))",
+    "cmpltu": "int(u32({a}) < u32({b}))",
+    "cmples": "int(s32({a}) <= s32({b}))",
+    "cmpleu": "int(u32({a}) <= u32({b}))",
+    "addcf": "int(((({a}) + ({b})) & 0xFFFFFFFF) < u32({a}))",
+    "addof": "((~(({a}) ^ ({b}))) & (({a}) ^ ((({a}) + ({b}))"
+             " & 0xFFFFFFFF))) >> 31 & 1",
+    "subcf": "int(u32({a}) < u32({b}))",
+    "subof": "((({a}) ^ ({b})) & (({a}) ^ ((({a}) - ({b}))"
+             " & 0xFFFFFFFF))) >> 31 & 1",
+    "mulof": "int(s32({a}) * s32({b})"
+             " != s32(u32(s32({a}) * s32({b}))))",
+    "fmov": "float({a})",
+    "fadd": "({a}) + ({b})",
+    "fsub": "({a}) - ({b})",
+    "fmul": "({a}) * ({b})",
+    "fdiv": "fdiv64({a}, {b})",
+    "fneg": "-({a})",
+    "fabs": "abs({a})",
+    "fsqrt": "gisa_sqrt({a})",
+    "ffloor": "float(_floor({a}))",
+    "fsin": "gisa_sin({a})",
+    "fcos": "gisa_cos({a})",
+    "i2f": "float(s32({a}))",
+    "f2i": "ftrunc32({a})",
+    "fcmpeq": "int(({a}) == ({b}))",
+    "fcmplt": "int(({a}) < ({b}))",
+    "fcmpun": "int(({a}) != ({a}) or ({b}) != ({b}))",
+    "vmov": "list({a})",
+    "vadd": "[(_x + _y) & 0xFFFFFFFF for _x, _y in zip({a}, {b})]",
+    "vsub": "[(_x - _y) & 0xFFFFFFFF for _x, _y in zip({a}, {b})]",
+    "vmul": "[(s32(_x) * s32(_y)) & 0xFFFFFFFF for _x, _y in zip({a}, {b})]",
+    "vsplat": "[u32({a})] * 4",
+}
+
+#: Shared exec namespace for compiled closures (copied per compilation).
+_COMPILE_NS = {
+    "u32": u32,
+    "s32": s32,
+    "idiv32": sem.idiv32,
+    "fdiv64": sem.fdiv64,
+    "gisa_sqrt": sem.gisa_sqrt,
+    "gisa_sin": sem.gisa_sin,
+    "gisa_cos": sem.gisa_cos,
+    "ftrunc32": sem.ftrunc32,
+    "_floor": math.floor,
+    "IRAssertFailure": IRAssertFailure,
+    "FALLTHROUGH": FALLTHROUGH,
+    "JUMP": JUMP,
+    "EXIT": EXIT,
+}
+
+
+def _operand_expr(operand):
+    """Python expression reading ``operand`` (mirrors eval_ops.read)."""
+    if isinstance(operand, Tmp):
+        return f"t{operand.index}"
+    if isinstance(operand, GReg):
+        return f"gpr[{operand.index}]"
+    if isinstance(operand, Flag):
+        return f"flags[{operand.index}]"
+    if isinstance(operand, Const):
+        value = operand.value
+        if isinstance(value, float) and not math.isfinite(value):
+            raise _Unsupported("non-finite float constant")
+        return repr(value)
+    if isinstance(operand, FTmp):
+        return f"ft{operand.index}"
+    if isinstance(operand, GFReg):
+        return f"fpr[{operand.index}]"
+    if isinstance(operand, VTmp):
+        return f"vt{operand.index}"
+    if isinstance(operand, GVReg):
+        return f"vr[{operand.index}]"
+    raise _Unsupported(f"unreadable operand {operand!r}")
+
+
+def _write_stmt(operand, expr):
+    """Assignment statement writing ``expr`` (mirrors eval_ops.write)."""
+    if isinstance(operand, (Tmp, FTmp, VTmp)):
+        return f"{_operand_expr(operand)} = {expr}"
+    if isinstance(operand, GReg):
+        return f"gpr[{operand.index}] = ({expr}) & 0xFFFFFFFF"
+    if isinstance(operand, Flag):
+        return f"flags[{operand.index}] = 1 if ({expr}) else 0"
+    if isinstance(operand, GFReg):
+        return f"fpr[{operand.index}] = float({expr})"
+    if isinstance(operand, GVReg):
+        return (f"vr[{operand.index}] ="
+                f" [_v & 0xFFFFFFFF for _v in ({expr})]")
+    raise _Unsupported(f"unwritable operand {operand!r}")
+
+
+def _addr_expr(instr):
+    base = _operand_expr(instr.srcs[0])
+    if instr.imm:
+        return f"(({base}) + {instr.imm}) & 0xFFFFFFFF"
+    return f"({base}) & 0xFFFFFFFF"
+
+
+def _compile_stmts(ops):
+    """Translate an IR op list into a list of Python statements."""
+    stmts = []
+    for k, instr in enumerate(ops):
+        op = instr.op
+        template = _SRC.get(op)
+        if template is not None:
+            exprs = [_operand_expr(s) for s in instr.srcs]
+            if len(exprs) == 1:
+                expr = template.format(a=exprs[0])
+            elif len(exprs) == 2:
+                expr = template.format(a=exprs[0], b=exprs[1])
+            else:
+                raise _Unsupported(f"bad arity for {op!r}")
+            stmts.append(_write_stmt(instr.dst, expr))
+        elif op == "ld32":
+            stmts.append(_write_stmt(
+                instr.dst, f"memory.read_u32({_addr_expr(instr)})"))
+        elif op == "st32":
+            value = _operand_expr(instr.srcs[1])
+            stmts.append(f"memory.write_u32({_addr_expr(instr)},"
+                         f" ({value}) & 0xFFFFFFFF)")
+        elif op == "ldf":
+            stmts.append(_write_stmt(
+                instr.dst, f"memory.read_f64({_addr_expr(instr)})"))
+        elif op == "stf":
+            value = _operand_expr(instr.srcs[1])
+            stmts.append(f"memory.write_f64({_addr_expr(instr)},"
+                         f" float({value}))")
+        elif op == "ldv":
+            stmts.append(_write_stmt(
+                instr.dst, f"memory.read_vec({_addr_expr(instr)})"))
+        elif op == "stv":
+            value = _operand_expr(instr.srcs[1])
+            stmts.append(f"memory.write_vec({_addr_expr(instr)}, {value})")
+        elif op in ("br_true", "br_false"):
+            cond = _operand_expr(instr.srcs[0])
+            taken = instr.attrs["taken_pc"]
+            fall = instr.attrs["fall_pc"]
+            if op == "br_true":
+                stmts.append(f"return (JUMP, {taken} if ({cond})"
+                             f" else {fall})")
+            else:
+                stmts.append(f"return (JUMP, {fall} if ({cond})"
+                             f" else {taken})")
+        elif op == "jmp":
+            stmts.append(f"return (JUMP, {instr.attrs['target_pc']})")
+        elif op == "jmp_ind":
+            target = _operand_expr(instr.srcs[0])
+            stmts.append(f"return (JUMP, ({target}) & 0xFFFFFFFF)")
+        elif op == "assert_true":
+            cond = _operand_expr(instr.srcs[0])
+            stmts.append(f"if not ({cond}):"
+                         f" raise IRAssertFailure(_OPS[{k}])")
+        elif op == "assert_false":
+            cond = _operand_expr(instr.srcs[0])
+            stmts.append(f"if ({cond}): raise IRAssertFailure(_OPS[{k}])")
+        elif op in ("side_exit_true", "side_exit_false", "guard_exit_false"):
+            cond = _operand_expr(instr.srcs[0])
+            target = instr.attrs["target_pc"]
+            if op == "side_exit_true":
+                stmts.append(f"if ({cond}): return (EXIT, {target})")
+            else:
+                stmts.append(f"if not ({cond}): return (EXIT, {target})")
+        elif op == "exit":
+            stmts.append(f"return (EXIT, {instr.attrs['next_pc']})")
+        elif op == "exit_ind":
+            target = _operand_expr(instr.srcs[0])
+            stmts.append(f"return (EXIT, ({target}) & 0xFFFFFFFF)")
+        else:
+            raise _Unsupported(f"unhandled IR op {op!r}")
+    stmts.append("return (FALLTHROUGH, None)")
+    return stmts
+
+
+def compile_ops(ops: List[IRInstr]):
+    """Compile a straight-line IR sequence into one Python closure.
+
+    Returns ``fn(state, memory) -> (outcome, pc)`` with semantics identical
+    to :func:`eval_ops` called without an ``env``, or ``None`` when the
+    sequence contains an op the compiler does not support (the caller falls
+    back to :func:`eval_ops`).  Temps become function locals; guest state
+    accesses become direct list indexing.
+    """
+    try:
+        stmts = _compile_stmts(ops)
+    except _Unsupported:
+        return None
+    body = "\n".join(f"    {s}" for s in stmts)
+    prologue = []
+    if "gpr[" in body:
+        prologue.append("    gpr = state.gpr")
+    if "flags[" in body:
+        prologue.append("    flags = state.flags")
+    if "fpr[" in body:
+        prologue.append("    fpr = state.fpr")
+    if "vr[" in body:
+        prologue.append("    vr = state.vr")
+    src = ("def _ir_compiled(state, memory):\n"
+           + "\n".join(prologue + [body]))
+    namespace = dict(_COMPILE_NS)
+    namespace["_OPS"] = ops
+    exec(compile(src, "<ir_fastpath>", "exec"), namespace)
+    return namespace["_ir_compiled"]

@@ -66,12 +66,14 @@ class Tol:
         self.host = HostEmulator(
             memory,
             alias_table_size=self.config.alias_table_size,
-            ibtc_size=self.config.ibtc_size)
+            ibtc_size=self.config.ibtc_size,
+            fastpath=self.config.host_fastpath)
         self.host.profile_hook = self._profile_hook
         self.host.alias_serial_search = self.config.alias_serial_search
         if self.config.profiling_hw_assist:
             self.host.profile_inline_cost = 0
-        self.interp = Interpreter(self.frontend, state, memory)
+        self.interp = Interpreter(self.frontend, state, memory,
+                                  fastpath=self.config.interp_fastpath)
         self.profiler = Profiler()
         self.cache = CodeCache(capacity_insns=self.config.code_cache_capacity)
         self.translator = Translator(self.frontend, self.config)
@@ -155,12 +157,16 @@ class Tol:
                 return TolEvent(EVENT_SYSCALL)
             if result.status == END:
                 return TolEvent(EVENT_END)
-            self.guest_icount += 1
-            self.stats.im_guest_insns += 1
+            if result.completed:
+                # Chunked string ops yield mid-instruction (completed is
+                # False); the instruction retires only once.
+                self.guest_icount += 1
+                self.stats.im_guest_insns += 1
             if dual:
                 # Denver-style: the hardware guest decoder executes cold
                 # code at near-native cost in the application stream.
-                self._hw_decode_insns += self.config.dual_decode_cost
+                if result.completed:
+                    self._hw_decode_insns += self.config.dual_decode_cost
             else:
                 self.overhead.charge(
                     "interpreter",

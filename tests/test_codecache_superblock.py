@@ -61,6 +61,44 @@ def test_cache_capacity_flush():
     assert cache.flushes == 1
 
 
+def test_cache_replacement_never_flushes_spuriously():
+    # Retranslating a unit in place frees the old copy before the capacity
+    # check, so a cache that is "full of the old copy" never flushes.
+    cache = CodeCache(capacity_insns=10)
+    cache.insert(unit(1, 0x1000, n_instrs=8), PLAIN)
+    flushed = cache.insert(unit(2, 0x1000, n_instrs=8), PLAIN)
+    assert not flushed
+    assert cache.flushes == 0
+    assert cache.size_insns == 8
+    assert cache.lookup(0x1000).uid == 2
+
+
+def test_cache_oversized_unit_rejected():
+    cache = CodeCache(capacity_insns=10)
+    small = unit(1, 0x1000, n_instrs=4)
+    cache.insert(small, PLAIN)
+    flushed = cache.insert(unit(2, 0x2000, n_instrs=12), PLAIN)
+    assert not flushed
+    assert cache.oversize_rejections == 1
+    assert cache.flushes == 0
+    assert cache.lookup(0x2000) is None
+    assert cache.lookup(0x1000) is small      # resident units untouched
+    assert cache.size_insns == 4
+
+
+def test_cache_oversized_replacement_still_invalidates_old():
+    # The stale translation must go even when its replacement can't be
+    # cached: executing the old unit would be wrong.
+    cache = CodeCache(capacity_insns=10)
+    old = unit(1, 0x1000, n_instrs=4)
+    cache.insert(old, PLAIN)
+    cache.insert(unit(2, 0x1000, n_instrs=12), PLAIN)
+    assert cache.lookup(0x1000) is None
+    assert cache.size_insns == 0
+    assert cache.invalidations == 1
+    assert cache.oversize_rejections == 1
+
+
 def test_cache_chain_rejects_non_exit():
     cache = CodeCache()
     a, b = unit(1, 0x1000), unit(2, 0x2000)
