@@ -112,3 +112,31 @@ def test_ablation_background_translation(benchmark):
     assert background["background_insns"] > 0
     assert background["main_stream_insns"] < inline["main_stream_insns"]
     assert background["tol_overhead"] < inline["tol_overhead"]
+
+
+def main(argv):
+    """Script mode: fan every registered ablation out over worker
+    processes via the sweep runner (``--jobs N``, ``--cache DIR``)."""
+    import sys
+
+    from repro.harness.ablations import run_ablations
+    from repro.harness.parallel import print_progress
+
+    jobs = None
+    cache_dir = None
+    if "--jobs" in argv:
+        jobs = int(argv[argv.index("--jobs") + 1])
+    if "--cache" in argv:
+        cache_dir = argv[argv.index("--cache") + 1]
+    studies = run_ablations(jobs=jobs, use_cache=cache_dir is not None,
+                            cache_dir=cache_dir, progress=print_progress)
+    for name, rows in studies.items():
+        print(f"\n=== {name} ===")
+        print(format_rows(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

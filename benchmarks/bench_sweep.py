@@ -1,0 +1,115 @@
+"""Sweep-runner speed: cold-sequential vs cold-parallel vs warm-cached.
+
+The paper fanned DARCO's evaluation out on a cluster because each run is
+independent (§VI); :mod:`repro.harness.parallel` brings the same two
+levers to the reproduction — process fan-out and a persistent
+content-addressed result cache.  This benchmark measures a fixed
+workload subset three ways and gates the contract:
+
+- parallel cold run beats the sequential cold run (> 1.8x with 4+ cores;
+  on smaller hosts the ratio is recorded but not gated);
+- a warm-cache replay beats the cold-sequential run by at least 10x.
+
+Run as a script to (re)generate ``BENCH_sweep.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.harness.parallel import ResultCache, suite_sweep_jobs, sweep
+
+WORKLOADS = ("429.mcf", "462.libquantum", "continuous", "ragdoll")
+SCALE = 0.3
+JOBS = 4
+
+#: Acceptance gates (enforced at full scale).
+PARALLEL_SPEEDUP_FLOOR = 1.8
+WARM_SPEEDUP_FLOOR = 10.0
+
+
+def _timed_sweep(n_jobs, cache, scale):
+    jobs = suite_sweep_jobs(scale=scale, workloads=list(WORKLOADS),
+                            validate=False)
+    start = time.perf_counter()
+    results = sweep(jobs, n_jobs=n_jobs, use_cache=cache is not None,
+                    cache=cache)
+    wall = time.perf_counter() - start
+    assert all(r.ok for r in results), [r.error for r in results
+                                        if not r.ok]
+    return wall, [r.value for r in results]
+
+
+def compare(scale: float = SCALE):
+    cache_dir = tempfile.mkdtemp(prefix="repro_bench_cache_")
+    try:
+        cache = ResultCache(cache_dir)
+        cold_seq, metrics_seq = _timed_sweep(1, None, scale)
+        cold_par, metrics_par = _timed_sweep(JOBS, cache, scale)
+        warm, metrics_warm = _timed_sweep(1, cache, scale)
+        assert metrics_seq == metrics_par == metrics_warm, \
+            "fan-out/cache changed results"
+        assert cache.hits == len(WORKLOADS), "warm pass missed the cache"
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "workloads": list(WORKLOADS),
+        "scale": scale,
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+        "cold_sequential_s": round(cold_seq, 3),
+        "cold_parallel_s": round(cold_par, 3),
+        "warm_cached_s": round(warm, 3),
+        "parallel_speedup": round(cold_seq / cold_par, 2),
+        "warm_speedup": round(cold_seq / warm, 1),
+        "parallel_gate": (f"> {PARALLEL_SPEEDUP_FLOOR}x with >= 4 cores "
+                          f"(host has {os.cpu_count()})"),
+        "warm_gate": f">= {WARM_SPEEDUP_FLOOR}x vs cold sequential",
+    }
+
+
+def check_gates(results, smoke: bool = False) -> None:
+    if smoke:
+        return
+    assert results["warm_speedup"] >= WARM_SPEEDUP_FLOOR, (
+        f"warm-cache replay only {results['warm_speedup']}x faster "
+        f"than cold sequential (floor {WARM_SPEEDUP_FLOOR}x)")
+    if (os.cpu_count() or 1) >= 4:
+        assert results["parallel_speedup"] > PARALLEL_SPEEDUP_FLOOR, (
+            f"cold parallel only {results['parallel_speedup']}x faster "
+            f"than cold sequential (floor {PARALLEL_SPEEDUP_FLOOR}x)")
+
+
+def test_sweep_speedups(benchmark):
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print("\n=== sweep runner: fan-out and cache ===")
+    print(f"cold sequential: {results['cold_sequential_s']:.2f}s")
+    print(f"cold parallel  : {results['cold_parallel_s']:.2f}s "
+          f"({results['parallel_speedup']:.2f}x, jobs={JOBS})")
+    print(f"warm cached    : {results['warm_cached_s']:.2f}s "
+          f"({results['warm_speedup']:.1f}x)")
+    check_gates(results)
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    results = compare(scale=0.05 if smoke else SCALE)
+    print(json.dumps(results, indent=2))
+    check_gates(results, smoke=smoke)
+    if not smoke:
+        out = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+        out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,8 +1,15 @@
 """Shared fixtures for the reproduction benchmarks.
 
 The full 31-workload functional sweep feeds Figures 4-7, so it runs once
-per session.  ``REPRO_SCALE`` (default 1.0) scales workload dynamic sizes;
-``REPRO_VALIDATE=1`` enables full state validation during the sweep.
+per session — through the parallel sweep runner, so it fans out over
+worker processes and can replay from the persistent result cache:
+
+- ``REPRO_SCALE``    (default 1.0)  scales workload dynamic sizes;
+- ``REPRO_VALIDATE=1``              enables full state validation;
+- ``REPRO_JOBS``     (default 0)    worker processes (0 = sequential
+                                    in-process, the seed behaviour);
+- ``REPRO_CACHE``    (default off)  result-cache directory; set to a
+                                    path to make re-runs instant replays.
 """
 
 import os
@@ -27,4 +34,8 @@ def suite_scale():
 @pytest.fixture(scope="session")
 def suite_metrics(suite_scale):
     validate = os.environ.get("REPRO_VALIDATE", "0") == "1"
-    return run_suite_metrics(scale=suite_scale, validate=validate)
+    jobs = int(os.environ.get("REPRO_JOBS", "0") or 0) or None
+    cache_dir = os.environ.get("REPRO_CACHE") or None
+    return run_suite_metrics(scale=suite_scale, validate=validate,
+                             jobs=jobs, use_cache=cache_dir is not None,
+                             cache_dir=cache_dir)

@@ -129,7 +129,10 @@ def cmd_figures(args) -> int:
         run_suite_metrics, shape_checks,
     )
     metrics = run_suite_metrics(scale=args.scale,
-                                validate=args.validate)
+                                validate=args.validate,
+                                jobs=args.jobs,
+                                use_cache=not args.no_cache,
+                                cache_dir=args.cache_dir)
     tables = {"4": ("Figure 4: mode distribution", fig4_table),
               "5": ("Figure 5: emulation cost", fig5_table),
               "6": ("Figure 6: TOL overhead", fig6_table),
@@ -149,6 +152,52 @@ def cmd_speed(args) -> int:
     from repro.harness.speed import measure_speed
     report = measure_speed(args.workload, scale=args.scale)
     print(report.table())
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    import time
+
+    from repro.harness.figures import (
+        fig4_table, fig5_table, fig6_table, fig7_table, shape_checks,
+    )
+    from repro.harness.parallel import (
+        ResultCache, print_progress, suite_sweep_jobs, sweep,
+    )
+    config = _apply_config_overrides(TolConfig(), args.set) \
+        if args.set else None
+    sweep_jobs = suite_sweep_jobs(scale=args.scale, config=config,
+                                  workloads=args.workload or None,
+                                  validate=args.validate)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    start = time.perf_counter()
+    results = sweep(sweep_jobs, n_jobs=args.jobs,
+                    use_cache=not args.no_cache, cache=cache,
+                    timeout=args.timeout, progress=print_progress)
+    wall = time.perf_counter() - start
+    failed = [r for r in results if not r.ok]
+    hits = cache.hits if cache is not None else 0
+    print(f"\nsweep: {len(results) - len(failed)}/{len(results)} tasks ok, "
+          f"{hits} cache hits, {wall:.1f}s wall "
+          f"(jobs={args.jobs or 'auto'}, "
+          f"cache={'off' if args.no_cache else args.cache_dir})")
+    for r in failed:
+        print(f"\nFAILED {r.job.label} after {r.attempts} attempt(s):")
+        for line in r.error.rstrip().splitlines():
+            print(f"  {line}")
+    if failed:
+        return 1
+    if args.figures:
+        metrics = [r.value for r in results]
+        for title, fn in (("Figure 4: mode distribution", fig4_table),
+                          ("Figure 5: emulation cost", fig5_table),
+                          ("Figure 6: TOL overhead", fig6_table),
+                          ("Figure 7: overhead breakdown", fig7_table)):
+            print(f"\n=== {title} ===")
+            print(fn(metrics))
+        print("\nshape checks:")
+        for name, ok in shape_checks(metrics).items():
+            print(f"  {'PASS' if ok else 'FAIL'}  {name}")
     return 0
 
 
@@ -184,7 +233,41 @@ def build_parser() -> argparse.ArgumentParser:
                        default="all")
     fig_p.add_argument("--scale", type=float, default=1.0)
     fig_p.add_argument("--validate", action="store_true")
+    fig_p.add_argument("--jobs", "-j", type=int, default=None,
+                       help="parallel worker processes "
+                            "(default: sequential)")
+    fig_p.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent result cache")
+    fig_p.add_argument("--cache-dir", default=".repro_cache",
+                       help="result cache directory "
+                            "(default: .repro_cache)")
     fig_p.set_defaults(fn=cmd_figures)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="fan the workload suite out over worker processes with a "
+             "persistent result cache")
+    sweep_p.add_argument("--jobs", "-j", type=int, default=None,
+                         help="worker processes (default: cpu count)")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent result cache")
+    sweep_p.add_argument("--cache-dir", default=".repro_cache",
+                         help="result cache directory "
+                              "(default: .repro_cache)")
+    sweep_p.add_argument("--scale", type=float, default=1.0,
+                         help="workload scale factor")
+    sweep_p.add_argument("--workload", action="append", metavar="NAME",
+                         help="restrict to this workload (repeatable; "
+                              "default: the full paper suite)")
+    sweep_p.add_argument("--validate", action="store_true",
+                         help="enable authoritative state validation")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         help="per-task timeout in seconds")
+    sweep_p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                         help="override a TolConfig field (repeatable)")
+    sweep_p.add_argument("--figures", action="store_true",
+                         help="print the figure tables after the sweep")
+    sweep_p.set_defaults(fn=cmd_sweep)
 
     speed_p = sub.add_parser("speed", help="measure simulation speed")
     speed_p.add_argument("--workload", default="429.mcf")

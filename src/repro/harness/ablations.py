@@ -209,6 +209,55 @@ def ablate_background_translation(workload_name: str = "ragdoll",
     return rows
 
 
+#: Registry of every ablation/sweep study, for declarative fan-out.
+ABLATIONS = {
+    "chaining": ablate_chaining,
+    "unrolling": ablate_unrolling,
+    "speculation": ablate_speculation,
+    "optimizations": ablate_optimizations,
+    "thresholds": sweep_thresholds,
+    "issue_width": sweep_issue_width,
+    "startup_delay": ablate_startup_delay,
+    "alias_table": sweep_alias_table,
+    "background_translation": ablate_background_translation,
+}
+
+
+def run_ablation(name: str, **kwargs) -> List[AblationRow]:
+    """Run one registered ablation by name (the sweep-task entry point)."""
+    fn = ABLATIONS.get(name)
+    if fn is None:
+        raise KeyError(f"unknown ablation {name!r}; "
+                       f"registered: {', '.join(sorted(ABLATIONS))}")
+    return fn(**kwargs)
+
+
+def run_ablations(names=None, jobs=None, use_cache: bool = False,
+                  cache_dir=None, progress=None,
+                  params=None) -> Dict[str, List[AblationRow]]:
+    """Fan the registered ablations out via the parallel sweep runner.
+
+    ``params`` optionally maps an ablation name to extra kwargs (e.g.
+    ``{"chaining": {"scale": 0.2}}``).  Returns ``{name: rows}``; any
+    failed study raises with its error record.
+    """
+    from repro.harness.parallel import (
+        DEFAULT_CACHE_DIR, SweepJob, raise_on_errors, sweep,
+    )
+    names = list(names if names is not None else ABLATIONS)
+    params = params or {}
+    sweep_jobs = [
+        SweepJob(task="ablation",
+                 params={"name": name, **params.get(name, {})},
+                 label=f"ablation:{name}")
+        for name in names]
+    results = sweep(
+        sweep_jobs, n_jobs=jobs, use_cache=use_cache,
+        cache_dir=cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR,
+        progress=progress)
+    return dict(zip(names, raise_on_errors(results)))
+
+
 def format_rows(rows: List[AblationRow]) -> str:
     if not rows:
         return "(no rows)"

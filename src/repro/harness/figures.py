@@ -76,13 +76,36 @@ def run_workload_metrics(workload, scale: float = 1.0,
 def run_suite_metrics(scale: float = 1.0,
                       config: Optional[TolConfig] = None,
                       suites=(SPECINT, SPECFP, PHYSICS),
-                      validate: bool = True) -> List[KernelMetrics]:
-    metrics = []
-    for suite in suites:
-        for workload in suite_workloads(suite):
-            metrics.append(run_workload_metrics(
-                workload, scale=scale, config=config, validate=validate))
-    return metrics
+                      validate: bool = True,
+                      jobs: Optional[int] = None,
+                      use_cache: bool = False,
+                      cache_dir=None,
+                      progress=None) -> List[KernelMetrics]:
+    """Metrics for every workload of ``suites``.
+
+    With the defaults this is the seed's sequential in-process loop.
+    Passing ``jobs`` and/or enabling the cache routes the runs through
+    :func:`repro.harness.parallel.sweep` (identical metrics, wall-clock
+    scales with cores, unchanged runs replay from ``cache_dir``).
+    """
+    if jobs is None and not use_cache and progress is None:
+        metrics = []
+        for suite in suites:
+            for workload in suite_workloads(suite):
+                metrics.append(run_workload_metrics(
+                    workload, scale=scale, config=config,
+                    validate=validate))
+        return metrics
+    from repro.harness.parallel import (
+        DEFAULT_CACHE_DIR, raise_on_errors, suite_sweep_jobs, sweep,
+    )
+    results = sweep(
+        suite_sweep_jobs(scale=scale, config=config, suites=suites,
+                         validate=validate),
+        n_jobs=jobs, use_cache=use_cache,
+        cache_dir=cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR,
+        progress=progress)
+    return raise_on_errors(results)
 
 
 def suite_average(metrics: List[KernelMetrics], suite: str, fn) -> float:

@@ -1,0 +1,503 @@
+"""Parallel sweep runner with a persistent, content-addressed result cache.
+
+The paper ran DARCO's evaluation as thousands of independent simulations
+fanned out on a cluster (§VI); every figure, ablation and case study in
+this reproduction is likewise an embarrassingly parallel bag of
+independent runs.  :func:`sweep` is the one fan-out point they all share:
+
+- jobs are declarative :class:`SweepJob` records (a registered task name
+  plus picklable keyword arguments), so they cross process boundaries and
+  hash cleanly;
+- execution fans out over a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``n_jobs``, default ``os.cpu_count()``); ``n_jobs=1`` runs inline with
+  the exact same task functions, so parallelism changes wall-clock only;
+- results are memoized in an on-disk cache (``.repro_cache/`` by default)
+  keyed by a content hash of the task name, its arguments (configs are
+  serialized field by field) and a fingerprint of the whole ``src/repro``
+  source tree — any source or config change invalidates cleanly, and an
+  unchanged run is an instant replay;
+- robustness is per task: a worker exception, crash or timeout degrades
+  that one job to an error record (after one isolated retry) without
+  killing the sweep.
+
+Results come back as :class:`SweepResult` records in job order; cached
+values are plain pickled dataclasses (``KernelMetrics`` et al.) that
+round-trip losslessly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import time
+import traceback
+from concurrent.futures import (
+    ProcessPoolExecutor, TimeoutError as FuturesTimeout, as_completed,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, is_dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+#: Bump when the cache record layout changes (invalidates old entries).
+CACHE_VERSION = 1
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_MISS = object()
+
+
+# ---------------------------------------------------------------------------
+# Content addressing: code fingerprint + job keys.
+# ---------------------------------------------------------------------------
+
+#: Root of the source tree covered by the fingerprint.
+SOURCE_ROOT = Path(__file__).resolve().parents[1]
+
+_fingerprint_cache: Optional[str] = None
+
+
+def code_fingerprint(root: Optional[Path] = None) -> str:
+    """SHA-256 over every ``*.py`` under ``src/repro`` (path + content).
+
+    Computed once per process for the default root; any source change
+    yields a different digest and therefore different cache keys.
+    """
+    global _fingerprint_cache
+    if root is None and _fingerprint_cache is not None:
+        return _fingerprint_cache
+    base = Path(root) if root is not None else SOURCE_ROOT
+    digest = hashlib.sha256()
+    for path in sorted(base.rglob("*.py")):
+        digest.update(path.relative_to(base).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    result = digest.hexdigest()
+    if root is None:
+        _fingerprint_cache = result
+    return result
+
+
+def serialize_params(value: Any) -> Any:
+    """JSON-able projection of task parameters for hashing.
+
+    Dataclasses (``TolConfig``, ``TimingConfig``, nested cache configs)
+    are expanded field by field with their class name, so any field change
+    changes the key; unknown objects fall back to ``repr``.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {f.name: serialize_params(getattr(value, f.name))
+                       for f in dataclasses.fields(value)},
+        }
+    if isinstance(value, dict):
+        return {str(k): serialize_params(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [serialize_params(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# Jobs and results.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepJob:
+    """One unit of sweep work: a registered task plus picklable kwargs."""
+
+    task: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.label:
+            hint = self.params.get("workload") or self.params.get("name")
+            self.label = f"{self.task}:{hint}" if hint else self.task
+
+    def key(self, fingerprint: Optional[str] = None) -> str:
+        payload = {
+            "version": CACHE_VERSION,
+            "task": self.task,
+            "params": serialize_params(self.params),
+            "code": fingerprint if fingerprint is not None
+            else code_fingerprint(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one job: a value, or an error record (never both)."""
+
+    job: SweepJob
+    value: Any = None
+    error: Optional[str] = None
+    cached: bool = False
+    attempts: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+# ---------------------------------------------------------------------------
+# Task registry (the only things workers execute).
+# ---------------------------------------------------------------------------
+
+_TASKS: Dict[str, Callable] = {}
+
+
+def register_task(name: str):
+    """Register a sweep task under ``name`` (module-level, picklable)."""
+    def wrap(fn):
+        _TASKS[name] = fn
+        return fn
+    return wrap
+
+
+@register_task("workload_metrics")
+def _task_workload_metrics(workload: str, scale: float = 1.0,
+                           config=None, validate: bool = True):
+    from repro.harness.figures import run_workload_metrics
+    from repro.workloads import get_workload
+    return run_workload_metrics(get_workload(workload), scale=scale,
+                                config=config, validate=validate)
+
+
+@register_task("ablation")
+def _task_ablation(name: str, **kwargs):
+    from repro.harness.ablations import run_ablation
+    return run_ablation(name, **kwargs)
+
+
+@register_task("speed")
+def _task_speed(workload: str = "429.mcf", scale: float = 0.5, config=None):
+    from repro.harness.speed import measure_speed
+    return measure_speed(workload_name=workload, scale=scale,
+                         config=config)
+
+
+@register_task("warmup_case")
+def _task_warmup_case(workload: str = "473.astar", **kwargs):
+    from repro.harness.warmup_case import run_case_study
+    return run_case_study(workload_name=workload, **kwargs)
+
+
+def _execute(task: str, params: Dict[str, Any]):
+    fn = _TASKS.get(task)
+    if fn is None:
+        raise KeyError(f"unknown sweep task {task!r}; "
+                       f"registered: {', '.join(sorted(_TASKS))}")
+    return fn(**params)
+
+
+def _worker(task: str, params: Dict[str, Any]):
+    """Top-level worker entry (picklable); exceptions become records."""
+    start = time.perf_counter()
+    try:
+        value = _execute(task, params)
+        return ("ok", value, time.perf_counter() - start)
+    except Exception:
+        return ("error", traceback.format_exc(),
+                time.perf_counter() - start)
+
+
+# ---------------------------------------------------------------------------
+# Persistent on-disk cache.
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed pickle store: ``<dir>/<key[:2]>/<key>.pkl``.
+
+    Entries are written atomically (temp file + rename); a corrupted,
+    truncated or key-mismatched entry reads as a miss and is dropped.
+    """
+
+    def __init__(self, directory=DEFAULT_CACHE_DIR):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """Cached value for ``key``, or the module-level ``_MISS``."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                stored_key, value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return _MISS
+        except Exception:
+            # Corrupted/truncated entry: a miss, never a crash.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return _MISS
+        if stored_key != key:
+            self.misses += 1
+            return _MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump((key, value), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+
+
+# ---------------------------------------------------------------------------
+# The sweep runner.
+# ---------------------------------------------------------------------------
+
+
+def _terminate(executor: ProcessPoolExecutor) -> None:
+    for proc in list(getattr(executor, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except OSError:
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_inline(job: SweepJob) -> SweepResult:
+    status, payload, duration = _worker(job.task, job.params)
+    if status == "ok":
+        return SweepResult(job=job, value=payload, attempts=1,
+                           duration_s=duration)
+    return SweepResult(job=job, error=payload, attempts=1,
+                       duration_s=duration)
+
+
+def _run_isolated(job: SweepJob,
+                  timeout: Optional[float]) -> SweepResult:
+    """Run one job in its own single-worker pool: a crash or hang is
+    contained to this job, and a hung worker is terminated."""
+    executor = ProcessPoolExecutor(max_workers=1)
+    start = time.perf_counter()
+    try:
+        future = executor.submit(_worker, job.task, job.params)
+        try:
+            status, payload, duration = future.result(timeout=timeout)
+        except FuturesTimeout:
+            return SweepResult(
+                job=job, attempts=1, duration_s=time.perf_counter() - start,
+                error=f"timed out after {timeout:.1f}s")
+        except BrokenProcessPool:
+            return SweepResult(
+                job=job, attempts=1, duration_s=time.perf_counter() - start,
+                error="worker process died (crash during task)")
+        if status == "ok":
+            return SweepResult(job=job, value=payload, attempts=1,
+                               duration_s=duration)
+        return SweepResult(job=job, error=payload, attempts=1,
+                           duration_s=duration)
+    finally:
+        _terminate(executor)
+
+
+def sweep(jobs: Iterable[SweepJob],
+          n_jobs: Optional[int] = None,
+          use_cache: bool = True,
+          cache_dir=DEFAULT_CACHE_DIR,
+          cache: Optional[ResultCache] = None,
+          retries: int = 1,
+          timeout: Optional[float] = None,
+          progress: Optional[Callable] = None) -> List[SweepResult]:
+    """Run ``jobs``, fanning out over processes, memoizing on disk.
+
+    ``n_jobs``:   worker processes (default ``os.cpu_count()``); ``1``
+                  runs inline in this process (identical results).
+    ``use_cache``/``cache_dir``/``cache``: persistent result cache; pass
+                  ``use_cache=False`` to both skip lookups and not write.
+    ``retries``:  failed/crashed/timed-out jobs are re-run this many
+                  times, each attempt in its own isolated worker.
+    ``timeout``:  per-attempt seconds; enforced strictly on isolated
+                  attempts and as a pool-wide deadline on the shared pool.
+    ``progress``: callable ``(result, done_count, total)`` invoked as
+                  each job resolves (cache hits first).
+    """
+    jobs = list(jobs)
+    total = len(jobs)
+    results: List[Optional[SweepResult]] = [None] * total
+    done = 0
+
+    def resolve(index: int, result: SweepResult) -> None:
+        nonlocal done
+        results[index] = result
+        done += 1
+        if progress is not None:
+            progress(result, done, total)
+
+    store = cache
+    if store is None and use_cache and cache_dir is not None:
+        store = ResultCache(cache_dir)
+    fingerprint = code_fingerprint()
+    keys = [job.key(fingerprint) for job in jobs]
+
+    pending: List[int] = []
+    for index, job in enumerate(jobs):
+        if store is not None:
+            value = store.get(keys[index])
+            if value is not _MISS:
+                resolve(index, SweepResult(job=job, value=value,
+                                           cached=True))
+                continue
+        pending.append(index)
+
+    if n_jobs is None:
+        n_jobs = os.cpu_count() or 1
+    n_jobs = max(1, int(n_jobs))
+
+    failed: List[int] = []
+    if pending and n_jobs == 1:
+        for index in pending:
+            result = _run_inline(jobs[index])
+            if result.ok:
+                resolve(index, result)
+            else:
+                failed.append(index)
+                results[index] = result
+    elif pending:
+        executor = ProcessPoolExecutor(max_workers=min(n_jobs,
+                                                       len(pending)))
+        future_map = {}
+        try:
+            for index in pending:
+                job = jobs[index]
+                future_map[executor.submit(_worker, job.task,
+                                           job.params)] = index
+            # Shared-pool deadline: generous upper bound so one hung
+            # worker cannot stall the sweep forever (strict per-task
+            # timeouts are applied on the isolated retry attempts).
+            deadline = None
+            if timeout is not None:
+                waves = -(-len(pending) // n_jobs)  # ceil division
+                deadline = timeout * (waves + 1)
+            try:
+                for future in as_completed(future_map, timeout=deadline):
+                    index = future_map.pop(future)
+                    job = jobs[index]
+                    try:
+                        status, payload, duration = future.result()
+                    except BrokenProcessPool:
+                        failed.append(index)
+                        results[index] = SweepResult(
+                            job=job, attempts=1,
+                            error="worker process died "
+                                  "(crash during task)")
+                        continue
+                    except Exception:
+                        failed.append(index)
+                        results[index] = SweepResult(
+                            job=job, attempts=1,
+                            error=traceback.format_exc())
+                        continue
+                    if status == "ok":
+                        resolve(index, SweepResult(
+                            job=job, value=payload, attempts=1,
+                            duration_s=duration))
+                    else:
+                        failed.append(index)
+                        results[index] = SweepResult(
+                            job=job, error=payload, attempts=1,
+                            duration_s=duration)
+            except FuturesTimeout:
+                for future, index in future_map.items():
+                    failed.append(index)
+                    results[index] = SweepResult(
+                        job=jobs[index], attempts=1,
+                        error=f"shared pool deadline exceeded "
+                              f"({deadline:.1f}s)")
+        finally:
+            _terminate(executor)
+
+    # Isolated retries: one bad workload degrades to an error record.
+    for index in failed:
+        job = jobs[index]
+        prior = results[index]
+        result = prior
+        for _ in range(max(0, retries)):
+            attempt = _run_isolated(job, timeout)
+            attempt.attempts = (result.attempts if result else 0) + 1
+            result = attempt
+            if attempt.ok:
+                break
+        resolve(index, result)
+
+    if store is not None:
+        for index, result in enumerate(results):
+            if result.ok and not result.cached:
+                store.put(keys[index], result.value)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Convenience: job builders and reporting.
+# ---------------------------------------------------------------------------
+
+
+def suite_sweep_jobs(scale: float = 1.0, config=None,
+                     suites=None, workloads=None,
+                     validate: bool = True) -> List[SweepJob]:
+    """One ``workload_metrics`` job per workload of the paper suite (or an
+    explicit ``workloads`` name list)."""
+    if workloads is None:
+        from repro.workloads import SUITES, suite_workloads
+        chosen = suites if suites is not None else SUITES
+        workloads = [w.name for suite in chosen
+                     for w in suite_workloads(suite)]
+    return [SweepJob(task="workload_metrics",
+                     params={"workload": name, "scale": scale,
+                             "config": config, "validate": validate},
+                     label=name)
+            for name in workloads]
+
+
+def print_progress(result: SweepResult, done: int, total: int) -> None:
+    """Default per-task progress line for CLI/benchmark drivers."""
+    if result.ok:
+        note = "cached" if result.cached else f"{result.duration_s:.2f}s"
+        print(f"[{done}/{total}] {result.job.label:<24} ok    ({note})",
+              flush=True)
+    else:
+        reason = result.error.strip().splitlines()[-1]
+        print(f"[{done}/{total}] {result.job.label:<24} FAIL  "
+              f"({result.attempts} attempts): {reason}", flush=True)
+
+
+def raise_on_errors(results: List[SweepResult]) -> List[Any]:
+    """Values of ``results`` in order; raises if any job failed."""
+    errors = [r for r in results if not r.ok]
+    if errors:
+        detail = "\n".join(
+            f"--- {r.job.label} ({r.attempts} attempts) ---\n{r.error}"
+            for r in errors)
+        raise RuntimeError(
+            f"{len(errors)}/{len(results)} sweep jobs failed:\n{detail}")
+    return [r.value for r in results]

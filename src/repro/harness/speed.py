@@ -84,3 +84,27 @@ def measure_speed(workload_name: str = "429.mcf",
         host_emulation_ips=host_insns / functional_dt,
         host_timing_ips=timed_host / timing_dt,
     )
+
+
+def measure_speed_suite(workload_names=("429.mcf", "433.milc", "ragdoll"),
+                        scale: float = 0.4,
+                        config: Optional[TolConfig] = None,
+                        jobs: Optional[int] = None,
+                        progress=None) -> dict:
+    """:func:`measure_speed` for several workloads via the sweep runner.
+
+    Wall-clock measurements are never cached (a replayed timing would be
+    meaningless), but they do fan out: each workload's measurement runs
+    in its own worker process, so a multi-workload speed survey costs one
+    workload's wall-clock on enough cores.  Returns ``{name: report}``.
+    """
+    from repro.harness.parallel import SweepJob, raise_on_errors, sweep
+    sweep_jobs = [
+        SweepJob(task="speed",
+                 params={"workload": name, "scale": scale,
+                         "config": config},
+                 label=f"speed:{name}")
+        for name in workload_names]
+    results = sweep(sweep_jobs, n_jobs=jobs, use_cache=False,
+                    progress=progress)
+    return dict(zip(workload_names, raise_on_errors(results)))

@@ -95,3 +95,28 @@ def run_case_study(workload_name: str = "473.astar",
         chosen_scale=chosen_scale,
         chosen_warmup=chosen_warmup,
     )
+
+
+def run_case_studies(workload_names=("473.astar", "429.mcf"),
+                     jobs: Optional[int] = None,
+                     use_cache: bool = False,
+                     cache_dir=None,
+                     progress=None,
+                     **kwargs) -> dict:
+    """:func:`run_case_study` over several workloads via the sweep runner
+    (each full-detailed + sampled pair is one independent, cacheable
+    task).  Extra ``kwargs`` are forwarded to every study.  Returns
+    ``{name: CaseStudyResult}``."""
+    from repro.harness.parallel import (
+        DEFAULT_CACHE_DIR, SweepJob, raise_on_errors, sweep,
+    )
+    sweep_jobs = [
+        SweepJob(task="warmup_case",
+                 params={"workload": name, **kwargs},
+                 label=f"warmup:{name}")
+        for name in workload_names]
+    results = sweep(
+        sweep_jobs, n_jobs=jobs, use_cache=use_cache,
+        cache_dir=cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR,
+        progress=progress)
+    return dict(zip(workload_names, raise_on_errors(results)))

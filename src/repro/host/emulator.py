@@ -142,8 +142,9 @@ class HostEmulator:
                  fuel_per_dispatch: int = 50_000_000,
                  fastpath: bool = True):
         self.memory = memory
-        #: Closure-compile straight-line register-op runs per code unit
-        #: (bypassed automatically while a trace_sink is attached).
+        #: Closure-compile straight-line register-op runs per code unit.
+        #: Stays active under a trace_sink: segment records are delivered
+        #: to the sink after each segment executes (identical stream).
         self.fastpath = fastpath
         self.iregs: List[int] = [0] * NUM_IREGS
         self.fregs: List[float] = [0.0] * NUM_FREGS
@@ -328,9 +329,12 @@ class HostEmulator:
         executed = 0
         fuel = self.fuel_per_dispatch
         iregs, fregs, vregs = self.iregs, self.fregs, self.vregs
-        # The per-instruction trace sink must observe every instruction, so
-        # tracing runs disable the compiled segments.
-        use_fast = self.fastpath and self.trace_sink is None
+        # Compiled segments stay active while a trace sink is attached:
+        # segment ops are pure register ops (total functions, no memory,
+        # no control), so executing the whole segment and then delivering
+        # its records produces the exact record stream the slow path
+        # interleaves (every record is ``(unit, index, ins, None)``).
+        use_fast = self.fastpath
         while True:
             unit.exec_count += 1
             instrs = unit.instrs
@@ -352,10 +356,14 @@ class HostEmulator:
                     if prog is not None:
                         seg = prog[index]
                         if seg is not None:
-                            length, fn = seg
+                            length, fn, records = seg
                             executed += length
                             self._region_insns += length
                             fn(iregs, fregs, vregs)
+                            sink = self.trace_sink
+                            if sink is not None:
+                                for rec_index, rec_ins in records:
+                                    sink(unit, rec_index, rec_ins, None)
                             index += length
                             continue
                     ins = instrs[index]
@@ -1079,9 +1087,12 @@ def _compile_segment(stmts):
 
 def _compile_unit(unit):
     """Build the unit's fast program: a list aligned to instruction
-    indices where entry i is ``(length, closure)`` for a compiled
-    straight-line segment starting at i, or None (interpretive path).
-    Segments break at branch targets so control can always enter them."""
+    indices where entry i is ``(length, closure, records)`` for a
+    compiled straight-line segment starting at i, or None (interpretive
+    path).  ``records`` holds the segment's ``(index, instr)`` pairs so a
+    traced run can deliver the per-instruction records after the closure
+    executes instead of re-entering the slow path.  Segments break at
+    branch targets so control can always enter them."""
     instrs = unit.instrs
     size = len(instrs)
     targets = {ins.target for ins in instrs if ins.target is not None}
@@ -1100,7 +1111,8 @@ def _compile_unit(unit):
                 break
             stmts.append(stmt)
             j += 1
-        prog[i] = (j - i, _compile_segment(stmts))
+        records = tuple((k, instrs[k]) for k in range(i, j))
+        prog[i] = (j - i, _compile_segment(stmts), records)
         i = j
     return prog
 

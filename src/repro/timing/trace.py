@@ -11,17 +11,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.host.isa import HostInstr, op_unit_class
+from repro.host.isa import HostInstr, HostOp, op_unit_class
 from repro.timing.core import FP_BASE, VEC_BASE, InOrderCore
 
-#: op -> (d, a, b, c) register file letters ('i' int, 'f' fp, 'v' vec).
-_REGFILES = {}
-
-
-def _reg_classes(op: str) -> tuple:
-    cached = _REGFILES.get(op)
-    if cached is not None:
-        return cached
+def _classify_regfiles(op: str) -> tuple:
     d = a = b = c = "i"
     if op in ("lif", "fmov", "fadd", "fsub", "fmul", "fdiv", "fneg",
               "fabs", "fsqrt", "ffloor"):
@@ -44,9 +37,21 @@ def _reg_classes(op: str) -> tuple:
         d, a, b = "i", "i", "f"
     elif op == "vst":
         d, a, b = "i", "i", "v"
-    result = (d, a, b, c)
-    _REGFILES[op] = result
-    return result
+    return (d, a, b, c)
+
+
+#: op -> (d, a, b, c) register file letters ('i' int, 'f' fp, 'v' vec),
+#: precomputed for the whole host ISA at import time so the per-record
+#: hot path is a single dict lookup (no lazy-memo branch).
+_REGFILES = {op: _classify_regfiles(op) for op in sorted(HostOp.ALL)}
+
+
+def _reg_classes(op: str) -> tuple:
+    return _REGFILES[op]
+
+
+#: op -> execution-unit class, likewise precomputed at import time.
+_UNIT_CLASS = {op: op_unit_class(op) for op in sorted(HostOp.ALL)}
 
 
 _BASE = {"i": 0, "f": FP_BASE, "v": VEC_BASE}
@@ -110,8 +115,8 @@ class TimingSession:
             self.skipped += 1
             return
         op = ins.op
-        klass = op_unit_class(op)
-        d_class, a_class, b_class, c_class = _reg_classes(op)
+        klass = _UNIT_CLASS[op]
+        d_class, a_class, b_class, c_class = _REGFILES[op]
         dst = _map_reg(ins.d, d_class)
         srcs = (_map_reg(ins.a, a_class), _map_reg(ins.b, b_class),
                 _map_reg(ins.c, c_class))

@@ -85,7 +85,8 @@ class TolConfig:
     #: costs and results are identical either way).
     interp_fastpath: bool = True
     #: Closure-compile straight-line register-op runs of translated code
-    #: units (same contract: wall-clock only, bypassed while tracing).
+    #: units (same contract: wall-clock only; under a timing trace the
+    #: per-instruction records are delivered after each segment).
     host_fastpath: bool = True
 
     # -- validation ---------------------------------------------------------------

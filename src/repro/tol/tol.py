@@ -89,6 +89,11 @@ class Tol:
         self.background_translation_insns = 0
         self._promote_request: Optional[int] = None
         self._sb_blacklist = set()
+        #: ``(pc, variant)`` hint from the last unit exit: an unrolled
+        #: loop's trip-count guard exits to its own entry pc requesting
+        #: the plain body, and dispatch must honor that or it would hand
+        #: back the unrolled unit forever (no chaining to shortcut it).
+        self._exit_variant_hint: Optional[tuple] = None
         #: debug hook: called as ``probe(tol, unit_or_None)`` after every
         #: dispatch step (unit execution or interpreted basic block).
         self.probe = None
@@ -119,7 +124,11 @@ class Tol:
         pc = self.state.eip
         self.overhead.charge("others", costs.TOL_MAINLOOP)
         self.overhead.charge("cc_lookup", costs.CC_LOOKUP)
-        unit = self.cache.lookup(pc)
+        hint, self._exit_variant_hint = self._exit_variant_hint, None
+        if hint is not None and hint[0] == pc:
+            unit = self.cache.lookup(pc, hint[1]) or self.cache.lookup(pc)
+        else:
+            unit = self.cache.lookup(pc)
         if unit is None:
             if (self.profiler.interpreted_count(pc)
                     >= self.config.bbm_threshold):
@@ -289,6 +298,11 @@ class Tol:
                 if (promoted_unit is not None
                         and promoted_unit.mode == UNIT_MODE_BBM):
                     self._promote(pc)
+        if event.exit_index is not None:
+            variant = (event.unit.instrs[event.exit_index]
+                       .meta.get("prefer_variant"))
+            if variant is not None:
+                self._exit_variant_hint = (event.next_pc, variant)
         if event.ibtc_miss:
             if self.config.ibtc_enable:
                 target = self.cache.lookup(event.next_pc)

@@ -296,3 +296,39 @@ def test_assemble_loop_unrolled_has_guard_and_copies():
     assert any(op.op == "guard_exit_false" for op in unrolled.body)
     assert unrolled.terminator.op == "jmp"
     assert unrolled.terminator.attrs.get("loop_back")
+
+
+def test_unroll_guard_exit_dispatches_plain_variant_without_chaining():
+    """Regression: an unrolled superblock's trip-count guard exits to its
+    own entry pc asking for the plain body (``prefer_variant``).  With
+    chaining disabled nothing patches that exit, so dispatch itself must
+    honor the hint — before it did, the TOL handed the unrolled unit
+    straight back (cache lookup prefers unrolled variants) and the run
+    livelocked: guard fail, rollback, re-dispatch, forever, retiring
+    zero guest instructions."""
+    import signal
+
+    from repro.system.controller import run_codesigned
+    from repro.workloads.generator import SyntheticSpec, generate
+
+    spec = SyntheticSpec(seed=484, hot_loops=2, trip_count=31, bb_size=5,
+                         branch_bias=1.0, branchy=False, mem_ops=1,
+                         fp_ops=2, cold_stanzas=1)
+    config = TolConfig(bbm_threshold=2, sbm_threshold=6,
+                       chaining_enable=False)
+
+    def _hang(signum, frame):
+        raise AssertionError(
+            "run livelocked: unroll guard exit not honored by dispatch")
+
+    old = signal.signal(signal.SIGALRM, _hang)
+    signal.alarm(120)
+    try:
+        result, controller = run_codesigned(generate(spec), config=config,
+                                            validate=True)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
+    assert result.exit_code == 0
+    assert (controller.x86.icount
+            == controller.codesigned.guest_icount)

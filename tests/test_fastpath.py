@@ -346,3 +346,40 @@ def test_validate_min_icount_gap_amortizes_validation():
                        validate_min_icount_gap=20)
     result3, _ = run_codesigned(asm3.program(), config=modest)
     assert 1 <= result3.validations <= result.validations
+
+
+# -- host fast path under a timing trace ---------------------------------------
+
+
+def test_host_fastpath_traced_timing_identity():
+    """Compiled segments now stay active while a trace sink is attached,
+    delivering each segment's records after it executes.  The timing
+    simulation must be cycle-identical to the slow traced path, and the
+    fast run must actually compile segments."""
+    from repro.timing.run import run_with_timing
+
+    spec = SyntheticSpec(seed=5, hot_loops=2, trip_count=400, bb_size=6,
+                        branchy=True, mem_ops=1, fp_ops=1)
+    base = dict(bbm_threshold=3, sbm_threshold=8)
+
+    def run(fast):
+        result, controller, core = run_with_timing(
+            generate(spec),
+            tol_config=TolConfig(interp_fastpath=fast,
+                                 host_fastpath=fast, **base),
+            include_tol_overhead=True, validate=False)
+        assert result.exit_code == 0
+        tol = controller.codesigned.tol
+        return result, tol, core
+
+    result_fast, tol_fast, core_fast = run(True)
+    result_slow, tol_slow, core_slow = run(False)
+    assert result_fast.guest_icount == result_slow.guest_icount
+    assert tol_fast.host.host_insns_total == tol_slow.host.host_insns_total
+    # Cycle-level identity: the record stream the core saw is the same.
+    assert core_fast.report() == core_slow.report()
+    # The traced fast run really used compiled segments.
+    assert any(getattr(u, "_fastprog", None) is not None
+               for u in tol_fast.cache.units())
+    assert all(getattr(u, "_fastprog", None) is None
+               for u in tol_slow.cache.units())

@@ -1,0 +1,194 @@
+"""Parallel sweep runner: determinism across worker counts, persistent
+cache correctness (hits, config/source invalidation, corruption), and
+per-task failure isolation."""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.harness import parallel
+from repro.harness.figures import (
+    fig4_table, fig5_table, fig6_table, fig7_table, run_suite_metrics,
+)
+from repro.harness.parallel import (
+    ResultCache, SweepJob, code_fingerprint, suite_sweep_jobs, sweep,
+)
+from repro.tol.config import TolConfig
+
+#: Small, fast subset spanning two suites.
+WORKLOADS = ("429.mcf", "continuous", "462.libquantum")
+SCALE = 0.05
+
+
+def _jobs(config=None, workloads=WORKLOADS):
+    return suite_sweep_jobs(scale=SCALE, config=config,
+                            workloads=list(workloads), validate=False)
+
+
+# -- deterministic parallelism -------------------------------------------------
+
+
+def test_jobs4_byte_identical_to_jobs1():
+    """Fan-out may only change wall-clock: metrics and the rendered
+    EXPERIMENTS-style tables must be byte-identical."""
+    seq = sweep(_jobs(), n_jobs=1, use_cache=False)
+    par = sweep(_jobs(), n_jobs=4, use_cache=False)
+    assert all(r.ok for r in seq + par)
+    seq_metrics = [r.value for r in seq]
+    par_metrics = [r.value for r in par]
+    assert seq_metrics == par_metrics
+    # Byte-identical per metric (whole-list pickles differ only in memo
+    # references when sibling metrics share string objects).
+    for seq_m, par_m in zip(seq_metrics, par_metrics):
+        assert pickle.dumps(seq_m) == pickle.dumps(par_m)
+    for table in (fig4_table, fig5_table, fig6_table, fig7_table):
+        assert table(seq_metrics) == table(par_metrics)
+
+
+def test_run_suite_metrics_sweep_path_matches_seed_loop():
+    """The sweep-backed run_suite_metrics returns exactly what the
+    sequential in-process loop returns."""
+    from repro.workloads import PHYSICS
+    plain = run_suite_metrics(scale=0.05, suites=(PHYSICS,),
+                              validate=False)
+    swept = run_suite_metrics(scale=0.05, suites=(PHYSICS,),
+                              validate=False, jobs=2, use_cache=False)
+    assert plain == swept
+
+
+# -- persistent cache ----------------------------------------------------------
+
+
+def test_cache_hit_replays_identical_results(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    first = sweep(_jobs(), n_jobs=1, cache=cache)
+    second = sweep(_jobs(), n_jobs=1, cache=cache)
+    assert all(r.ok for r in first + second)
+    assert not any(r.cached for r in first)
+    assert all(r.cached for r in second)
+    assert [r.value for r in first] == [r.value for r in second]
+    assert cache.hits == len(WORKLOADS)
+
+
+def test_cache_misses_after_tolconfig_field_change(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    sweep(_jobs(TolConfig()), n_jobs=1, cache=cache)
+    changed = sweep(_jobs(TolConfig(bbm_threshold=11)), n_jobs=1,
+                    cache=cache)
+    assert all(r.ok for r in changed)
+    assert not any(r.cached for r in changed)
+
+
+def test_cache_misses_after_source_fingerprint_change(tmp_path,
+                                                      monkeypatch):
+    cache = ResultCache(tmp_path / "cache")
+    sweep(_jobs(), n_jobs=1, cache=cache)
+    monkeypatch.setattr(parallel, "code_fingerprint",
+                        lambda root=None: "0" * 64)
+    stale = sweep(_jobs(), n_jobs=1, cache=cache)
+    assert all(r.ok for r in stale)
+    assert not any(r.cached for r in stale)
+
+
+def test_code_fingerprint_tracks_file_content(tmp_path):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    for root in (a, b):
+        root.mkdir()
+        (root / "mod.py").write_text("x = 1\n")
+    assert code_fingerprint(a) == code_fingerprint(b)
+    (b / "mod.py").write_text("x = 2\n")
+    assert code_fingerprint(a) != code_fingerprint(b)
+
+
+def test_corrupted_cache_entry_is_a_miss_not_a_crash(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    sweep(_jobs(), n_jobs=1, cache=cache)
+    entries = list((tmp_path / "cache").rglob("*.pkl"))
+    assert len(entries) == len(WORKLOADS)
+    for path in entries:
+        path.write_bytes(path.read_bytes()[:16])  # truncate mid-record
+    recomputed = sweep(_jobs(), n_jobs=1, cache=cache)
+    assert all(r.ok for r in recomputed)
+    assert not any(r.cached for r in recomputed)
+    # The corrupted entries were rewritten: a third pass replays.
+    replay = sweep(_jobs(), n_jobs=1, cache=cache)
+    assert all(r.cached for r in replay)
+
+
+def test_cache_rejects_key_mismatch(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put("a" * 64, {"v": 1})
+    # Simulate a renamed/misfiled entry: stored key disagrees with path.
+    src = cache._path("a" * 64)
+    dst = cache._path("b" * 64)
+    dst.parent.mkdir(parents=True, exist_ok=True)
+    os.replace(src, dst)
+    assert cache.get("b" * 64) is parallel._MISS
+
+
+# -- failure isolation ---------------------------------------------------------
+
+
+def test_unknown_workload_degrades_to_error_record():
+    jobs = _jobs(workloads=("429.mcf", "no.such.workload"))
+    results = sweep(jobs, n_jobs=2, use_cache=False)
+    good, bad = results
+    assert good.ok and good.value.name == "429.mcf"
+    assert not bad.ok
+    assert bad.attempts == 2  # first pass + one isolated retry
+    assert "no.such.workload" in bad.error
+
+
+@parallel.register_task("_test_crash")
+def _crash_task():
+    os._exit(13)  # hard worker death, not a Python exception
+
+
+@parallel.register_task("_test_sleep")
+def _sleep_task(seconds=60.0):
+    time.sleep(seconds)
+    return "woke"
+
+
+def test_worker_crash_is_isolated_per_task():
+    jobs = [SweepJob(task="_test_crash"),
+            SweepJob(task="workload_metrics",
+                     params={"workload": "continuous", "scale": SCALE,
+                             "validate": False})]
+    results = sweep(jobs, n_jobs=2, use_cache=False)
+    crash, good = results
+    assert not crash.ok
+    assert "died" in crash.error
+    assert good.ok and good.value.name == "continuous"
+
+
+def test_hung_worker_times_out():
+    results = sweep([SweepJob(task="_test_sleep",
+                              params={"seconds": 60.0})],
+                    n_jobs=2, use_cache=False, timeout=1.0)
+    (result,) = results
+    assert not result.ok
+    assert "timed out" in result.error or "deadline" in result.error
+
+
+def test_error_results_are_not_cached(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    jobs = _jobs(workloads=("no.such.workload",))
+    sweep(jobs, n_jobs=1, cache=cache)
+    assert not list((tmp_path / "cache").rglob("*.pkl"))
+
+
+# -- metrics round-trip --------------------------------------------------------
+
+
+def test_kernel_metrics_pickle_round_trip():
+    result = sweep(_jobs(workloads=("continuous",)), n_jobs=1,
+                   use_cache=False)[0]
+    assert result.ok
+    clone = pickle.loads(pickle.dumps(result.value))
+    assert clone == result.value
+    assert clone.mode_fraction == result.value.mode_fraction
+    assert clone.extras == result.value.extras
