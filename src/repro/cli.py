@@ -155,6 +155,66 @@ def cmd_speed(args) -> int:
     return 0
 
 
+def cmd_inject(args) -> int:
+    """Seeded fault-injection campaign against the resilience layer.
+
+    Exit status is 0 iff every *triggered* fault was caught — recovered
+    by the controller or quarantined by the TOL's escalation ladder —
+    and every run's final guest state matched the clean authoritative
+    reference."""
+    from repro.resilience.campaign import (
+        DEFAULT_SITES, run_campaign,
+    )
+    from repro.resilience.faults import SITES
+
+    sites = tuple(args.site) if args.site else DEFAULT_SITES
+    for site in sites:
+        if site not in SITES:
+            raise SystemExit(f"unknown fault site {site!r}; valid: "
+                             f"{', '.join(SITES)}")
+
+    def progress(record, done, total):
+        if not args.json:
+            print(f"  [{done}/{total}] {record.site}#{record.ordinal}"
+                  f" -> {record.status}", file=sys.stderr)
+
+    report = run_campaign(args.seed, n=args.faults, sites=sites,
+                          mode=args.mode, n_jobs=args.jobs or 1,
+                          progress=progress if args.jobs in (None, 1)
+                          else None)
+    if args.json:
+        import json
+        payload = {
+            "seed": report.seed,
+            "mode": report.mode,
+            "signature": report.signature(),
+            "by_status": report.by_status,
+            "all_triggered_caught": report.all_triggered_caught,
+            "records": [
+                {"site": r.site, "ordinal": r.ordinal, "salt": r.salt,
+                 "status": r.status, "triggered": r.triggered,
+                 "incidents": r.incidents,
+                 "incident_kinds": list(r.incident_kinds),
+                 "quarantined": r.quarantined,
+                 "recoveries": r.recoveries,
+                 "final_match": r.final_match,
+                 "log_signature": r.log_signature,
+                 "error": r.error}
+                for r in report.records],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.table())
+        print(f"campaign seed={report.seed} mode={report.mode} "
+              f"signature={report.signature()[:16]}")
+    ok = (report.all_triggered_caught
+          and "failed" not in report.by_status)
+    if not args.json:
+        print("RESULT: PASS — every triggered fault was caught"
+              if ok else "RESULT: FAIL — uncaught faults present")
+    return 0 if ok else 1
+
+
 def cmd_sweep(args) -> int:
     import time
 
@@ -268,6 +328,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--figures", action="store_true",
                          help="print the figure tables after the sweep")
     sweep_p.set_defaults(fn=cmd_sweep)
+
+    inject_p = sub.add_parser(
+        "inject",
+        help="run a seeded fault-injection campaign against the "
+             "resilience layer (exit 0 iff every triggered fault was "
+             "recovered or quarantined)")
+    inject_p.add_argument("--seed", type=int, default=7,
+                          help="campaign master seed (default: 7)")
+    inject_p.add_argument("--faults", "-n", type=int, default=50,
+                          help="number of faults to plan (default: 50)")
+    inject_p.add_argument("--site", action="append", metavar="SITE",
+                          help="restrict to this fault site "
+                               "(repeatable; default: every site that "
+                               "fires on the campaign workload)")
+    inject_p.add_argument("--mode", choices=["recover", "strict"],
+                          default="recover",
+                          help="recovery_mode for the campaign runs "
+                               "(default: recover)")
+    inject_p.add_argument("--jobs", "-j", type=int, default=None,
+                          help="fan the campaign out over worker "
+                               "processes (default: sequential)")
+    inject_p.add_argument("--json", action="store_true",
+                          help="emit the full report as JSON")
+    inject_p.set_defaults(fn=cmd_inject)
 
     speed_p = sub.add_parser("speed", help="measure simulation speed")
     speed_p.add_argument("--workload", default="429.mcf")

@@ -96,4 +96,9 @@ def tol_stats_dump(tol: Tol) -> Dict[str, object]:
         "ibtc_misses": tol.host.ibtc.misses,
         "host_insns_committed": tol.host.host_insns_committed,
         "host_insns_wasted": tol.host.host_insns_wasted,
+        "incidents": len(tol.incidents),
+        "incident_kinds": sorted(set(tol.incidents.kinds())),
+        "watchdog_fires": tol.stats.watchdog_fires,
+        "quarantined_pcs": len(tol.quarantine),
+        "quarantine_levels": tol.quarantine.summary(),
     }

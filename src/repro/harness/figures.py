@@ -69,6 +69,9 @@ def run_workload_metrics(workload, scale: float = 1.0,
             "spec_failures": tol.stats.spec_failures,
             "loops_unrolled": tol.translator.loops_unrolled,
             "chains_made": tol.stats.chains_made,
+            "incidents": result.incidents,
+            "recoveries": result.recoveries,
+            "watchdog_fires": tol.stats.watchdog_fires,
         },
     )
 

@@ -192,6 +192,13 @@ def _task_warmup_case(workload: str = "473.astar", **kwargs):
     return run_case_study(workload_name=workload, **kwargs)
 
 
+@register_task("fault_run")
+def _task_fault_run(site: str, ordinal: int, salt: int,
+                    mode: str = "recover"):
+    from repro.resilience.campaign import run_fault_case
+    return run_fault_case(site, ordinal, salt, mode=mode)
+
+
 def _execute(task: str, params: Dict[str, Any]):
     fn = _TASKS.get(task)
     if fn is None:
@@ -466,7 +473,15 @@ def suite_sweep_jobs(scale: float = 1.0, config=None,
                      suites=None, workloads=None,
                      validate: bool = True) -> List[SweepJob]:
     """One ``workload_metrics`` job per workload of the paper suite (or an
-    explicit ``workloads`` name list)."""
+    explicit ``workloads`` name list).
+
+    Sweeps default to ``recovery_mode="recover"``: one bad translation
+    should degrade one data point (with its incidents surfaced), not kill
+    a thousand-run campaign.  Pass an explicit ``config`` to override.
+    """
+    if config is None:
+        from repro.tol.config import TolConfig
+        config = TolConfig(recovery_mode="recover")
     if workloads is None:
         from repro.workloads import SUITES, suite_workloads
         chosen = suites if suites is not None else SUITES
@@ -479,11 +494,24 @@ def suite_sweep_jobs(scale: float = 1.0, config=None,
             for name in workloads]
 
 
+def _incident_note(value: Any) -> str:
+    """`` incidents=N`` when the task's value carries a nonzero incident
+    count (``KernelMetrics.extras`` or ``FaultRunRecord``-like objects)."""
+    count = 0
+    extras = getattr(value, "extras", None)
+    if isinstance(extras, dict):
+        count = extras.get("incidents", 0) or 0
+    else:
+        count = getattr(value, "incidents", 0) or 0
+    return f" incidents={count}" if count else ""
+
+
 def print_progress(result: SweepResult, done: int, total: int) -> None:
     """Default per-task progress line for CLI/benchmark drivers."""
     if result.ok:
         note = "cached" if result.cached else f"{result.duration_s:.2f}s"
-        print(f"[{done}/{total}] {result.job.label:<24} ok    ({note})",
+        print(f"[{done}/{total}] {result.job.label:<24} ok    ({note})"
+              f"{_incident_note(result.value)}",
               flush=True)
     else:
         reason = result.error.strip().splitlines()[-1]

@@ -17,6 +17,7 @@ Control returns to the TOL through :class:`ExitEvent` objects.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -178,6 +179,11 @@ class HostEmulator:
         #: at instrumented dispatch points; returning True interrupts
         #: chaining and returns control to the TOL (promotion request).
         self.profile_hook: Optional[Callable] = None
+        #: Optional bounded deque of every unit *entered* (including
+        #: chain-follow and IBTC hops invisible to TOL dispatch); the
+        #: resilience layer uses it to implicate translations after a
+        #: divergence.
+        self.unit_log: Optional[deque] = None
         self._pending_info = None
         # Checkpoint / undo state.
         self._checkpoint: Optional[_Checkpoint] = None
@@ -335,8 +341,11 @@ class HostEmulator:
         # its records produces the exact record stream the slow path
         # interleaves (every record is ``(unit, index, ins, None)``).
         use_fast = self.fastpath
+        unit_log = self.unit_log
         while True:
             unit.exec_count += 1
+            if unit_log is not None:
+                unit_log.append(unit)
             instrs = unit.instrs
             prog = None
             if use_fast:

@@ -1,0 +1,31 @@
+"""Resilience layer: fault injection, divergence recovery, watchdog.
+
+The paper's correctness story (§V-D) is that the authoritative x86
+component catches any divergence the TOL introduces.  This package turns
+that detection into *recovery*: translated code is treated as fallible,
+bad translations are quarantined with an escalation ladder, every
+incident is logged in a structured, replayable form, and a seeded
+fault-injection framework exercises the whole machinery on demand.
+
+Submodules
+----------
+- :mod:`repro.resilience.incidents`  — structured incident log;
+- :mod:`repro.resilience.quarantine` — per-entry-PC escalation ladder;
+- :mod:`repro.resilience.faults`     — seeded fault injector (import
+  directly: ``from repro.resilience.faults import FaultInjector``);
+- :mod:`repro.resilience.campaign`   — fault-campaign runner (import
+  directly; it depends on the controller, which depends on the TOL,
+  which imports this package — keep the package root cycle-free).
+"""
+
+from repro.resilience.incidents import Incident, IncidentLog
+from repro.resilience.quarantine import (
+    LEVEL_BBM_ONLY, LEVEL_INTERPRET_ONLY, LEVEL_NAMES, LEVEL_NO_ASSERTS,
+    LEVEL_NONE, TranslationQuarantine,
+)
+
+__all__ = [
+    "Incident", "IncidentLog",
+    "TranslationQuarantine", "LEVEL_NONE", "LEVEL_NO_ASSERTS",
+    "LEVEL_BBM_ONLY", "LEVEL_INTERPRET_ONLY", "LEVEL_NAMES",
+]

@@ -1,0 +1,297 @@
+"""Fault campaigns: seeded sweeps over the fault-injection sites.
+
+A campaign plans ``n`` :class:`~repro.resilience.faults.FaultSpec`\\ s
+from one master seed, runs each against the built-in campaign workload in
+``recover`` mode, and classifies every run:
+
+``recovered``      the fault fired, a divergence was detected and the
+                   controller resynced from the authoritative state;
+``quarantined``    the fault fired and was absorbed by the escalation
+                   ladder alone (watchdog or rollback storm), with no
+                   state ever diverging at a validation point;
+``latent``         the fault fired but never produced an observable
+                   effect (e.g. corrupted code that was evicted before
+                   diverging);
+``not_triggered``  the run never reached the fault's trigger ordinal;
+``failed``         the run crashed, or the final guest state does not
+                   match the clean authoritative reference run.
+
+For every non-``failed`` outcome the final architectural state, exit
+code and stdout are bit-identical to a plain :class:`GuestEmulator` run
+of the same program — that comparison is part of the classification, not
+a separate check.  Records carry the incident-log signature, so two
+campaigns from the same seed can be compared replay-for-replay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.guest.assembler import Assembler, EAX, EBX, ECX, EDX, EDI, ESI, M
+from repro.guest.emulator import GuestEmulator
+from repro.guest.program import GuestProgram, pack_u32s
+from repro.guest.syscalls import SYS_WRITE, GuestOS
+from repro.tol.config import TolConfig
+from repro.resilience.faults import SITES, FaultInjector, FaultSpec
+
+#: Divergences caught by validation / synchronization => "recovered".
+_DIVERGENCE_KINDS = frozenset(
+    {"state_divergence", "memory_divergence", "sync_lost", "guest_error"})
+#: Incidents handled inside the TOL by the ladder alone => "quarantined".
+_QUARANTINE_KINDS = frozenset({"livelock", "rollback_storm"})
+
+#: Default campaign sites: every site that fires reliably on the built-in
+#: workload (``alias_false_negative`` needs a genuine speculative
+#: conflict and is exercised by its own unit test instead).
+DEFAULT_SITES = tuple(s for s in SITES if s != "alias_false_negative")
+
+#: Per-site trigger-ordinal ranges (inclusive): how deep into the run the
+#: fault may be planted.  Bounded so every planned ordinal lands in an
+#: artifact the campaign workload actually *consumes* — e.g. the third
+#: bitflip-eligible install is the unrolled inner loop, whose eligible
+#: writes sit on a cold residual path, and the second assert-bearing
+#: install is the outer-loop superblock that is built on the run's last
+#: visit and never dispatched.  Faults planted there are latent by
+#: construction, which is a property of the artifact, not of the
+#: resilience machinery under test.
+_ORDINAL_RANGE = {
+    "host_bitflip": 2,
+    "ir_drop": 4,
+    "ir_mutate": 4,
+    "assert_invert": 1,
+    "alias_false_negative": 1,
+    "stale_chain": 3,
+}
+
+
+def build_campaign_program() -> GuestProgram:
+    """The campaign workload: hot nested loops (so code is promoted to
+    superblocks, chained and IBTC'd) with memory traffic and a syscall
+    per outer iteration (so validation epochs land mid-run).
+
+    Every architectural write feeds the live accumulator ``ESI`` —
+    including a store/load read-back through memory — so a corrupted
+    value or a dropped store propagates to the next validation epoch
+    instead of being silently overwritten by the following (clean)
+    iteration.  That keeps the campaign's latent-fault rate near zero."""
+    asm = Assembler()
+    src = asm.data(0x9000, pack_u32s([7, 21, 35, 1]))
+    dst = 0x9100
+    msg = asm.data(0xB000, b".")
+    asm.mov(ESI, 0)
+    with asm.counted_loop(EDI, 12):
+        with asm.counted_loop(ECX, 40):
+            asm.mov(EAX, M(None, disp=src))
+            asm.add(EAX, 3)
+            asm.xor(EAX, 0x17)
+            asm.add(ESI, EAX)
+            asm.mov(M(None, disp=dst), ESI)
+            asm.mov(EBX, M(None, disp=dst))
+            asm.add(EBX, ESI)
+            asm.mov(M(None, disp=dst + 4), EBX)
+            asm.add(ESI, EBX)
+        asm.mov(EAX, SYS_WRITE)
+        asm.mov(EBX, 1)
+        asm.mov(ECX, msg)
+        asm.mov(EDX, 1)
+        asm.syscall()
+    asm.mov(EAX, ESI)
+    asm.exit(0)
+    return asm.program()
+
+
+def campaign_config(mode: str = "recover") -> TolConfig:
+    """Aggressive promotion so translations (the fault surface) dominate
+    the run even on the small campaign workload.  ``assert_fail_limit``
+    sits above the workload's natural failure count (one per superblock,
+    on the final loop exit) but low enough that an inverted assert trips
+    the rollback-storm rung of the quarantine ladder within a few outer
+    iterations."""
+    return TolConfig(bbm_threshold=2, sbm_threshold=6,
+                     recovery_mode=mode, watchdog_stall_limit=50,
+                     assert_fail_limit=2)
+
+
+def plan_campaign(seed: int, n: int,
+                  sites: Sequence[str] = DEFAULT_SITES
+                  ) -> List[FaultSpec]:
+    """``n`` fault specs, round-robin over ``sites``, ordinals and salts
+    drawn from ``seed`` (same seed => same plan, always)."""
+    rng = random.Random(seed)
+    specs = []
+    for i in range(n):
+        site = sites[i % len(sites)]
+        ordinal = rng.randint(1, _ORDINAL_RANGE[site])
+        specs.append(FaultSpec(site=site, ordinal=ordinal,
+                               salt=rng.getrandbits(32)))
+    return specs
+
+
+@dataclass
+class FaultRunRecord:
+    """Outcome of one fault run (picklable for the sweep runner)."""
+
+    site: str
+    ordinal: int
+    salt: int
+    mode: str
+    status: str = "failed"
+    triggered: bool = False
+    incidents: int = 0
+    incident_kinds: Tuple[str, ...] = ()
+    quarantined: int = 0
+    recoveries: int = 0
+    exit_code: Optional[int] = None
+    guest_icount: int = 0
+    final_match: bool = False
+    error: Optional[str] = None
+    log_signature: str = ""
+    fired_detail: Dict = field(default_factory=dict)
+
+    @property
+    def caught(self) -> bool:
+        return self.status in ("recovered", "quarantined")
+
+
+@dataclass
+class CampaignReport:
+    seed: int
+    mode: str
+    records: List[FaultRunRecord]
+
+    @property
+    def by_status(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.status] = out.get(record.status, 0) + 1
+        return out
+
+    @property
+    def triggered(self) -> List[FaultRunRecord]:
+        return [r for r in self.records if r.triggered]
+
+    @property
+    def all_triggered_caught(self) -> bool:
+        return all(r.caught for r in self.triggered)
+
+    def signature(self) -> str:
+        """Replayability digest over every run's incident-log signature."""
+        import hashlib
+        digest = hashlib.sha256()
+        for record in self.records:
+            digest.update(
+                f"{record.site}:{record.ordinal}:{record.salt}:"
+                f"{record.status}:{record.log_signature}\n".encode())
+        return digest.hexdigest()
+
+    def table(self) -> str:
+        lines = [f"{'site':<22}{'ord':>4}{'status':>15}{'incidents':>11}"
+                 f"{'quarantined':>13}{'match':>7}"]
+        for r in self.records:
+            lines.append(
+                f"{r.site:<22}{r.ordinal:>4}{r.status:>15}"
+                f"{r.incidents:>11}{r.quarantined:>13}"
+                f"{'yes' if r.final_match else 'NO':>7}")
+        by = self.by_status
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(by.items()))
+        lines.append(f"-- {len(self.records)} faults: {summary}")
+        return "\n".join(lines)
+
+
+def _reference_run(program: GuestProgram):
+    """Clean authoritative run: final state snapshot, exit code, stdout."""
+    emulator = GuestEmulator(program, os=GuestOS())
+    emulator.run()
+    return (emulator.state, emulator.os.exit_code,
+            bytes(emulator.os.stdout))
+
+
+def run_fault_case(site: str, ordinal: int, salt: int,
+                   mode: str = "recover",
+                   program: Optional[GuestProgram] = None
+                   ) -> FaultRunRecord:
+    """Run the campaign workload with one armed fault and classify it."""
+    from repro.system.controller import Controller
+
+    if program is None:
+        program = build_campaign_program()
+    ref_state, ref_exit, ref_stdout = _reference_run(program)
+    spec = FaultSpec(site=site, ordinal=ordinal, salt=salt)
+    injector = FaultInjector(spec)
+    record = FaultRunRecord(site=site, ordinal=ordinal, salt=salt,
+                            mode=mode)
+    controller = Controller(program, config=campaign_config(mode))
+    tol = controller.codesigned.tol
+    injector.attach(tol)
+    try:
+        result = controller.run()
+    except Exception as exc:  # strict mode raises; recover must not
+        record.status = "failed"
+        record.error = f"{type(exc).__name__}: {exc}"
+        record.triggered = injector.fired
+        record.fired_detail = injector.fired_detail
+        record.incidents = len(tol.incidents)
+        record.incident_kinds = tuple(sorted(set(tol.incidents.kinds())))
+        record.log_signature = tol.incidents.signature()
+        return record
+
+    record.triggered = injector.fired
+    record.fired_detail = injector.fired_detail
+    record.incidents = len(tol.incidents)
+    record.incident_kinds = tuple(sorted(set(tol.incidents.kinds())))
+    record.quarantined = len(tol.quarantine)
+    record.recoveries = controller.recoveries
+    record.exit_code = result.exit_code
+    record.guest_icount = result.guest_icount
+    record.log_signature = tol.incidents.signature()
+    record.final_match = (
+        not controller.codesigned.state.diff(ref_state)
+        and not controller.x86.state.diff(ref_state)
+        and result.exit_code == ref_exit
+        and result.stdout == ref_stdout)
+
+    kinds = set(record.incident_kinds)
+    if not record.triggered:
+        record.status = "not_triggered"
+    elif not record.final_match:
+        record.status = "failed"
+    elif kinds & _DIVERGENCE_KINDS:
+        record.status = "recovered"
+    elif kinds & _QUARANTINE_KINDS:
+        record.status = "quarantined"
+    else:
+        record.status = "latent"
+    return record
+
+
+def run_campaign(seed: int, n: int = 50,
+                 sites: Sequence[str] = DEFAULT_SITES,
+                 mode: str = "recover",
+                 n_jobs: int = 1,
+                 use_cache: bool = False,
+                 progress=None) -> CampaignReport:
+    """Plan and run a whole campaign; ``n_jobs > 1`` fans out over the
+    sweep runner (``fault_run`` task)."""
+    specs = plan_campaign(seed, n, sites)
+    if n_jobs == 1:
+        records = []
+        for i, spec in enumerate(specs):
+            record = run_fault_case(spec.site, spec.ordinal, spec.salt,
+                                    mode=mode)
+            records.append(record)
+            if progress is not None:
+                progress(record, i + 1, len(specs))
+        return CampaignReport(seed=seed, mode=mode, records=records)
+
+    from repro.harness.parallel import SweepJob, raise_on_errors, sweep
+    jobs = [SweepJob(task="fault_run",
+                     params={"site": spec.site, "ordinal": spec.ordinal,
+                             "salt": spec.salt, "mode": mode},
+                     label=f"{spec.site}#{spec.ordinal}")
+            for spec in specs]
+    results = sweep(jobs, n_jobs=n_jobs, use_cache=use_cache,
+                    progress=progress)
+    records = raise_on_errors(results)
+    return CampaignReport(seed=seed, mode=mode, records=records)

@@ -1,0 +1,91 @@
+"""Structured incident log for the resilience layer.
+
+Every recovery action taken by the system — a divergence resync, a
+watchdog firing, a rollback storm triggering demotion — is recorded as
+an :class:`Incident`.  The log is deterministic for a deterministic run:
+``signature()`` hashes a canonical JSON rendering so two runs with the
+same seed can be compared with a single string equality (the fault
+campaign's replayability check).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+# Incident kinds recorded by the system.
+KIND_STATE_DIVERGENCE = "state_divergence"      # register/EIP mismatch at validation
+KIND_MEMORY_DIVERGENCE = "memory_divergence"    # memory mismatch at validation
+KIND_SYNC_LOST = "sync_lost"                    # co-designed side not at the syscall
+KIND_LIVELOCK = "livelock"                      # watchdog: dispatches w/o retirement
+KIND_ROLLBACK_STORM = "rollback_storm"          # per-unit assert/spec failure storm
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One recovery event.
+
+    ``detail`` holds kind-specific, JSON-safe diagnostics (diff excerpts,
+    stall counts, ...).  ``suspects`` are the implicated translation
+    entry PCs, ``actions`` the quarantine steps taken, as
+    ``"pc=0xADDR level=name"`` strings.
+    """
+
+    kind: str
+    guest_icount: int
+    detail: Dict[str, Any] = field(default_factory=dict)
+    suspects: Tuple[int, ...] = ()
+    actions: Tuple[str, ...] = ()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "guest_icount": self.guest_icount,
+            "detail": self.detail,
+            "suspects": list(self.suspects),
+            "actions": list(self.actions),
+        }
+
+
+class IncidentLog:
+    """Append-only list of incidents with a content signature."""
+
+    def __init__(self):
+        self._incidents: List[Incident] = []
+
+    def __len__(self) -> int:
+        return len(self._incidents)
+
+    def __iter__(self):
+        return iter(self._incidents)
+
+    def record(self, kind: str, guest_icount: int, detail: Dict[str, Any] = None,
+               suspects: Tuple[int, ...] = (), actions: Tuple[str, ...] = ()) -> Incident:
+        inc = Incident(kind=kind, guest_icount=guest_icount,
+                       detail=dict(detail or {}), suspects=tuple(suspects),
+                       actions=tuple(actions))
+        self._incidents.append(inc)
+        return inc
+
+    @property
+    def incidents(self) -> List[Incident]:
+        return list(self._incidents)
+
+    def count(self, kind: str = None) -> int:
+        if kind is None:
+            return len(self._incidents)
+        return sum(1 for i in self._incidents if i.kind == kind)
+
+    def kinds(self) -> List[str]:
+        return [i.kind for i in self._incidents]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [i.as_dict() for i in self._incidents]
+
+    def signature(self) -> str:
+        """SHA-256 over a canonical JSON rendering of the whole log."""
+        blob = json.dumps(self.as_dicts(), sort_keys=True,
+                          separators=(",", ":"), default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()

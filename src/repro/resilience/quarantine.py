@@ -1,0 +1,71 @@
+"""Translation quarantine: a per-entry-PC escalation ladder.
+
+When a translation is implicated in a divergence or a livelock, its
+entry PC climbs a ladder of progressively more conservative execution
+modes.  Each rung trades performance for trust:
+
+====  ================  ==================================================
+rung  name              effect on the entry PC
+====  ================  ==================================================
+0     clean             normal promotion pipeline (IM -> BBM -> SBM)
+1     no_asserts        superblocks are rebuilt without speculation
+                        asserts (SBX, the paper's demoted form)
+2     bbm_only          no superblock formation at all; BBM stays allowed
+3     interpret_only    never translated again; always interpreted
+====  ================  ==================================================
+
+The interpreter is the trusted executor of last resort, so the ladder
+always converges: a persistently bad translation ends at rung 3 where it
+cannot do harm.  Every escalation invalidates the cached units at the PC
+(the code cache unlinks chains and the IBTC via its removal hook).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+LEVEL_NONE = 0
+LEVEL_NO_ASSERTS = 1
+LEVEL_BBM_ONLY = 2
+LEVEL_INTERPRET_ONLY = 3
+
+LEVEL_NAMES = {
+    LEVEL_NONE: "clean",
+    LEVEL_NO_ASSERTS: "no_asserts",
+    LEVEL_BBM_ONLY: "bbm_only",
+    LEVEL_INTERPRET_ONLY: "interpret_only",
+}
+
+
+class TranslationQuarantine:
+    """Blacklist of translation entry PCs with escalation levels."""
+
+    def __init__(self):
+        self._levels: Dict[int, int] = {}
+        self.escalations = 0
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def level(self, pc: int) -> int:
+        return self._levels.get(pc, LEVEL_NONE)
+
+    def escalate(self, pc: int, floor: int = LEVEL_NONE) -> int:
+        """Raise ``pc`` one rung (at least to ``floor``); returns the new
+        level."""
+        new = min(LEVEL_INTERPRET_ONLY, max(self.level(pc) + 1, floor))
+        self._levels[pc] = new
+        self.escalations += 1
+        return new
+
+    def entries(self) -> List[Tuple[int, int]]:
+        """Sorted ``(pc, level)`` pairs (deterministic reporting order)."""
+        return sorted(self._levels.items())
+
+    def summary(self) -> Dict[str, int]:
+        """Count of quarantined PCs per level name."""
+        out: Dict[str, int] = {}
+        for level in self._levels.values():
+            name = LEVEL_NAMES[level]
+            out[name] = out.get(name, 0) + 1
+        return out

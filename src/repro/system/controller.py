@@ -11,7 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.guest.encoding import EncodingError
 from repro.guest.memory import PAGE_SHIFT
+from repro.host.emulator import HostEmulationError
 from repro.guest.program import GuestProgram
 from repro.guest.syscalls import GuestOS
 from repro.tol.config import TolConfig
@@ -46,6 +48,12 @@ class RunResult:
     data_requests: int = 0
     validations: int = 0
     stdout: bytes = b""
+    #: Resilience counters (``recovery_mode="recover"``): total incidents
+    #: recorded by the TOL's incident log, and how many divergence
+    #: recoveries (state resyncs from the authoritative component) the
+    #: controller performed.
+    incidents: int = 0
+    recoveries: int = 0
 
 
 class Controller:
@@ -67,6 +75,11 @@ class Controller:
         self._sync_events = 0
         self._last_validated_icount = 0
         self._initialized = False
+        #: ``recover`` mode: on divergence, resync the co-designed state
+        #: from the authoritative x86 state, quarantine the implicated
+        #: translations and continue (``strict``, the default, raises).
+        self.recover = self.config.recovery_mode == "recover"
+        self.recoveries = 0
 
     # -- phase 1: Initialization ------------------------------------------------
 
@@ -77,18 +90,41 @@ class Controller:
 
     # -- phase 2/3: Execution + Synchronization ----------------------------------
 
-    def run(self, max_events: int = 10_000_000,
+    def run(self, max_events: Optional[int] = None,
             until_icount: Optional[int] = None) -> RunResult:
         """Run the application to completion (or pause at
         ``until_icount``); returns the run result (``exit_code`` is None
-        for a paused run)."""
+        for a paused run).  ``max_events`` overrides the configured
+        ``event_budget``."""
         if not self._initialized:
             self.initialize()
+        budget = max_events if max_events is not None \
+            else self.config.event_budget
         self.codesigned.tol.pause_at_icount = until_icount
         events = 0
-        while events < max_events:
+        while events < budget:
             events += 1
-            event = self.codesigned.run()
+            try:
+                event = self.codesigned.run()
+            except (EncodingError, ZeroDivisionError,
+                    HostEmulationError) as exc:
+                # Corrupted translations can steer the co-designed
+                # component into data (undecodable bytes), into faulting
+                # arithmetic, or into a host-level infinite loop (fuel
+                # exhaustion).  In recover mode that is just another
+                # detected divergence; strict mode propagates.
+                if not self.recover:
+                    raise
+                kind = ("livelock" if isinstance(exc, HostEmulationError)
+                        else "guest_error")
+                self.x86.run_to_icount(self.codesigned.guest_icount)
+                self._recover_divergence(kind, {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "codesigned_eip": self.codesigned.state.eip,
+                })
+                if self.x86.os.exited:
+                    return self._finish()
+                continue
             if event.kind == EVENT_PAUSE:
                 return self._paused_result()
             if event.kind == EVENT_DATA_REQUEST:
@@ -101,7 +137,30 @@ class Controller:
                 return self._finish()
             else:
                 raise SystemError_(f"unknown TOL event {event.kind!r}")
-        raise SystemError_("event budget exhausted; runaway application?")
+        raise SystemError_(self._runaway_diagnostic(budget))
+
+    def _runaway_diagnostic(self, budget: int) -> str:
+        """A debuggable snapshot for budget exhaustion: where execution
+        was spinning, in which modes, and how speculation was behaving."""
+        tol = self.codesigned.tol
+        lines = [
+            f"event budget exhausted ({budget} events); "
+            f"runaway application?",
+            f"  guest_icount={self.codesigned.guest_icount} "
+            f"syscalls={self.syscall_events} "
+            f"data_requests={self.codesigned.data_requests} "
+            f"validations={self.validations}",
+            f"  eip={self.codesigned.state.eip:#x} "
+            f"mode_distribution={tol.mode_distribution()}",
+            f"  recent_dispatches={tol.recent_dispatches()}",
+            f"  assert_failures={tol.stats.assert_failures} "
+            f"spec_failures={tol.stats.spec_failures} "
+            f"demotions={tol.stats.demotions} "
+            f"watchdog_fires={tol.stats.watchdog_fires}",
+            f"  incidents={len(tol.incidents)} "
+            f"quarantined={len(tol.quarantine)}",
+        ]
+        return "\n".join(lines)
 
     # -- synchronization handlers ---------------------------------------------
 
@@ -116,6 +175,16 @@ class Controller:
         the application exited."""
         self.x86.run_to_icount(self.codesigned.guest_icount)
         if not self.x86.at_syscall():
+            # Control-flow divergence: the co-designed component reached a
+            # (bogus) SYSCALL the authoritative stream is not at.
+            if self.recover:
+                self._recover_divergence("sync_lost", {
+                    "x86_eip": self.x86.state.eip,
+                    "codesigned_eip": self.codesigned.state.eip,
+                })
+                # No syscall happened; resume from the resync point —
+                # unless the authoritative run already finished.
+                return self.x86.os.exited
             raise SystemError_(
                 f"synchronization lost: x86 at {self.x86.state.eip:#x} "
                 f"is not at a SYSCALL")
@@ -138,6 +207,8 @@ class Controller:
             data_requests=self.codesigned.data_requests,
             validations=self.validations,
             stdout=bytes(self.x86.os.stdout),
+            incidents=len(self.codesigned.tol.incidents),
+            recoveries=self.recoveries,
         )
 
     def _finish(self) -> RunResult:
@@ -153,6 +224,8 @@ class Controller:
             data_requests=self.codesigned.data_requests,
             validations=self.validations,
             stdout=bytes(os.stdout),
+            incidents=len(self.codesigned.tol.incidents),
+            recoveries=self.recoveries,
         )
 
     # -- validation ----------------------------------------------------------------
@@ -175,13 +248,23 @@ class Controller:
 
     def _validate_states(self, final: bool = False) -> None:
         """Compare emulated vs authoritative state (paper §V-D,
-        Correctness)."""
+        Correctness).  In ``strict`` mode a mismatch raises; in
+        ``recover`` mode it becomes an incident: the co-designed state is
+        resynced from the authoritative state, the implicated
+        translations are quarantined and execution continues."""
         self.validations += 1
         self._last_validated_icount = self.codesigned.guest_icount
         mine = self.codesigned.state
         authoritative = self.x86.state
         diff = mine.diff(authoritative)
         if diff:
+            if self.recover:
+                excerpt = {name: list(vals)
+                           for name, vals in sorted(diff.items())[:8]}
+                self._recover_divergence("state_divergence", {
+                    "diff": excerpt, "final": final,
+                })
+                return
             raise ValidationError(
                 f"architectural state mismatch at guest instruction "
                 f"{self.codesigned.guest_icount}: {diff}",
@@ -192,11 +275,48 @@ class Controller:
             self.x86.memory, pages)
         if mismatch is not None:
             page, offset = mismatch
+            if self.recover:
+                self._recover_divergence("memory_divergence", {
+                    "page": page, "offset": offset, "final": final,
+                })
+                return
             raise ValidationError(
                 f"memory mismatch at page {page:#x} offset {offset:#x} "
                 f"(guest instruction {self.codesigned.guest_icount})",
                 memory_diff=mismatch,
                 guest_icount=self.codesigned.guest_icount)
+        # Clean comparison: everything dispatched before this checkpoint
+        # is exonerated.
+        self.codesigned.tol.clear_dispatch_window()
+
+    # -- divergence recovery ----------------------------------------------------
+
+    def _recover_divergence(self, kind: str, detail: dict) -> None:
+        """Resync the co-designed component from the authoritative x86
+        state, quarantine the translations implicated by the recent
+        dispatch window, and record the incident."""
+        tol = self.codesigned.tol
+        suspects = tuple(tol.implicated_pcs())
+        actions = []
+        for pc in suspects:
+            actions.extend(tol.quarantine_pc(pc))
+        # Authoritative resync: architectural state plus every page the
+        # emulated image has materialized (absent pages stay lazy and are
+        # re-served on demand).  The retirement count is adopted too — a
+        # diverged path may have retired a different number of (garbage)
+        # instructions than the authoritative stream, and every future
+        # synchronization target derives from this counter.
+        self.codesigned.state.restore(self.x86.state.snapshot())
+        for page in list(self.codesigned.memory.present_pages()):
+            self.codesigned.memory.install_page(
+                page, self.x86.export_page(page))
+        tol.guest_icount = self.x86.icount
+        tol.interp.icount = self.x86.icount
+        tol.incidents.record(
+            kind, self.codesigned.guest_icount, detail=detail,
+            suspects=suspects, actions=tuple(actions))
+        tol.clear_dispatch_window()
+        self.recoveries += 1
 
 
 def run_codesigned(program: GuestProgram,

@@ -12,7 +12,7 @@ variant dimension for loop superblocks).  Handles:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.host.isa import CodeUnit
 
@@ -33,6 +33,11 @@ class CodeCache:
         #: still executes them from the translator's hand-back; they are
         #: simply never cached).
         self.oversize_rejections = 0
+        #: Called with each unit removed from the cache (invalidate,
+        #: invalidate_pc and flush), so dependent dispatch structures —
+        #: the IBTC above all — can drop their references instead of
+        #: dangling into freed code.
+        self.on_remove: Optional[Callable[[CodeUnit], None]] = None
 
     def __len__(self) -> int:
         return len(self._units)
@@ -80,22 +85,67 @@ class CodeCache:
         return flushed
 
     def invalidate(self, unit: CodeUnit) -> None:
-        """Remove a unit and unlink every chain pointing at it."""
+        """Remove a unit, unlinking chains in both directions."""
         keys = [k for k, u in self._units.items() if u is unit]
         for key in keys:
             del self._units[key]
             self.size_insns -= unit.size()
+        self._unlink(unit)
+        self.invalidations += 1
+        if self.on_remove is not None:
+            self.on_remove(unit)
+
+    def invalidate_pc(self, pc: int) -> List[CodeUnit]:
+        """Remove every variant cached for ``pc`` (quarantine path)."""
+        victims = []
+        for (upc, variant), unit in list(self._units.items()):
+            if upc == pc and unit not in victims:
+                victims.append(unit)
+        for unit in victims:
+            self.invalidate(unit)
+        return victims
+
+    def _unlink(self, unit: CodeUnit) -> None:
+        """Sever every chain touching ``unit``: incoming links from other
+        units, and the unit's own outgoing links (deregistered from their
+        targets so a removed unit leaves no bookkeeping behind)."""
         for (linker, exit_idx) in self._incoming.pop(unit.uid, []):
             exit_instr = linker.instrs[exit_idx]
             if exit_instr.meta.get("link") is unit:
                 exit_instr.meta["link"] = None
-        self.invalidations += 1
+        for instr in unit.instrs:
+            if instr.op != "exit":
+                continue
+            target = instr.meta.get("link")
+            if target is None:
+                continue
+            instr.meta["link"] = None
+            back = self._incoming.get(target.uid)
+            if back:
+                self._incoming[target.uid] = [
+                    (u, i) for (u, i) in back if u is not unit]
 
     def flush(self) -> None:
+        removed = []
+        seen = set()
+        for unit in self._units.values():
+            if id(unit) not in seen:
+                seen.add(id(unit))
+                removed.append(unit)
         self._units.clear()
         self._incoming.clear()
         self.size_insns = 0
         self.flushes += 1
+        # Clear outgoing links on everything removed — a flushed unit may
+        # still be mid-execution in the host emulator, and a stale link
+        # must not re-enter freed code — and let dependents (IBTC) drop
+        # their references.
+        for unit in removed:
+            for instr in unit.instrs:
+                if instr.op == "exit" and instr.meta.get("link") is not None:
+                    instr.meta["link"] = None
+            if self.on_remove is not None:
+                self.on_remove(unit)
 
     # -- chaining -----------------------------------------------------------------
 

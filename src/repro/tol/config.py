@@ -89,6 +89,28 @@ class TolConfig:
     #: per-instruction records are delivered after each segment).
     host_fastpath: bool = True
 
+    # -- resilience ---------------------------------------------------------------
+    #: What to do when validation against the authoritative x86 component
+    #: fails (or synchronization is lost): ``strict`` raises on the first
+    #: divergence (the seed behaviour, right for debugging the simulator
+    #: itself); ``recover`` resyncs the co-designed state from the
+    #: authoritative state, quarantines the implicated translations and
+    #: continues (the default for sweeps and fault campaigns).
+    recovery_mode: str = "strict"
+    #: Controller event budget per run (pause/data-request/syscall events
+    #: from the co-designed component before the run is declared runaway).
+    event_budget: int = 10_000_000
+    #: Forward-progress watchdog: detect dispatch loops that retire zero
+    #: guest instructions (the PR-2 livelock class) and quarantine the
+    #: spinning translation.
+    watchdog_enable: bool = True
+    #: Consecutive event-free, retirement-free dispatches before the
+    #: watchdog fires.
+    watchdog_stall_limit: int = 100
+    #: Recent-dispatch window (host units entered, including chained and
+    #: IBTC hops) kept for divergence implication and runaway diagnostics.
+    dispatch_window_size: int = 64
+
     # -- validation ---------------------------------------------------------------
     #: Compare emulated vs authoritative state every N synchronization
     #: events (1 = every syscall; 0 disables periodic comparison — the

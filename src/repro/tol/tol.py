@@ -10,8 +10,9 @@ superblocks past the failure limit) and surfaces synchronization events
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro import costs
 from repro.guest.memory import PagedMemory, PageFault
@@ -27,6 +28,11 @@ from repro.tol.interp import END, Interpreter, OK, SYSCALL
 from repro.tol.overhead import OverheadAccount
 from repro.tol.profile import Profiler
 from repro.tol.translate import Translator
+from repro.resilience.incidents import IncidentLog
+from repro.resilience.quarantine import (
+    LEVEL_BBM_ONLY, LEVEL_INTERPRET_ONLY, LEVEL_NAMES, LEVEL_NO_ASSERTS,
+    TranslationQuarantine,
+)
 
 EVENT_SYSCALL = "syscall"
 EVENT_END = "end"
@@ -51,6 +57,7 @@ class TolStats:
     ibtc_fills: int = 0
     im_guest_insns: int = 0
     sb_blacklisted: int = 0
+    watchdog_fires: int = 0
 
 
 class Tol:
@@ -94,6 +101,24 @@ class Tol:
         #: the plain body, and dispatch must honor that or it would hand
         #: back the unrolled unit forever (no chaining to shortcut it).
         self._exit_variant_hint: Optional[tuple] = None
+        # -- resilience machinery ---------------------------------------
+        #: Per-entry-PC escalation ladder for implicated translations.
+        self.quarantine = TranslationQuarantine()
+        #: Structured log of recovery events (shared with the controller).
+        self.incidents = IncidentLog()
+        # Keep the IBTC consistent with every cache removal (eviction,
+        # flush, quarantine) instead of relying on call-site discipline.
+        self.cache.on_remove = self.host.ibtc.invalidate_unit
+        #: Recent units *entered* by the host (chained/IBTC hops included)
+        #: — divergence implication and runaway diagnostics read this.
+        self._dispatch_window = deque(
+            maxlen=max(1, self.config.dispatch_window_size))
+        self.host.unit_log = self._dispatch_window
+        #: Consecutive event-free dispatches with zero guest retirement.
+        self._stall_dispatches = 0
+        #: fault-injection hook: called as ``install_hook(unit, variant)``
+        #: after every code-cache installation.
+        self.install_hook = None
         #: debug hook: called as ``probe(tol, unit_or_None)`` after every
         #: dispatch step (unit execution or interpreted basic block).
         self.probe = None
@@ -108,14 +133,29 @@ class Tol:
 
     def run(self) -> TolEvent:
         """Execute until a synchronization event occurs."""
+        watchdog = self.config.watchdog_enable
+        limit = self.config.watchdog_stall_limit
         while True:
+            before = self.guest_icount
             try:
                 event = self._dispatch_once()
             except PageFault as fault:
                 self.overhead.charge("others", costs.TOL_STATS_EVENT)
+                self._stall_dispatches = 0
                 return TolEvent(EVENT_DATA_REQUEST, fault_addr=fault.addr)
             if event is not None:
+                self._stall_dispatches = 0
                 return event
+            # Forward-progress watchdog: a dispatch that produced neither
+            # an event nor guest retirement is a stall; enough of them in
+            # a row is a livelock (the PR-2 bug class), and the spinning
+            # translation gets quarantined.
+            if self.guest_icount != before:
+                self._stall_dispatches = 0
+            elif watchdog:
+                self._stall_dispatches += 1
+                if self._stall_dispatches >= limit:
+                    self._watchdog_fire()
 
     def _dispatch_once(self) -> Optional[TolEvent]:
         if (self.pause_at_icount is not None
@@ -123,6 +163,14 @@ class Tol:
             return TolEvent(EVENT_PAUSE)
         pc = self.state.eip
         self.overhead.charge("others", costs.TOL_MAINLOOP)
+        if (len(self.quarantine)
+                and self.quarantine.level(pc) >= LEVEL_INTERPRET_ONLY):
+            # Fully quarantined entry: the interpreter is the trusted
+            # executor of last resort.
+            event = self._interpret_bb()
+            if self.probe is not None:
+                self.probe(self, None)
+            return event
         self.overhead.charge("cc_lookup", costs.CC_LOOKUP)
         hint, self._exit_variant_hint = self._exit_variant_hint, None
         if hint is not None and hint[0] == pc:
@@ -140,7 +188,7 @@ class Tol:
                 return event
         if (unit.mode == UNIT_MODE_BBM
                 and unit.exec_count >= self.config.sbm_threshold
-                and pc not in self._sb_blacklist):
+                and self._may_promote(pc)):
             promoted = self._promote(pc)
             if promoted is not None:
                 unit = promoted
@@ -197,10 +245,16 @@ class Tol:
         self._install(unit, variant)
         return unit
 
+    def _may_promote(self, pc: int) -> bool:
+        """Superblock formation allowed for this entry PC?"""
+        return (pc not in self._sb_blacklist
+                and self.quarantine.level(pc) < LEVEL_BBM_ONLY)
+
     def _promote(self, pc: int) -> Optional[CodeUnit]:
         """Promote a hot BBM block to a superblock (SBM)."""
         translation = self.translator.translate_superblock(
-            self.memory, pc, self.profiler)
+            self.memory, pc, self.profiler,
+            demote=self.quarantine.level(pc) >= LEVEL_NO_ASSERTS)
         if translation is None:
             self._sb_blacklist.add(pc)
             self.stats.sb_blacklisted += 1
@@ -223,7 +277,6 @@ class Tol:
             unit = self.cache.lookup(pc)
             if unit is not None:
                 self.cache.invalidate(unit)
-                self.host.ibtc.invalidate_unit(unit)
             self._sb_blacklist.add(pc)
             return
         self._charge_translation("sb_translator", translation.cost)
@@ -233,7 +286,6 @@ class Tol:
         if old_unrolled is not None and all(
                 v != "unrolled" for _, v in translation.units):
             self.cache.invalidate(old_unrolled)
-            self.host.ibtc.invalidate_unit(old_unrolled)
         for unit, variant in translation.units:
             self._install(unit, variant)
         self.stats.demotions += 1
@@ -249,12 +301,11 @@ class Tol:
             self.overhead.charge(category, cost)
 
     def _install(self, unit: CodeUnit, variant: str) -> None:
-        old = self.cache.lookup(unit.entry_pc, variant)
-        flushed = self.cache.insert(unit, variant)
-        if old is not None:
-            self.host.ibtc.invalidate_unit(old)
-        if flushed:
-            self.host.ibtc.flush()
+        # The cache's on_remove hook keeps the IBTC consistent across the
+        # replace-same-key and flush-on-full paths.
+        self.cache.insert(unit, variant)
+        if self.install_hook is not None:
+            self.install_hook(unit, variant)
 
     # ------------------------------------------------------------------
     # Execution of translated code.
@@ -285,6 +336,19 @@ class Tol:
             failing = event.unit
             if (failing.assert_failures + failing.spec_failures
                     > self.config.assert_fail_limit):
+                # A rollback storm is a resilience event: the unit's
+                # speculation is not holding.  Record it and pin the entry
+                # at the no-asserts rung so the ladder has a floor even if
+                # the demoted unit is later evicted.
+                self.incidents.record(
+                    "rollback_storm", self.guest_icount,
+                    detail={"pc": failing.entry_pc, "mode": failing.mode,
+                            "assert_failures": failing.assert_failures,
+                            "spec_failures": failing.spec_failures},
+                    suspects=(failing.entry_pc,),
+                    actions=(f"pc={failing.entry_pc:#x} demote",))
+                self.quarantine.escalate(failing.entry_pc,
+                                         floor=LEVEL_NO_ASSERTS)
                 self._demote(failing.entry_pc)
             # Forward progress through the interpreter (paper §V-B1).
             return self._interpret_bb()
@@ -293,7 +357,7 @@ class Tol:
         if self._promote_request is not None:
             pc = self._promote_request
             self._promote_request = None
-            if pc not in self._sb_blacklist:
+            if self._may_promote(pc):
                 promoted_unit = self.cache.lookup(pc)
                 if (promoted_unit is not None
                         and promoted_unit.mode == UNIT_MODE_BBM):
@@ -328,6 +392,61 @@ class Tol:
             self.stats.chains_made += 1
 
     # ------------------------------------------------------------------
+    # Resilience: quarantine, implication, watchdog.
+    # ------------------------------------------------------------------
+
+    def quarantine_pc(self, pc: int, floor: int = 0) -> List[str]:
+        """Escalate ``pc`` one rung on the quarantine ladder, drop its
+        cached translations (chains and IBTC references are unlinked by
+        the cache) and return human-readable action strings."""
+        level = self.quarantine.escalate(pc, floor)
+        removed = self.cache.invalidate_pc(pc)
+        if (self._exit_variant_hint is not None
+                and self._exit_variant_hint[0] == pc):
+            self._exit_variant_hint = None
+        if level >= LEVEL_BBM_ONLY:
+            self._sb_blacklist.add(pc)
+        actions = [f"pc={pc:#x} level={LEVEL_NAMES[level]}"]
+        if removed:
+            actions.append(
+                f"pc={pc:#x} invalidated={len(removed)} unit(s)")
+        return actions
+
+    def implicated_pcs(self) -> List[int]:
+        """Unique entry PCs of recently entered units, oldest first.
+
+        The host appends every unit *entered* — including chain-follow
+        and IBTC hops that TOL dispatch never sees — so a divergence can
+        implicate translations that only ran as chain targets."""
+        seen: List[int] = []
+        for unit in self._dispatch_window:
+            if unit.entry_pc not in seen:
+                seen.append(unit.entry_pc)
+        return seen
+
+    def recent_dispatches(self, n: int = 8) -> List[str]:
+        """Last ``n`` units entered, as ``MODE@pc`` strings (diagnostics)."""
+        return [f"{u.mode}@{u.entry_pc:#x}"
+                for u in list(self._dispatch_window)[-n:]]
+
+    def clear_dispatch_window(self) -> None:
+        """Forget the implication window (called after a validation pass:
+        units entered before a clean checkpoint are exonerated)."""
+        self._dispatch_window.clear()
+
+    def _watchdog_fire(self) -> None:
+        pc = self.state.eip
+        actions = self.quarantine_pc(pc)
+        self.stats.watchdog_fires += 1
+        self.incidents.record(
+            "livelock", self.guest_icount,
+            detail={"pc": pc,
+                    "stalled_dispatches": self._stall_dispatches,
+                    "recent": self.recent_dispatches()},
+            suspects=(pc,), actions=tuple(actions))
+        self._stall_dispatches = 0
+
+    # ------------------------------------------------------------------
     # Hooks and controller interface.
     # ------------------------------------------------------------------
 
@@ -336,7 +455,7 @@ class Tol:
         when the execution counter crosses the SBM threshold."""
         self.profiler.record_edge(unit.entry_pc, next_pc)
         if (unit.exec_count >= self.config.sbm_threshold
-                and unit.entry_pc not in self._sb_blacklist):
+                and self._may_promote(unit.entry_pc)):
             self._promote_request = unit.entry_pc
             return True
         return False

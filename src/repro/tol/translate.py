@@ -49,6 +49,11 @@ class Translator:
         #: when not None, per-stage IR is captured here for the debug
         #: toolchain: entry_pc -> {stage name -> list of IR ops}.
         self.capture = None
+        #: when not None, invoked as ``ir_hook(ops, entry_pc, mode,
+        #: unrolled=...)`` on the post-optimization IR of every
+        #: translation; must return the (possibly replaced) op list.
+        #: Fault-injection entry point.
+        self.ir_hook = None
         # Cumulative statistics.
         self.bb_translations = 0
         self.sb_translations = 0
@@ -85,6 +90,8 @@ class Translator:
             ops.append(IRInstr(op="exit", attrs={
                 "next_pc": bb.next_pc, "guest_insns": count}))
         ops, pass_stats = run_pipeline(ops, self.config.bbm_passes)
+        if self.ir_hook is not None:
+            ops = self.ir_hook(ops, pc, UNIT_MODE_BBM, unrolled=False)
         allocation = allocate(ops)
         unit = self.codegen.generate(
             uid=self._uid(), mode=UNIT_MODE_BBM, entry_pc=pc,
@@ -141,6 +148,9 @@ class Translator:
         assembled = assemble_region(region, mode="SBX")
         ops = assembled.body + [assembled.terminator]
         ops, pass_stats = run_pipeline(ops, self.config.bbm_passes)
+        if self.ir_hook is not None:
+            ops = self.ir_hook(ops, region.entry_pc, UNIT_MODE_SBX,
+                               unrolled=False)
         allocation = allocate(ops)
         unit = self.codegen.generate(
             uid=self._uid(), mode=UNIT_MODE_SBX,
@@ -202,6 +212,9 @@ class Translator:
             stages["decoded"] = list(body) + [terminator]
             stages["ssa"] = list(full)
         full, pass_stats = run_pipeline(full, self.config.sbm_passes)
+        if self.ir_hook is not None:
+            full = self.ir_hook(full, entry_pc, mode,
+                                unrolled=unrolled_variant)
         if stages is not None:
             stages["optimized"] = list(full)
         prefix, writebacks, term = _split_tail(full)

@@ -86,3 +86,26 @@ def test_speed_command(capsys):
 def test_unknown_workload_raises():
     with pytest.raises(KeyError):
         main(["run", "not.a.workload"])
+
+
+def test_inject_small_campaign_passes(capsys):
+    code = main(["inject", "--seed", "7", "-n", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "RESULT: PASS" in out
+    assert "campaign seed=7" in out
+
+
+def test_inject_json_report(capsys):
+    import json
+    code = main(["inject", "--seed", "7", "-n", "3", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["seed"] == 7
+    assert payload["all_triggered_caught"] is True
+    assert len(payload["records"]) == 3
+
+
+def test_inject_rejects_unknown_site():
+    with pytest.raises(SystemExit):
+        main(["inject", "--site", "cosmic_ray"])

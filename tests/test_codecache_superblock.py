@@ -99,6 +99,40 @@ def test_cache_oversized_replacement_still_invalidates_old():
     assert cache.oversize_rejections == 1
 
 
+def test_cache_flush_unlinks_chains_and_fires_on_remove():
+    # Regression: a capacity flush must sever every chain link and tell
+    # the removal hook (which keeps the IBTC consistent) about every
+    # evicted unit — a stale link would jump into freed code.
+    removed = []
+    cache = CodeCache(capacity_insns=10)
+    cache.on_remove = removed.append
+    a = unit(1, 0x1000, n_instrs=4)
+    b = unit(2, 0x2000, n_instrs=4)
+    cache.insert(a, PLAIN)
+    cache.insert(b, PLAIN)
+    cache.chain(a, len(a.instrs) - 1, b)
+    assert a.instrs[-1].meta["link"] is b
+    flushed = cache.insert(unit(3, 0x3000, n_instrs=9), PLAIN)
+    assert flushed
+    assert a.instrs[-1].meta["link"] is None
+    assert {u.uid for u in removed} == {1, 2}
+
+
+def test_cache_invalidate_severs_incoming_and_outgoing_links():
+    cache = CodeCache()
+    a = unit(1, 0x1000)
+    b = unit(2, 0x2000)
+    c = unit(3, 0x3000)
+    for u in (a, b, c):
+        cache.insert(u, PLAIN)
+    cache.chain(a, len(a.instrs) - 1, b)     # a -> b (incoming to b)
+    cache.chain(b, len(b.instrs) - 1, c)     # b -> c (outgoing from b)
+    removed = cache.invalidate_pc(0x2000)
+    assert [u.uid for u in removed] == [2]
+    assert a.instrs[-1].meta["link"] is None
+    assert cache.lookup(0x1000) is a and cache.lookup(0x3000) is c
+
+
 def test_cache_chain_rejects_non_exit():
     cache = CodeCache()
     a, b = unit(1, 0x1000), unit(2, 0x2000)
@@ -332,3 +366,41 @@ def test_unroll_guard_exit_dispatches_plain_variant_without_chaining():
     assert result.exit_code == 0
     assert (controller.x86.icount
             == controller.codesigned.guest_icount)
+
+
+def test_watchdog_quarantines_any_zero_retirement_translation():
+    """Generalized livelock defense: whatever plants a translation that
+    dispatches forever without retiring guest instructions (not just the
+    unroll-guard bug above), the forward-progress watchdog fires,
+    quarantines the entry PC, drops the unit, and the run completes
+    through the interpreter with correct state."""
+    from repro.system.controller import Controller
+
+    asm = Assembler()
+    asm.mov(EAX, 7)
+    asm.add(EAX, 35)
+    asm.mov(ESI, EAX)
+    asm.exit(0)
+    program = asm.program()
+    # Chaining off: with it on, the TOL would patch the evil unit's
+    # self-exit into an in-host loop, which the fuel backstop (not the
+    # watchdog) catches — that path is exercised by the fault campaign.
+    controller = Controller(program, config=TolConfig(
+        bbm_threshold=2, sbm_threshold=6, watchdog_stall_limit=5,
+        chaining_enable=False))
+    controller.initialize()
+    tol = controller.codesigned.tol
+    pc = program.entry
+    evil = CodeUnit(uid=999, mode="BBM", entry_pc=pc, instrs=[
+        HostInstr("chkpt", meta={"guest_pc": pc}),
+        HostInstr("exit", meta={"next_pc": pc, "guest_insns": 0}),
+    ])
+    tol.cache.insert(evil, PLAIN)
+    result = controller.run()
+    assert result.exit_code == 0
+    assert tol.stats.watchdog_fires >= 1
+    assert tol.incidents.count("livelock") >= 1
+    assert tol.quarantine.level(pc) >= 1
+    assert tol.cache.lookup(pc) is not evil
+    assert controller.codesigned.state.get("ESI") == 42
+    assert controller.x86.icount == controller.codesigned.guest_icount

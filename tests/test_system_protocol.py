@@ -10,7 +10,9 @@ from repro.guest.assembler import (
 from repro.guest.program import pack_u32s
 from repro.guest.syscalls import SYS_RAND, SYS_READ, SYS_WRITE, GuestOS
 from repro.tol.config import TolConfig
-from repro.system.controller import Controller, run_codesigned
+from repro.system.controller import (
+    Controller, SystemError_, ValidationError, run_codesigned,
+)
 from repro.system.x86comp import ProcessTracker, X86Component
 
 FAST = TolConfig(bbm_threshold=3, sbm_threshold=8)
@@ -144,6 +146,71 @@ def test_pause_and_resume_mid_run():
     final = controller.run()
     assert final.exit_code == 0
     assert controller.x86.state.get("EDI") == 2000
+
+
+def _write_loop(iterations=6):
+    def body(asm):
+        msg = asm.data(0xB000, b"x")
+        with asm.counted_loop(EDI, iterations):
+            asm.mov(EAX, SYS_WRITE)
+            asm.mov(EBX, 1)
+            asm.mov(ECX, msg)
+            asm.mov(EDX, 1)
+            asm.syscall()
+        asm.exit(0)
+    return build(body)
+
+
+def test_strict_mode_raises_on_divergence():
+    """``recovery_mode="strict"`` (the default) still turns the first
+    emulated/authoritative mismatch into a hard ValidationError."""
+    controller = Controller(_write_loop(), config=FAST)
+    controller.run(until_icount=20)
+    controller.codesigned.state.set("ESI", 0xDEAD)   # inject divergence
+    with pytest.raises(ValidationError) as excinfo:
+        controller.run()
+    assert "ESI" in str(excinfo.value.state_diff)
+
+
+def test_recover_mode_resyncs_and_completes():
+    """The same injected divergence in ``recover`` mode becomes an
+    incident: state resynced from the x86 component, run completes with
+    the authoritative result."""
+    config = TolConfig(bbm_threshold=3, sbm_threshold=8,
+                       recovery_mode="recover")
+    controller = Controller(_write_loop(), config=config)
+    controller.run(until_icount=20)
+    controller.codesigned.state.set("ESI", 0xDEAD)
+    result = controller.run()
+    assert result.exit_code == 0
+    assert result.recoveries >= 1
+    assert result.incidents >= 1
+    assert result.stdout == b"x" * 6
+    assert controller.codesigned.state.get("ESI") == \
+        controller.x86.state.get("ESI")
+    assert controller.codesigned.tol.incidents.count("state_divergence") >= 1
+
+
+def test_event_budget_exhaustion_diagnostic():
+    """A blown event budget raises SystemError_ with a debuggable
+    snapshot instead of a bare counter."""
+    controller = Controller(_write_loop(iterations=10), config=FAST)
+    with pytest.raises(SystemError_) as excinfo:
+        controller.run(max_events=2)
+    message = str(excinfo.value)
+    assert "event budget exhausted" in message
+    assert "mode_distribution" in message
+    assert "recent_dispatches" in message
+    assert "guest_icount" in message
+
+
+def test_event_budget_config_field():
+    config = TolConfig(bbm_threshold=3, sbm_threshold=8, event_budget=2)
+    with pytest.raises(SystemError_):
+        Controller(_write_loop(iterations=10), config=config).run()
+    # A generous budget (the default) lets the same program finish.
+    result, _ = run_codesigned(_write_loop(iterations=10), config=FAST)
+    assert result.exit_code == 0
 
 
 def test_guest_icounts_stay_synchronized():
