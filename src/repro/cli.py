@@ -185,6 +185,7 @@ def cmd_inject(args) -> int:
     if args.json:
         import json
         payload = {
+            "schema_version": 1,
             "seed": report.seed,
             "mode": report.mode,
             "signature": report.signature(),
@@ -222,18 +223,23 @@ def cmd_sweep(args) -> int:
         fig4_table, fig5_table, fig6_table, fig7_table, shape_checks,
     )
     from repro.harness.parallel import (
-        ResultCache, print_progress, suite_sweep_jobs, sweep,
+        ResultCache, print_progress, serialize_params, suite_sweep_jobs,
+        sweep,
     )
     config = _apply_config_overrides(TolConfig(), args.set) \
         if args.set else None
+    task = "arch_run" if args.arch else "workload_metrics"
     sweep_jobs = suite_sweep_jobs(scale=args.scale, config=config,
                                   workloads=args.workload or None,
-                                  validate=args.validate)
+                                  validate=args.validate, task=task)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     start = time.perf_counter()
     results = sweep(sweep_jobs, n_jobs=args.jobs,
                     use_cache=not args.no_cache, cache=cache,
-                    timeout=args.timeout, progress=print_progress)
+                    timeout=args.timeout, progress=print_progress,
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    resume=args.resume)
     wall = time.perf_counter() - start
     failed = [r for r in results if not r.ok]
     hits = cache.hits if cache is not None else 0
@@ -241,11 +247,32 @@ def cmd_sweep(args) -> int:
           f"{hits} cache hits, {wall:.1f}s wall "
           f"(jobs={args.jobs or 'auto'}, "
           f"cache={'off' if args.no_cache else args.cache_dir})")
+    if args.out:
+        # Deterministic result artifact: only resume-stable fields go
+        # in (attempts/durations vary run to run), so a resumed sweep's
+        # output is byte-identical to an uninterrupted one.
+        from repro.ioutil import write_artifact
+        payload = {"results": [
+            {"task": r.job.task,
+             "label": r.job.label,
+             "params": serialize_params(r.job.params),
+             "ok": r.ok,
+             "value": (r.value.as_dict()
+                       if hasattr(r.value, "as_dict")
+                       else serialize_params(r.value)),
+             "error": r.error}
+            for r in results]}
+        write_artifact(args.out, "sweep_results", 1, payload)
+        print(f"wrote {args.out}")
     for r in failed:
         print(f"\nFAILED {r.job.label} after {r.attempts} attempt(s):")
         for line in r.error.rstrip().splitlines():
             print(f"  {line}")
     if failed:
+        return 1
+    if args.figures and args.arch:
+        print("--figures needs performance metrics; rerun without --arch",
+              file=sys.stderr)
         return 1
     if args.figures:
         metrics = [r.value for r in results]
@@ -259,6 +286,70 @@ def cmd_sweep(args) -> int:
         for name, ok in shape_checks(metrics).items():
             print(f"  {'PASS' if ok else 'FAIL'}  {name}")
     return 0
+
+
+def cmd_repro(args) -> int:
+    """Replay a divergence repro bundle deterministically.
+
+    Exit status: 0 when the bundle's failure reproduces, 2 when the
+    replay runs clean (the bug did not reproduce), 1 when the bundle
+    cannot be loaded."""
+    from repro.ioutil import SchemaError
+    from repro.snapshot.bundle import load_bundle, replay_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except SchemaError as exc:
+        print(f"cannot load bundle: {exc}", file=sys.stderr)
+        return 1
+
+    fault = bundle.fault
+    print(f"bundle: reason={bundle.reason} "
+          f"guest_icount={bundle.guest_icount} "
+          f"incidents={len(bundle.incidents)} "
+          f"signature={bundle.incident_signature[:16]}")
+    if bundle.error:
+        print(f"  error: {bundle.error}")
+    if fault:
+        print(f"  fault: site={fault['site']} ordinal={fault['ordinal']} "
+              f"salt={fault['salt']:#x}")
+    if args.from_checkpoint and bundle.checkpoint is None:
+        print("bundle carries no checkpoint; replaying from program "
+              "start", file=sys.stderr)
+
+    outcome, controller = replay_bundle(
+        bundle, max_events=args.max_events,
+        from_checkpoint=args.from_checkpoint and bundle.checkpoint
+        is not None)
+    status = "REPRODUCED" if outcome.reproduced else "did not reproduce"
+    print(f"replay: {status} "
+          f"(diverged={outcome.diverged} kinds={outcome.kinds} "
+          f"exit={outcome.exit_code})")
+    if outcome.error:
+        print(f"  replay error: {outcome.error}")
+
+    if args.find and outcome.reproduced:
+        from repro.debug.divergence import find_divergence
+        from repro.guest.syscalls import GuestOS
+        stdin, seed = bundle.os_stdin, bundle.os_seed
+        div = find_divergence(
+            bundle.program, config=bundle.config, fault=fault,
+            os_factory=lambda: GuestOS(stdin=stdin, rand_seed=seed))
+        print(f"find_divergence: {div}" if div is not None
+              else "find_divergence: no dispatch-level divergence "
+                   "(incident was caught before state escaped)")
+
+    if args.minimize and outcome.reproduced:
+        from repro.snapshot.minimize import format_program, minimize_bundle
+        minimized = minimize_bundle(
+            bundle, max_events=args.max_events or 200_000)
+        print(f"minimized: {minimized.original_instructions} -> "
+              f"{minimized.instructions} instructions "
+              f"({minimized.tests_run} oracle runs, "
+              f"compacted={minimized.compacted})")
+        print(format_program(minimized.program))
+
+    return 0 if outcome.reproduced else 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -327,7 +418,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override a TolConfig field (repeatable)")
     sweep_p.add_argument("--figures", action="store_true",
                          help="print the figure tables after the sweep")
+    sweep_p.add_argument("--arch", action="store_true",
+                         help="run architectural (checkpointable) tasks "
+                              "instead of performance metrics")
+    sweep_p.add_argument("--checkpoint-dir", default=None,
+                         help="write per-task checkpoints here; enables "
+                              "crash-resumable sweeps for --arch tasks")
+    sweep_p.add_argument("--checkpoint-every", type=int, default=1,
+                         help="checkpoint cadence in validation "
+                              "boundaries (default: 1)")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="resume interrupted tasks from their last "
+                              "checkpoint (rerun the same sweep command "
+                              "after a crash or kill)")
+    sweep_p.add_argument("--out", default=None, metavar="PATH",
+                         help="write a deterministic JSON result "
+                              "artifact (resume-stable fields only)")
     sweep_p.set_defaults(fn=cmd_sweep)
+
+    repro_p = sub.add_parser(
+        "repro",
+        help="replay a divergence repro bundle deterministically "
+             "(exit 0 iff the failure reproduces)")
+    repro_p.add_argument("bundle", help="path to a bundle-*.json file")
+    repro_p.add_argument("--from-checkpoint", action="store_true",
+                         help="replay from the bundle's embedded "
+                              "checkpoint instead of program start")
+    repro_p.add_argument("--find", action="store_true",
+                         help="run the dispatch-level divergence finder "
+                              "on a reproduced failure")
+    repro_p.add_argument("--minimize", action="store_true",
+                         help="delta-debug the guest program down to a "
+                              "minimal diverging instruction sequence")
+    repro_p.add_argument("--max-events", type=int, default=None,
+                         help="cap replay length in controller events")
+    repro_p.set_defaults(fn=cmd_repro)
 
     inject_p = sub.add_parser(
         "inject",

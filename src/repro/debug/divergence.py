@@ -59,11 +59,25 @@ class _ProbeHit(Exception):
 
 def find_divergence(program: GuestProgram,
                     config: Optional[TolConfig] = None,
-                    max_events: int = 10_000_000) -> Optional[Divergence]:
+                    max_events: int = 10_000_000,
+                    fault: Optional[dict] = None,
+                    os_factory=GuestOS) -> Optional[Divergence]:
     """Locate the first dispatch step whose result state mismatches a
-    lockstep reference.  Returns None for a clean run."""
-    reference = GuestEmulator(program, os=GuestOS())
-    controller = Controller(program, config=config, validate=False)
+    lockstep reference.  Returns None for a clean run.
+
+    ``fault`` (a ``{"site", "ordinal", "salt"}`` mapping, e.g. from a
+    repro bundle) arms the same deterministic fault the original run
+    carried; ``os_factory`` supplies the deterministic OS for both the
+    probed run and the reference (pass a closure over the bundle's
+    stdin/seed to replay a bundle's inputs)."""
+    reference = GuestEmulator(program, os=os_factory())
+    controller = Controller(program, config=config, os=os_factory(),
+                            validate=False)
+    if fault is not None:
+        from repro.resilience.faults import FaultInjector, FaultSpec
+        FaultInjector(FaultSpec(
+            site=fault["site"], ordinal=fault["ordinal"],
+            salt=fault["salt"])).attach(controller.codesigned.tol)
 
     def probe(tol, unit) -> None:
         reference.run_to_icount(tol.guest_icount)

@@ -154,12 +154,23 @@ class SweepResult:
 # ---------------------------------------------------------------------------
 
 _TASKS: Dict[str, Callable] = {}
+#: Tasks that accept a ``_checkpoint`` execution parameter (a
+#: ``{"dir", "every", "resume"}`` mapping) and can resume a killed or
+#: timed-out attempt from its last checkpoint.
+_CHECKPOINTABLE: set = set()
 
 
-def register_task(name: str):
-    """Register a sweep task under ``name`` (module-level, picklable)."""
+def register_task(name: str, checkpointable: bool = False):
+    """Register a sweep task under ``name`` (module-level, picklable).
+
+    ``checkpointable`` tasks additionally receive a ``_checkpoint``
+    execution parameter when the sweep runs with a checkpoint
+    directory; it never participates in the cache key (the key hashes
+    the *logical* job, not where its resume points live)."""
     def wrap(fn):
         _TASKS[name] = fn
+        if checkpointable:
+            _CHECKPOINTABLE.add(name)
         return fn
     return wrap
 
@@ -197,6 +208,24 @@ def _task_fault_run(site: str, ordinal: int, salt: int,
                     mode: str = "recover"):
     from repro.resilience.campaign import run_fault_case
     return run_fault_case(site, ordinal, salt, mode=mode)
+
+
+@register_task("arch_run", checkpointable=True)
+def _task_arch_run(workload: str, scale: float = 1.0, config=None,
+                   validate: bool = True, _checkpoint=None):
+    """Architectural run with checkpoint/resume support: the value is an
+    :class:`~repro.snapshot.runner.ArchResult`, bit-identical whether
+    the run completed in one attempt or resumed from a checkpoint."""
+    from repro.snapshot.runner import run_checkpointed
+    from repro.workloads import get_workload
+    program = get_workload(workload).program(scale=scale)
+    ck = _checkpoint or {}
+    value, _ = run_checkpointed(
+        program, config=config, validate=validate,
+        checkpoint_dir=ck.get("dir"),
+        checkpoint_every=ck.get("every", 1),
+        resume=ck.get("resume", False))
+    return value
 
 
 def _execute(task: str, params: Dict[str, Any]):
@@ -262,20 +291,10 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        try:
-            with open(tmp, "wb") as handle:
-                pickle.dump((key, value), handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except Exception:
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
-            raise
+        from repro.ioutil import atomic_write_bytes
+        atomic_write_bytes(
+            self._path(key),
+            pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL))
 
 
 # ---------------------------------------------------------------------------
@@ -292,8 +311,8 @@ def _terminate(executor: ProcessPoolExecutor) -> None:
     executor.shutdown(wait=False, cancel_futures=True)
 
 
-def _run_inline(job: SweepJob) -> SweepResult:
-    status, payload, duration = _worker(job.task, job.params)
+def _run_inline(job: SweepJob, params: Dict[str, Any]) -> SweepResult:
+    status, payload, duration = _worker(job.task, params)
     if status == "ok":
         return SweepResult(job=job, value=payload, attempts=1,
                            duration_s=duration)
@@ -301,14 +320,14 @@ def _run_inline(job: SweepJob) -> SweepResult:
                        duration_s=duration)
 
 
-def _run_isolated(job: SweepJob,
+def _run_isolated(job: SweepJob, params: Dict[str, Any],
                   timeout: Optional[float]) -> SweepResult:
     """Run one job in its own single-worker pool: a crash or hang is
     contained to this job, and a hung worker is terminated."""
     executor = ProcessPoolExecutor(max_workers=1)
     start = time.perf_counter()
     try:
-        future = executor.submit(_worker, job.task, job.params)
+        future = executor.submit(_worker, job.task, params)
         try:
             status, payload, duration = future.result(timeout=timeout)
         except FuturesTimeout:
@@ -335,7 +354,10 @@ def sweep(jobs: Iterable[SweepJob],
           cache: Optional[ResultCache] = None,
           retries: int = 1,
           timeout: Optional[float] = None,
-          progress: Optional[Callable] = None) -> List[SweepResult]:
+          progress: Optional[Callable] = None,
+          checkpoint_dir=None,
+          checkpoint_every: int = 1,
+          resume: bool = False) -> List[SweepResult]:
     """Run ``jobs``, fanning out over processes, memoizing on disk.
 
     ``n_jobs``:   worker processes (default ``os.cpu_count()``); ``1``
@@ -348,24 +370,55 @@ def sweep(jobs: Iterable[SweepJob],
                   attempts and as a pool-wide deadline on the shared pool.
     ``progress``: callable ``(result, done_count, total)`` invoked as
                   each job resolves (cache hits first).
+    ``checkpoint_dir``: when set, checkpointable tasks write periodic
+                  checkpoints under ``<dir>/<key16>/`` and a crashed or
+                  timed-out attempt's retry resumes from the last one.
+    ``checkpoint_every``: checkpoint cadence in validation boundaries.
+    ``resume``:   start every checkpointable task from its last
+                  checkpoint if one exists (crash-resumable sweeps:
+                  rerun the same command after a kill and completed
+                  tasks replay from cache while interrupted ones
+                  continue where they stopped).
+
+    Completed results are written to the cache eagerly, as each job
+    resolves — a sweep killed mid-flight keeps everything it finished.
     """
     jobs = list(jobs)
     total = len(jobs)
     results: List[Optional[SweepResult]] = [None] * total
     done = 0
 
-    def resolve(index: int, result: SweepResult) -> None:
-        nonlocal done
-        results[index] = result
-        done += 1
-        if progress is not None:
-            progress(result, done, total)
-
     store = cache
     if store is None and use_cache and cache_dir is not None:
         store = ResultCache(cache_dir)
     fingerprint = code_fingerprint()
     keys = [job.key(fingerprint) for job in jobs]
+
+    def resolve(index: int, result: SweepResult) -> None:
+        nonlocal done
+        results[index] = result
+        done += 1
+        if store is not None and result.ok and not result.cached:
+            store.put(keys[index], result.value)
+        if progress is not None:
+            progress(result, done, total)
+
+    # Checkpoint plumbing: injected AFTER cache keys are computed, so the
+    # key hashes the logical job only (where resume points live on disk
+    # never changes a job's identity).
+    exec_params: List[Dict[str, Any]] = [job.params for job in jobs]
+    if checkpoint_dir is not None:
+        base = Path(checkpoint_dir)
+        for index, job in enumerate(jobs):
+            if job.task in _CHECKPOINTABLE:
+                exec_params[index] = {
+                    **job.params,
+                    "_checkpoint": {
+                        "dir": str(base / keys[index][:16]),
+                        "every": int(checkpoint_every),
+                        "resume": bool(resume),
+                    },
+                }
 
     pending: List[int] = []
     for index, job in enumerate(jobs):
@@ -384,7 +437,7 @@ def sweep(jobs: Iterable[SweepJob],
     failed: List[int] = []
     if pending and n_jobs == 1:
         for index in pending:
-            result = _run_inline(jobs[index])
+            result = _run_inline(jobs[index], exec_params[index])
             if result.ok:
                 resolve(index, result)
             else:
@@ -398,7 +451,7 @@ def sweep(jobs: Iterable[SweepJob],
             for index in pending:
                 job = jobs[index]
                 future_map[executor.submit(_worker, job.task,
-                                           job.params)] = index
+                                           exec_params[index])] = index
             # Shared-pool deadline: generous upper bound so one hung
             # worker cannot stall the sweep forever (strict per-task
             # timeouts are applied on the isolated retry attempts).
@@ -445,22 +498,26 @@ def sweep(jobs: Iterable[SweepJob],
             _terminate(executor)
 
     # Isolated retries: one bad workload degrades to an error record.
+    # Checkpointable tasks retry with resume forced on, so a retried
+    # crash or timeout continues from its last checkpoint instead of
+    # repaying the whole run.
     for index in failed:
         job = jobs[index]
+        retry_params = exec_params[index]
+        ck = retry_params.get("_checkpoint")
+        if ck is not None:
+            retry_params = {**retry_params,
+                            "_checkpoint": {**ck, "resume": True}}
         prior = results[index]
         result = prior
         for _ in range(max(0, retries)):
-            attempt = _run_isolated(job, timeout)
+            attempt = _run_isolated(job, retry_params, timeout)
             attempt.attempts = (result.attempts if result else 0) + 1
             result = attempt
             if attempt.ok:
                 break
         resolve(index, result)
 
-    if store is not None:
-        for index, result in enumerate(results):
-            if result.ok and not result.cached:
-                store.put(keys[index], result.value)
     return results
 
 
@@ -471,9 +528,12 @@ def sweep(jobs: Iterable[SweepJob],
 
 def suite_sweep_jobs(scale: float = 1.0, config=None,
                      suites=None, workloads=None,
-                     validate: bool = True) -> List[SweepJob]:
-    """One ``workload_metrics`` job per workload of the paper suite (or an
-    explicit ``workloads`` name list).
+                     validate: bool = True,
+                     task: str = "workload_metrics") -> List[SweepJob]:
+    """One job of ``task`` per workload of the paper suite (or an
+    explicit ``workloads`` name list).  ``task`` is ``workload_metrics``
+    (performance counters) or ``arch_run`` (architectural results with
+    checkpoint/resume support).
 
     Sweeps default to ``recovery_mode="recover"``: one bad translation
     should degrade one data point (with its incidents surfaced), not kill
@@ -487,7 +547,7 @@ def suite_sweep_jobs(scale: float = 1.0, config=None,
         chosen = suites if suites is not None else SUITES
         workloads = [w.name for suite in chosen
                      for w in suite_workloads(suite)]
-    return [SweepJob(task="workload_metrics",
+    return [SweepJob(task=task,
                      params={"workload": name, "scale": scale,
                              "config": config, "validate": validate},
                      label=name)

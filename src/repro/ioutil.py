@@ -1,0 +1,139 @@
+"""Durable artifact IO shared by every on-disk writer in the repository.
+
+The result cache, the incident log exporter, the checkpoint store and
+the repro-bundle writer all need the same two guarantees:
+
+- **atomicity**: an artifact is either the complete old version or the
+  complete new version — a crash (or a SIGKILL from the sweep runner's
+  watchdog) mid-write must never leave a half-written file that a later
+  run trips over.  Writes go to a same-directory temp file, are fsynced,
+  and are published with ``os.replace``.
+- **versioned self-description**: every JSON artifact carries a
+  ``schema_version``, a ``kind`` and a content hash, so a loader can
+  tell "this is a checkpoint, schema 1, intact" apart from "this is
+  corrupt" or "this was written by an incompatible future version" and
+  raise a clear :class:`SchemaError` instead of a ``KeyError`` deep in
+  replay.
+
+Loaders choose between two failure semantics:
+
+- ``load_artifact(...)`` raises :class:`SchemaError` (checkpoints,
+  bundles: the caller asked for *this* artifact and must know why it is
+  unusable);
+- ``load_artifact(..., missing_ok=True)`` returns ``None`` for a
+  missing/corrupt/mismatched file (caches: corruption is a miss, never
+  a crash).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+
+class SchemaError(Exception):
+    """An on-disk artifact is missing, corrupt, of the wrong kind, or of
+    an incompatible schema version."""
+
+
+def atomic_write_bytes(path, data: bytes, fsync: bool = True) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + rename).
+
+    The temp file lives in the target directory (``os.replace`` must not
+    cross filesystems) and is fsynced before the rename so the published
+    name never points at partially-flushed content.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except Exception:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(payload: Any) -> str:
+    """SHA-256 over the canonical JSON rendering of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def write_artifact(path, kind: str, schema_version: int,
+                   payload: Dict[str, Any], fsync: bool = True) -> str:
+    """Write a versioned, content-hashed JSON artifact; returns the
+    payload's content hash (the artifact's identity)."""
+    digest = content_hash(payload)
+    envelope = {
+        "kind": kind,
+        "schema_version": schema_version,
+        "sha256": digest,
+        "payload": payload,
+    }
+    blob = json.dumps(envelope, sort_keys=True, indent=1).encode()
+    atomic_write_bytes(path, blob, fsync=fsync)
+    return digest
+
+
+def load_artifact(path, kind: str, schema_version: int,
+                  missing_ok: bool = False) -> Optional[Dict[str, Any]]:
+    """Load and verify a versioned artifact; returns its payload.
+
+    Raises :class:`SchemaError` on a missing/corrupt/mismatched file, or
+    returns ``None`` instead when ``missing_ok`` is set (cache
+    semantics: corruption is a miss).
+    """
+    path = Path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            envelope = json.load(handle)
+    except FileNotFoundError:
+        if missing_ok:
+            return None
+        raise SchemaError(f"artifact not found: {path}") from None
+    except (OSError, ValueError) as exc:
+        if missing_ok:
+            return None
+        raise SchemaError(f"corrupt artifact {path}: {exc}") from None
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        if missing_ok:
+            return None
+        raise SchemaError(f"{path}: not a versioned artifact envelope")
+    found_kind = envelope.get("kind")
+    if found_kind != kind:
+        if missing_ok:
+            return None
+        raise SchemaError(
+            f"{path}: artifact kind {found_kind!r}, expected {kind!r}")
+    version = envelope.get("schema_version")
+    if version != schema_version:
+        if missing_ok:
+            return None
+        raise SchemaError(
+            f"{path}: {kind} schema version {version!r} is not supported "
+            f"by this build (expected {schema_version}); re-create the "
+            f"artifact or use a matching version of the tools")
+    payload = envelope["payload"]
+    digest = envelope.get("sha256")
+    if digest != content_hash(payload):
+        if missing_ok:
+            return None
+        raise SchemaError(
+            f"{path}: content hash mismatch (truncated or tampered "
+            f"{kind})")
+    return payload

@@ -106,6 +106,8 @@ class FaultInjector:
 
     def attach(self, tol) -> None:
         """Hook the TOL's translation machinery for this fault site."""
+        # Make the armed fault discoverable by checkpoint/bundle writers.
+        tol.fault_injector = self
         site = self.spec.site
         if site in ("host_bitflip", "assert_invert"):
             tol.install_hook = self._on_install

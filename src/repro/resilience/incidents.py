@@ -15,6 +15,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
+#: Schema version for incident logs exported to disk (see
+#: :meth:`IncidentLog.save`); bump on any layout change.
+INCIDENT_SCHEMA_VERSION = 1
+KIND_INCIDENT_LOG = "incident_log"
+
 # Incident kinds recorded by the system.
 KIND_STATE_DIVERGENCE = "state_divergence"      # register/EIP mismatch at validation
 KIND_MEMORY_DIVERGENCE = "memory_divergence"    # memory mismatch at validation
@@ -83,6 +88,36 @@ class IncidentLog:
 
     def as_dicts(self) -> List[Dict[str, Any]]:
         return [i.as_dict() for i in self._incidents]
+
+    def restore(self, dicts: List[Dict[str, Any]]) -> None:
+        """Replace the log's contents from :meth:`as_dicts` output
+        (checkpoint restore).  ``signature()`` is preserved across the
+        round trip: ``as_dict`` already renders tuples as lists, so the
+        canonical JSON form is unchanged."""
+        self._incidents = [
+            Incident(kind=d["kind"], guest_icount=d["guest_icount"],
+                     detail=dict(d["detail"]),
+                     suspects=tuple(d["suspects"]),
+                     actions=tuple(d["actions"]))
+            for d in dicts]
+
+    def save(self, path) -> None:
+        """Export the log as a versioned artifact (atomic write)."""
+        from repro.ioutil import write_artifact
+        write_artifact(path, KIND_INCIDENT_LOG, INCIDENT_SCHEMA_VERSION,
+                       {"incidents": self.as_dicts(),
+                        "signature": self.signature()})
+
+    @classmethod
+    def load(cls, path) -> "IncidentLog":
+        """Load a saved log; raises :class:`repro.ioutil.SchemaError`
+        on a corrupt or incompatible artifact."""
+        from repro.ioutil import load_artifact
+        payload = load_artifact(path, KIND_INCIDENT_LOG,
+                                INCIDENT_SCHEMA_VERSION)
+        log = cls()
+        log.restore(payload["incidents"])
+        return log
 
     def signature(self) -> str:
         """SHA-256 over a canonical JSON rendering of the whole log."""

@@ -1,0 +1,24 @@
+"""Checkpoint/restore, repro bundles and failure minimization.
+
+- :mod:`repro.snapshot.serialize` — full tri-component state capture
+  and bit-identical restore;
+- :mod:`repro.snapshot.checkpoint` — versioned, content-hashed
+  checkpoint stores written at synchronization boundaries;
+- :mod:`repro.snapshot.bundle` — self-contained divergence repro
+  bundles and their deterministic replay;
+- :mod:`repro.snapshot.minimize` — delta-debugging minimizer shrinking
+  divergent guest programs to one-screen reproducers;
+- :mod:`repro.snapshot.runner` — checkpointable architectural runs for
+  the crash-resumable sweep runner.
+"""
+
+from repro.snapshot.checkpoint import (         # noqa: F401
+    CHECKPOINT_SCHEMA_VERSION, CheckpointStore,
+)
+from repro.snapshot.serialize import (          # noqa: F401
+    capture_controller, restore_controller,
+)
+from repro.snapshot.bundle import (             # noqa: F401
+    BUNDLE_SCHEMA_VERSION, ReproBundle, load_bundle, replay_bundle,
+    write_bundle,
+)

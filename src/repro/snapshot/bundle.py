@@ -1,0 +1,195 @@
+"""Self-contained divergence repro bundles.
+
+When a run diverges — a validation mismatch, an incident in recover
+mode, or an uncaught controller exception — everything needed to replay
+it deterministically is packed into one versioned JSON artifact:
+
+- the exact guest program bytes (code, data, entry, stack);
+- the full :class:`TolConfig`;
+- the deterministic OS inputs (stdin bytes, RNG seed);
+- the armed fault spec (site/ordinal/salt), if any;
+- the incident log so far and its content hash;
+- the last checkpoint payload (when checkpointing was on), so the tail
+  of a long run can be replayed without re-executing the prefix;
+- the event ordinals at failure time (guest icount, sync events,
+  validations, recoveries).
+
+``darco repro <bundle>`` replays a bundle from program start (bit-exact
+by construction: every input above is deterministic) and reports whether
+the divergence still occurs; see :func:`replay_bundle`.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.guest.program import GuestProgram
+from repro.guest.syscalls import GuestOS
+from repro.ioutil import content_hash, load_artifact, write_artifact
+from repro.snapshot.serialize import (
+    config_from_dict, config_to_dict, program_from_dict, program_to_dict,
+    restore_controller,
+)
+from repro.tol.config import TolConfig
+
+BUNDLE_SCHEMA_VERSION = 1
+KIND_BUNDLE = "repro_bundle"
+
+
+@dataclass
+class ReproBundle:
+    """In-memory form of a loaded repro bundle."""
+
+    program: GuestProgram
+    config: TolConfig
+    reason: str
+    error: Optional[str]
+    os_stdin: bytes
+    os_seed: int
+    fault: Optional[Dict[str, Any]]
+    incidents: List[Dict[str, Any]]
+    incident_signature: str
+    guest_icount: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    checkpoint: Optional[Dict[str, Any]] = None
+    path: Optional[Path] = None
+
+
+def write_bundle(directory, controller, reason: str,
+                 error: Optional[str] = None) -> Path:
+    """Emit a repro bundle for ``controller``'s current run into
+    ``directory``; returns the bundle path."""
+    tol = controller.codesigned.tol
+    injector = getattr(tol, "fault_injector", None)
+    store = getattr(controller, "_checkpoint_store", None)
+    checkpoint = None
+    if store is not None and store.written:
+        # Embed the payload of the last checkpoint this run wrote, so
+        # the bundle replays the failing tail without the prefix.
+        checkpoint = store.load(store.written[-1])
+    payload = {
+        "reason": reason,
+        "error": error,
+        "program": program_to_dict(controller.program),
+        "config": config_to_dict(controller.config),
+        "os": {
+            "stdin": base64.b64encode(controller.x86.os.stdin).decode(),
+            "seed": controller.x86.os._seed,
+        },
+        "fault": None if injector is None else {
+            "site": injector.spec.site,
+            "ordinal": injector.spec.ordinal,
+            "salt": injector.spec.salt,
+            "fired": injector.fired,
+        },
+        "incidents": tol.incidents.as_dicts(),
+        "incident_signature": tol.incidents.signature(),
+        "guest_icount": controller.codesigned.guest_icount,
+        "counters": {
+            "syscall_events": controller.syscall_events,
+            "sync_events": controller._sync_events,
+            "validations": controller.validations,
+            "recoveries": controller.recoveries,
+        },
+        "checkpoint": checkpoint,
+    }
+    digest = content_hash(payload)
+    path = Path(directory) / f"bundle-{reason}-{digest[:12]}.json"
+    write_artifact(path, KIND_BUNDLE, BUNDLE_SCHEMA_VERSION, payload)
+    return path
+
+
+def load_bundle(path) -> ReproBundle:
+    """Load and verify a bundle; raises
+    :class:`~repro.ioutil.SchemaError` on a corrupt or incompatible
+    file."""
+    payload = load_artifact(path, KIND_BUNDLE, BUNDLE_SCHEMA_VERSION)
+    return ReproBundle(
+        program=program_from_dict(payload["program"]),
+        config=config_from_dict(payload["config"]),
+        reason=payload["reason"],
+        error=payload["error"],
+        os_stdin=base64.b64decode(payload["os"]["stdin"]),
+        os_seed=payload["os"]["seed"],
+        fault=payload["fault"],
+        incidents=payload["incidents"],
+        incident_signature=payload["incident_signature"],
+        guest_icount=payload["guest_icount"],
+        counters=dict(payload["counters"]),
+        checkpoint=payload.get("checkpoint"),
+        path=Path(path),
+    )
+
+
+@dataclass
+class ReplayOutcome:
+    """What happened when a bundle was replayed."""
+
+    diverged: bool
+    kinds: List[str]
+    error: Optional[str]
+    incident_signature: Optional[str]
+    guest_icount: int
+    exit_code: Optional[int]
+
+    @property
+    def reproduced(self) -> bool:
+        return self.diverged
+
+
+def _fresh_controller(bundle: ReproBundle, from_checkpoint: bool):
+    from repro.system.controller import Controller
+
+    if from_checkpoint:
+        if bundle.checkpoint is None:
+            raise ValueError(
+                "bundle carries no checkpoint; replay from start")
+        controller = restore_controller(bundle.checkpoint)
+    else:
+        controller = Controller(
+            bundle.program, config=bundle.config,
+            os=GuestOS(stdin=bundle.os_stdin, rand_seed=bundle.os_seed))
+        if bundle.fault is not None:
+            from repro.resilience.faults import FaultInjector, FaultSpec
+            FaultInjector(FaultSpec(
+                site=bundle.fault["site"],
+                ordinal=bundle.fault["ordinal"],
+                salt=bundle.fault["salt"],
+            )).attach(controller.codesigned.tol)
+    return controller
+
+
+def replay_bundle(bundle: ReproBundle, max_events: Optional[int] = None,
+                  from_checkpoint: bool = False):
+    """Replay ``bundle`` deterministically; returns
+    ``(ReplayOutcome, controller)``.
+
+    A replay counts as *diverged* when the run raises (strict mode) or
+    records at least one incident (recover mode) — the same signals that
+    caused the bundle to be written.  When ``from_checkpoint`` is set
+    the embedded checkpoint is the starting point instead of program
+    start (incident counts then cover only the replayed tail)."""
+    controller = _fresh_controller(bundle, from_checkpoint)
+    tol = controller.codesigned.tol
+    prior_incidents = len(tol.incidents)
+    error = None
+    exit_code = None
+    try:
+        result = controller.run(max_events=max_events)
+        exit_code = result.exit_code
+    except Exception as exc:  # strict-mode divergences arrive as raises
+        error = f"{type(exc).__name__}: {exc}"
+    kinds = tol.incidents.kinds()[prior_incidents:]
+    diverged = error is not None or bool(kinds)
+    outcome = ReplayOutcome(
+        diverged=diverged,
+        kinds=kinds,
+        error=error,
+        incident_signature=tol.incidents.signature(),
+        guest_icount=controller.codesigned.guest_icount,
+        exit_code=exit_code,
+    )
+    return outcome, controller

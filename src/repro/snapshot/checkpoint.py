@@ -1,0 +1,80 @@
+"""Content-hashed, versioned checkpoints of a running system.
+
+A :class:`CheckpointStore` manages a directory of checkpoint artifacts,
+one per synchronization boundary the controller chose to persist.  Files
+are named ``ckpt-<sync_events:08d>-<hash12>.json`` so lexicographic
+order is resume order, and each is a versioned envelope (see
+:mod:`repro.ioutil`) whose payload hash doubles as the checkpoint
+identity.  Loading a corrupt, truncated or incompatible checkpoint
+raises :class:`~repro.ioutil.SchemaError` with the reason — never a
+``KeyError`` deep in replay.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.ioutil import SchemaError, load_artifact, write_artifact
+from repro.snapshot.serialize import capture_controller, restore_controller
+
+CHECKPOINT_SCHEMA_VERSION = 1
+KIND_CHECKPOINT = "checkpoint"
+
+
+class CheckpointStore:
+    """A directory of resume points for one run."""
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        #: Paths written by this store instance, in write order.
+        self.written: List[Path] = []
+
+    def write(self, controller) -> Path:
+        """Snapshot ``controller`` (paused at a sync boundary) to disk."""
+        payload = capture_controller(controller)
+        ordinal = payload["controller"]["sync_events"]
+        # Hash first so the name matches the envelope's content hash.
+        from repro.ioutil import content_hash
+        digest = content_hash(payload)
+        path = self.directory / f"ckpt-{ordinal:08d}-{digest[:12]}.json"
+        write_artifact(path, KIND_CHECKPOINT, CHECKPOINT_SCHEMA_VERSION,
+                       payload)
+        self.written.append(path)
+        return path
+
+    def paths(self) -> List[Path]:
+        """Every checkpoint on disk, oldest first."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("ckpt-*.json"))
+
+    def latest(self) -> Optional[Path]:
+        paths = self.paths()
+        return paths[-1] if paths else None
+
+    def load(self, path) -> Dict[str, Any]:
+        """Verified checkpoint payload; raises :class:`SchemaError` on a
+        missing/corrupt/incompatible file."""
+        return load_artifact(path, KIND_CHECKPOINT,
+                             CHECKPOINT_SCHEMA_VERSION)
+
+    def restore(self, path=None):
+        """Controller resumed from ``path`` (default: the latest
+        checkpoint).  Raises :class:`SchemaError` when there is nothing
+        usable to resume from."""
+        if path is None:
+            path = self.latest()
+            if path is None:
+                raise SchemaError(
+                    f"no checkpoints in {self.directory}")
+        return restore_controller(self.load(path))
+
+    def clear(self) -> None:
+        """Delete every checkpoint (a fresh, non-resumed run must not
+        inherit resume points from a previous attempt)."""
+        for path in self.paths():
+            try:
+                path.unlink()
+            except OSError:
+                pass

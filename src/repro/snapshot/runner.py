@@ -1,0 +1,136 @@
+"""Checkpointable architectural runs for the sweep runner.
+
+The sweep's byte-identical resume guarantee needs a task whose value is
+a pure function of the *architectural* execution — performance counters
+are not resume-stable, because a resumed run re-pays translation work
+for the re-warmed code cache.  :class:`ArchResult` carries exactly the
+architecturally determined outcomes of a run (everything the round-trip
+guarantee covers), so an interrupted-and-resumed sweep produces results
+byte-identical to an uninterrupted one.
+
+:func:`run_checkpointed` is the execution engine: run a program with
+periodic checkpoints, optionally resuming from the newest checkpoint
+left behind by a previous (killed) attempt.  Resume evidence goes to a
+``resume.log`` sidecar in the checkpoint directory, never into the
+result value (which must stay byte-identical).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.guest.program import GuestProgram
+from repro.ioutil import content_hash
+from repro.snapshot.checkpoint import CheckpointStore
+from repro.tol.config import TolConfig
+
+
+@dataclass
+class ArchResult:
+    """Architectural outcome of one run (bit-identical under resume)."""
+
+    exit_code: Optional[int]
+    guest_icount: int
+    syscalls: int
+    data_requests: int
+    validations: int
+    stdout: bytes
+    incidents: int
+    recoveries: int
+    incident_signature: str
+    final_state_hash: str
+    final_memory_hash: str
+
+    def as_dict(self) -> dict:
+        return {
+            "exit_code": self.exit_code,
+            "guest_icount": self.guest_icount,
+            "syscalls": self.syscalls,
+            "data_requests": self.data_requests,
+            "validations": self.validations,
+            "stdout": self.stdout.hex(),
+            "incidents": self.incidents,
+            "recoveries": self.recoveries,
+            "incident_signature": self.incident_signature,
+            "final_state_hash": self.final_state_hash,
+            "final_memory_hash": self.final_memory_hash,
+        }
+
+
+def state_hash(state) -> str:
+    """Content hash of a :class:`GuestState`."""
+    return content_hash(state.snapshot())
+
+
+def memory_hash(memory) -> str:
+    """SHA-256 over every materialized page of a memory image."""
+    digest = hashlib.sha256()
+    for page in sorted(memory.present_pages()):
+        digest.update(page.to_bytes(4, "little"))
+        digest.update(memory.export_page(page))
+    return digest.hexdigest()
+
+
+def arch_result(result, controller) -> ArchResult:
+    """Project a finished run onto its architectural outcomes."""
+    return ArchResult(
+        exit_code=result.exit_code,
+        guest_icount=result.guest_icount,
+        syscalls=result.syscalls,
+        data_requests=result.data_requests,
+        validations=result.validations,
+        stdout=result.stdout,
+        incidents=result.incidents,
+        recoveries=result.recoveries,
+        incident_signature=controller.codesigned.tol.incidents.signature(),
+        final_state_hash=state_hash(controller.x86.state),
+        final_memory_hash=memory_hash(controller.x86.memory),
+    )
+
+
+def run_checkpointed(program: GuestProgram,
+                     config: Optional[TolConfig] = None,
+                     validate: bool = True,
+                     checkpoint_dir=None,
+                     checkpoint_every: int = 1,
+                     resume: bool = False,
+                     max_events: Optional[int] = None
+                     ) -> Tuple[ArchResult, object]:
+    """Run ``program`` with periodic checkpoints; returns
+    ``(ArchResult, controller)``.
+
+    ``resume=True`` continues from the newest checkpoint in
+    ``checkpoint_dir`` when one exists (falling back to a fresh run);
+    ``resume=False`` clears stale checkpoints first, so a fresh attempt
+    never silently inherits a previous run's resume points."""
+    from repro.system.controller import Controller
+
+    controller = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        if resume:
+            latest = store.latest()
+            if latest is not None:
+                controller = store.restore(latest)
+                _log_resume(store.directory, latest,
+                            controller.codesigned.guest_icount)
+        else:
+            store.clear()
+    if controller is None:
+        controller = Controller(program, config=config, validate=validate)
+    result = controller.run(max_events=max_events,
+                            checkpoint_dir=checkpoint_dir,
+                            checkpoint_every=checkpoint_every)
+    return arch_result(result, controller), controller
+
+
+def _log_resume(directory: Path, checkpoint: Path, icount: int) -> None:
+    """Append resume evidence to the ``resume.log`` sidecar (plain
+    append: this is forensic evidence, not a consumed artifact)."""
+    with open(Path(directory) / "resume.log", "a",
+              encoding="utf-8") as handle:
+        handle.write(f"resumed from {checkpoint.name} "
+                     f"at guest_icount={icount}\n")

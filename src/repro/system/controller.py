@@ -80,6 +80,12 @@ class Controller:
         #: translations and continue (``strict``, the default, raises).
         self.recover = self.config.recovery_mode == "recover"
         self.recoveries = 0
+        # Checkpoint/repro wiring (armed per-run by :meth:`run`).
+        self._checkpoint_store = None
+        self._checkpoint_every = 1
+        self._repro_dir = None
+        #: Path of the most recent repro bundle this run emitted.
+        self.last_bundle_path = None
 
     # -- phase 1: Initialization ------------------------------------------------
 
@@ -91,11 +97,36 @@ class Controller:
     # -- phase 2/3: Execution + Synchronization ----------------------------------
 
     def run(self, max_events: Optional[int] = None,
-            until_icount: Optional[int] = None) -> RunResult:
+            until_icount: Optional[int] = None,
+            checkpoint_every: int = 1,
+            checkpoint_dir=None,
+            repro_dir=None) -> RunResult:
         """Run the application to completion (or pause at
         ``until_icount``); returns the run result (``exit_code`` is None
         for a paused run).  ``max_events`` overrides the configured
-        ``event_budget``."""
+        ``event_budget``.
+
+        ``checkpoint_dir`` arms checkpointing: a resumable snapshot of
+        the full tri-component state is written at every
+        ``checkpoint_every``-th synchronization boundary (post-syscall,
+        where validation also runs).  ``repro_dir`` arms repro-bundle
+        emission: every divergence recovery, any run that ends with
+        incidents, and any uncaught controller exception writes a
+        self-contained bundle there (replayable with ``darco repro``)."""
+        if checkpoint_dir is not None:
+            from repro.snapshot.checkpoint import CheckpointStore
+            self._checkpoint_store = CheckpointStore(checkpoint_dir)
+            self._checkpoint_every = max(1, int(checkpoint_every))
+        self._repro_dir = repro_dir
+        try:
+            return self._run(max_events, until_icount)
+        except Exception as exc:
+            self._emit_bundle("exception",
+                              error=f"{type(exc).__name__}: {exc}")
+            raise
+
+    def _run(self, max_events: Optional[int],
+             until_icount: Optional[int]) -> RunResult:
         if not self._initialized:
             self.initialize()
         budget = max_events if max_events is not None \
@@ -197,6 +228,12 @@ class Controller:
         self.codesigned.receive_syscall_result(
             self.x86.state, set(self.x86.memory.dirty),
             self.x86.export_page)
+        if (self._checkpoint_store is not None
+                and not self.x86.os.exited
+                and self._sync_events % self._checkpoint_every == 0):
+            # Post-syscall sync point: both components agree on state and
+            # retirement count — the resume-safe boundary.
+            self._checkpoint_store.write(self)
         return self.x86.os.exited
 
     def _paused_result(self) -> RunResult:
@@ -216,6 +253,8 @@ class Controller:
         self.x86.run_to_icount(self.codesigned.guest_icount)
         if self.validate:
             self._validate_states(final=True)
+        if len(self.codesigned.tol.incidents):
+            self._emit_bundle("incidents")
         os = self.x86.os
         return RunResult(
             exit_code=os.exit_code,
@@ -317,6 +356,19 @@ class Controller:
             suspects=suspects, actions=tuple(actions))
         tol.clear_dispatch_window()
         self.recoveries += 1
+        self._emit_bundle(kind)
+
+    def _emit_bundle(self, reason: str, error: Optional[str] = None) -> None:
+        """Best-effort repro-bundle emission (never masks the run's own
+        outcome with an IO failure)."""
+        if self._repro_dir is None:
+            return
+        try:
+            from repro.snapshot.bundle import write_bundle
+            self.last_bundle_path = write_bundle(
+                self._repro_dir, self, reason, error=error)
+        except Exception:
+            pass
 
 
 def run_codesigned(program: GuestProgram,

@@ -1,17 +1,22 @@
 """Workload suite: SPEC2006- and Physicsbench-shaped kernels plus a
 parameterized synthetic generator."""
 
-from repro.workloads import physics, specfp, specint  # noqa: F401 (register)
+from repro.workloads import (  # noqa: F401 (register)
+    longrun, physics, specfp, specint,
+)
 from repro.workloads.common import (
     PHYSICS, SPECFP, SPECINT, Workload, all_workloads, get_workload,
     suite_workloads,
 )
 from repro.workloads.generator import SyntheticSpec, generate, generate_quick
+from repro.workloads.longrun import LONGRUN
 
+#: The paper's figure suites; the Longrun (checkpointing) workloads are
+#: deliberately excluded from figure aggregation.
 SUITES = (SPECINT, SPECFP, PHYSICS)
 
 __all__ = [
-    "PHYSICS", "SPECFP", "SPECINT", "SUITES", "Workload", "all_workloads",
-    "get_workload", "suite_workloads", "SyntheticSpec", "generate",
-    "generate_quick",
+    "LONGRUN", "PHYSICS", "SPECFP", "SPECINT", "SUITES", "Workload",
+    "all_workloads", "get_workload", "suite_workloads", "SyntheticSpec",
+    "generate", "generate_quick",
 ]

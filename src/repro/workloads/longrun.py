@@ -1,0 +1,95 @@
+"""Long-running, syscall-punctuated workloads (the "Longrun" suite).
+
+The paper-suite kernels make exactly one syscall (the final exit), so a
+checkpointing run of them has no mid-run synchronization boundary to
+snapshot at.  These workloads model long batch jobs that emit periodic
+progress output: every outer iteration ends in a ``SYS_WRITE`` (and, for
+``blend``, a few other syscalls), so validation epochs — and therefore
+checkpoints — land throughout the run.  They are the natural subjects
+for ``darco sweep --arch --checkpoint-dir`` and the kill/resume CI job.
+
+They are intentionally NOT part of :data:`repro.workloads.SUITES`: the
+paper's figures aggregate the SPEC/Physicsbench suites only.
+"""
+
+from __future__ import annotations
+
+from repro.guest.asmtext import assemble_text
+from repro.guest.program import GuestProgram
+from repro.workloads.common import register, scaled
+
+LONGRUN = "Longrun"
+
+
+@register("ticker", LONGRUN,
+          "hot integer loop with a progress write per outer iteration")
+def build_ticker(scale: float = 1.0) -> GuestProgram:
+    outer = scaled(30, scale, 6)
+    inner = scaled(120, scale, 40)
+    return assemble_text(f"""
+        mov esi, 0
+        mov ebp, {outer}
+    outer:
+        mov ecx, {inner}
+    inner:
+        imul esi, 3
+        add esi, ecx
+        xor esi, 0x1f
+        mov [0x9100], esi
+        mov edx, [0x9100]
+        add esi, edx
+        dec ecx
+        jne inner
+        mov eax, 2
+        mov ecx, 0x9000
+        mov edx, 4
+        syscall
+        dec ebp
+        jne outer
+        mov eax, 1
+        mov ebx, 0
+        syscall
+        .data 0x9000 u32 0x2e2e2e2e
+    """)
+
+
+@register("blend", LONGRUN,
+          "int/fp/string mix with several syscalls per outer iteration")
+def build_blend(scale: float = 1.0) -> GuestProgram:
+    outer = scaled(16, scale, 5)
+    inner = scaled(60, scale, 25)
+    return assemble_text(f"""
+        mov ebp, {outer}
+        fldi f0, 1
+        fldi f1, 3
+    outer:
+        mov ecx, {inner}
+    inner:
+        fadd f0, f1
+        fmul f0, f1
+        fsqrt f0
+        fst [0x9200], f0
+        fld f2, [0x9200]
+        fadd f0, f2
+        dec ecx
+        jne inner
+        mov esi, 0x9000
+        mov edi, 0x9400
+        mov ecx, 8
+        rep_movsd
+        mov eax, 6
+        syscall
+        mov [0x9300], eax
+        mov eax, 5
+        syscall
+        mov eax, 2
+        mov ecx, 0x9300
+        mov edx, 4
+        syscall
+        dec ebp
+        jne outer
+        mov eax, 1
+        mov ebx, 0
+        syscall
+        .data 0x9000 u32 0x2b2b2b2b 2 3 4 5 6 7 8
+    """)

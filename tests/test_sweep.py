@@ -192,3 +192,102 @@ def test_kernel_metrics_pickle_round_trip():
     assert clone == result.value
     assert clone.mode_fraction == result.value.mode_fraction
     assert clone.extras == result.value.extras
+
+
+# -- crash-resumable sweeps ----------------------------------------------------
+
+
+def _arch_jobs(workloads=("ticker", "blend"), scale=0.3):
+    return suite_sweep_jobs(scale=scale, workloads=list(workloads),
+                            validate=True, task="arch_run")
+
+
+def test_arch_sweep_values_are_resume_stable(tmp_path):
+    """ArchResult values are byte-identical with and without
+    checkpointing (perf counters are deliberately excluded)."""
+    plain = sweep(_arch_jobs(), n_jobs=1, use_cache=False)
+    ckpt = sweep(_arch_jobs(), n_jobs=1, use_cache=False,
+                 checkpoint_dir=tmp_path / "ck")
+    assert all(r.ok for r in plain + ckpt)
+    assert [r.value for r in plain] == [r.value for r in ckpt]
+    assert (pickle.dumps([r.value for r in plain])
+            == pickle.dumps([r.value for r in ckpt]))
+    # Checkpoints actually landed in the per-job directories.
+    job_dirs = [p for p in (tmp_path / "ck").iterdir() if p.is_dir()]
+    assert len(job_dirs) == 2
+    for d in job_dirs:
+        assert list(d.glob("ckpt-*.json"))
+
+
+def test_interrupted_arch_task_resumes_from_checkpoint(tmp_path):
+    """A killed attempt's checkpoints are picked up by --resume: the
+    resumed value equals an uninterrupted run's, and resume evidence
+    lands in the sidecar log, not in the value."""
+    from repro.snapshot.runner import run_checkpointed
+    from repro.system.controller import SystemError_
+    from repro.workloads import get_workload
+
+    jobs = _arch_jobs(workloads=("ticker",))
+    (job,) = jobs
+    key = job.key(code_fingerprint())
+    job_dir = tmp_path / "ck" / key[:16]
+
+    # Simulate a mid-task kill: run with a tiny event budget so the
+    # attempt dies after writing a few checkpoints.
+    program = get_workload("ticker").program(scale=0.3)
+    with pytest.raises(SystemError_):
+        run_checkpointed(program, config=job.params["config"],
+                         checkpoint_dir=job_dir, max_events=8)
+    assert list(job_dir.glob("ckpt-*.json")), "no checkpoint to resume"
+
+    baseline = sweep(_arch_jobs(workloads=("ticker",)), n_jobs=1,
+                     use_cache=False)[0]
+    resumed = sweep(jobs, n_jobs=1, use_cache=False,
+                    checkpoint_dir=tmp_path / "ck", resume=True)[0]
+    assert resumed.ok
+    assert resumed.value == baseline.value
+    assert pickle.dumps(resumed.value) == pickle.dumps(baseline.value)
+    log = (job_dir / "resume.log").read_text()
+    assert "resumed from ckpt-" in log
+
+
+def test_resume_sweep_replays_completed_tasks_from_cache(tmp_path):
+    """Rerunning the same sweep command with --resume must not rerun
+    completed tasks: they come back as cache hits."""
+    cache = ResultCache(tmp_path / "cache")
+    first = sweep(_arch_jobs(), n_jobs=1, cache=cache,
+                  checkpoint_dir=tmp_path / "ck")
+    second = sweep(_arch_jobs(), n_jobs=1, cache=cache,
+                   checkpoint_dir=tmp_path / "ck", resume=True)
+    assert all(r.ok for r in first + second)
+    assert all(r.cached for r in second)
+    assert [r.value for r in first] == [r.value for r in second]
+
+
+def test_checkpoint_params_do_not_change_cache_keys(tmp_path):
+    """Where resume points live is execution plumbing, not job identity:
+    a result computed without checkpointing is a cache hit for the same
+    job run with it."""
+    cache = ResultCache(tmp_path / "cache")
+    plain = sweep(_arch_jobs(workloads=("ticker",)), n_jobs=1,
+                  cache=cache)
+    ckpt = sweep(_arch_jobs(workloads=("ticker",)), n_jobs=1,
+                 cache=cache, checkpoint_dir=tmp_path / "ck",
+                 resume=True)
+    assert plain[0].ok and ckpt[0].ok
+    assert ckpt[0].cached
+
+
+def test_results_are_cached_eagerly_as_tasks_resolve(tmp_path):
+    """Cache writes happen per-task, not at sweep end, so a sweep killed
+    mid-flight keeps everything it finished."""
+    cache = ResultCache(tmp_path / "cache")
+    seen = []
+
+    def spy(result, done, total):
+        seen.append(len(list((tmp_path / "cache").rglob("*.pkl"))))
+
+    sweep(_arch_jobs(), n_jobs=1, cache=cache, progress=spy)
+    # After the first task resolved there was already one entry on disk.
+    assert seen[0] == 1
+    assert seen[-1] == 2

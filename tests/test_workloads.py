@@ -17,10 +17,12 @@ SMALL = 0.12  # scale factor keeping reference runs quick
 
 
 def test_suite_is_complete():
+    from repro.workloads import LONGRUN
     assert len(suite_workloads(SPECINT)) == 11
     assert len(suite_workloads(SPECFP)) == 13
     assert len(suite_workloads(PHYSICS)) == 7
-    assert len(ALL) == 31
+    assert len(suite_workloads(LONGRUN)) == 2
+    assert len(ALL) == 33
 
 
 @pytest.mark.parametrize("workload", ALL, ids=lambda w: w.name)

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke test for crash-resumable sweeps (CI job).
+
+Scenario: a ``darco sweep --arch`` run is SIGKILLed mid-task, then the
+same command is rerun with ``--resume``.  The test asserts the resumed
+sweep
+
+1. replays already-completed tasks from the cache (no recompute),
+2. continues the interrupted task from its last checkpoint (resume.log
+   sidecar evidence), and
+3. produces a ``--out`` result artifact byte-identical to an
+   uninterrupted run's.
+
+Exit status 0 on success; any assertion failure exits non-zero with a
+diagnostic.  Run from the repository root::
+
+    PYTHONPATH=src python tools/resume_smoke.py
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+WORKROOT = Path(".resume_smoke")
+SCALE = "2.5"
+WORKLOADS = ["--workload", "ticker", "--workload", "blend"]
+
+
+def sweep_cmd(cache_dir, ckpt_dir, out, resume=False):
+    cmd = [sys.executable, "-m", "repro.cli", "sweep", "--arch",
+           "--jobs", "1", "--scale", SCALE, *WORKLOADS,
+           "--cache-dir", str(cache_dir),
+           "--checkpoint-dir", str(ckpt_dir),
+           "--out", str(out)]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def fail(message):
+    print(f"resume_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def cache_entries(cache_dir):
+    return sorted(Path(cache_dir).rglob("*.pkl"))
+
+
+def checkpoint_dirs(ckpt_dir):
+    root = Path(ckpt_dir)
+    if not root.is_dir():
+        return []
+    return [d for d in root.iterdir()
+            if d.is_dir() and list(d.glob("ckpt-*.json"))]
+
+
+def main():
+    shutil.rmtree(WORKROOT, ignore_errors=True)
+    WORKROOT.mkdir(parents=True)
+    cache = WORKROOT / "cache"
+    ckpt = WORKROOT / "ckpt"
+    out = WORKROOT / "run.json"
+
+    # Phase 1: start the sweep and SIGKILL it mid-task — after the
+    # first task completed (>= 1 cache entry) and the second is
+    # underway (>= 2 job dirs hold checkpoints).
+    proc = subprocess.Popen(sweep_cmd(cache, ckpt, out),
+                            start_new_session=True,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    deadline = time.time() + 300
+    killed = False
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            break  # finished before we could kill it; still a valid run
+        if len(cache_entries(cache)) >= 1 and \
+                len(checkpoint_dirs(ckpt)) >= 2:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.wait()
+            killed = True
+            break
+        time.sleep(0.05)
+    else:
+        os.killpg(proc.pid, signal.SIGKILL)
+        fail("sweep made no observable progress within 300s")
+    if not killed:
+        print("resume_smoke: WARNING: sweep finished before the kill "
+              "window; resume path exercises the cache only")
+
+    done_before = {p: p.stat().st_mtime_ns for p in cache_entries(cache)}
+    if killed and len(done_before) >= 2:
+        fail("kill landed after every task completed; lower the poll "
+             "threshold or raise the scale")
+
+    # Phase 2: same command again with --resume, to completion.
+    resumed = subprocess.run(sweep_cmd(cache, ckpt, out, resume=True),
+                             capture_output=True, text=True)
+    if resumed.returncode != 0:
+        fail(f"resumed sweep failed:\n{resumed.stdout}\n{resumed.stderr}")
+    if " 0 cache hits" in resumed.stdout:
+        fail("resumed sweep had no cache hits: completed tasks were "
+             f"rerun\n{resumed.stdout}")
+    for path, mtime in done_before.items():
+        if path.stat().st_mtime_ns != mtime:
+            fail(f"completed task was recomputed (cache entry rewritten): "
+                 f"{path}")
+    if killed:
+        logs = list(Path(ckpt).glob("*/resume.log"))
+        if not logs:
+            fail("no resume.log sidecar: interrupted task did not resume "
+                 "from its checkpoint")
+        evidence = "".join(log.read_text() for log in logs)
+        if "resumed from ckpt-" not in evidence:
+            fail(f"resume.log carries no checkpoint evidence:\n{evidence}")
+        icounts = [int(tok.split("=", 1)[1])
+                   for tok in evidence.split()
+                   if tok.startswith("guest_icount=")]
+        if not any(n > 0 for n in icounts):
+            fail(f"resume happened at guest_icount=0 (no progress was "
+                 f"actually reused):\n{evidence}")
+
+    # Phase 3: a fresh, uninterrupted run in clean directories must
+    # produce a byte-identical result artifact.
+    fresh_out = WORKROOT / "fresh.json"
+    fresh = subprocess.run(
+        sweep_cmd(WORKROOT / "cache2", WORKROOT / "ckpt2", fresh_out),
+        capture_output=True, text=True)
+    if fresh.returncode != 0:
+        fail(f"fresh sweep failed:\n{fresh.stdout}\n{fresh.stderr}")
+    if out.read_bytes() != fresh_out.read_bytes():
+        a = json.loads(out.read_text())
+        b = json.loads(fresh_out.read_text())
+        fail("resumed result artifact differs from uninterrupted run's:\n"
+             f"resumed sha={a.get('sha256')}\nfresh   sha={b.get('sha256')}")
+
+    print(f"resume_smoke: PASS (killed mid-task: {killed}; "
+          f"resumed artifact byte-identical to fresh run)")
+    shutil.rmtree(WORKROOT, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()
