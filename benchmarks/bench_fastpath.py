@@ -7,9 +7,19 @@ same workload with a standalone interpreter (syscalls executed locally, so
 only interpretation speed is timed) and asserts the fast path clears a 2x
 KIPS bar.
 
-Run as a script to (re)generate ``BENCH_fastpath.json`` at the repo root:
+It also enforces the telemetry layer's overhead budget: a full-system
+run with ``telemetry="counters"`` must stay within 5% of the KIPS of an
+identical run with ``telemetry="off"`` (the guarantee that makes
+``counters`` the safe default).  The comparison interleaves the two
+modes and takes the best of five rounds per mode, so scheduler noise
+does not fail the bar spuriously.
+
+Run as a script to (re)generate ``BENCH_fastpath.json`` at the repo root
+(``--telemetry`` adds the overhead entry to the file):
 
     PYTHONPATH=src python benchmarks/bench_fastpath.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --telemetry
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --telemetry-smoke
 """
 
 from __future__ import annotations
@@ -73,6 +83,54 @@ def compare(steps: int = STEPS):
     }
 
 
+#: The telemetry guarantee: ``counters`` mode costs <5% KIPS vs ``off``.
+TELEMETRY_OVERHEAD_BAR = 0.05
+TELEMETRY_ROUNDS = 5
+
+
+def measure_system_kips(telemetry_mode: str,
+                        workload_name: str = WORKLOAD,
+                        scale: float = SCALE):
+    """KIPS of a full-controller run (both components, sync protocol,
+    validation off so dispatch dominates) under the given telemetry
+    mode; returns ``(kips, icount)``."""
+    from repro.system.controller import run_codesigned
+    from repro.tol.config import TolConfig
+    program = get_workload(workload_name).program(scale=scale)
+    config = TolConfig(telemetry=telemetry_mode)
+    t0 = time.perf_counter()
+    result, _ = run_codesigned(program, config=config, validate=False)
+    dt = time.perf_counter() - t0
+    return result.guest_icount / dt / 1e3, result.guest_icount
+
+
+def compare_telemetry(scale: float = SCALE,
+                      rounds: int = TELEMETRY_ROUNDS):
+    """Best-of-``rounds`` KIPS for ``off`` vs ``counters``; the
+    ``pass`` flag enforces the <5% bar."""
+    off = 0.0
+    counters = 0.0
+    icount = None
+    for _ in range(rounds):
+        kips, n = measure_system_kips("off", scale=scale)
+        off = max(off, kips)
+        kips, n2 = measure_system_kips("counters", scale=scale)
+        counters = max(counters, kips)
+        assert n == n2, "telemetry modes executed different work"
+        icount = n
+    overhead = max(0.0, 1.0 - counters / off)
+    return {
+        "workload": WORKLOAD,
+        "scale": scale,
+        "guest_insns": icount,
+        "kips_off": round(off, 1),
+        "kips_counters": round(counters, 1),
+        "overhead_fraction": round(overhead, 4),
+        "bar": TELEMETRY_OVERHEAD_BAR,
+        "pass": overhead < TELEMETRY_OVERHEAD_BAR,
+    }
+
+
 def test_fastpath_speedup(benchmark):
     results = benchmark.pedantic(compare, rounds=1, iterations=1)
     print("\n=== interpreter fast path ===")
@@ -82,14 +140,36 @@ def test_fastpath_speedup(benchmark):
     assert results["speedup"] >= 2.0
 
 
+def test_telemetry_counters_overhead(benchmark):
+    results = benchmark.pedantic(
+        lambda: compare_telemetry(scale=0.2), rounds=1, iterations=1)
+    print("\n=== telemetry counters-mode overhead ===")
+    print(f"off:      {results['kips_off']:.1f} KIPS")
+    print(f"counters: {results['kips_counters']:.1f} KIPS")
+    print(f"overhead: {results['overhead_fraction']:.2%} "
+          f"(bar {results['bar']:.0%})")
+    assert results["pass"], (
+        f"counters-mode telemetry costs "
+        f"{results['overhead_fraction']:.2%} KIPS "
+        f"(budget {results['bar']:.0%})")
+
+
 def main(argv):
+    if "--telemetry-smoke" in argv:
+        results = compare_telemetry(scale=0.1, rounds=2)
+        print(json.dumps(results, indent=2))
+        return 0 if results["pass"] else 1
     steps = 5_000 if "--smoke" in argv else STEPS
     results = compare(steps=steps)
+    if "--telemetry" in argv:
+        results["telemetry"] = compare_telemetry()
     print(json.dumps(results, indent=2))
     if "--smoke" not in argv:
         out = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
         out.write_text(json.dumps(results, indent=2) + "\n")
         print(f"wrote {out}")
+    if "--telemetry" in argv and not results["telemetry"]["pass"]:
+        return 1
     return 0
 
 

@@ -223,8 +223,8 @@ def cmd_sweep(args) -> int:
         fig4_table, fig5_table, fig6_table, fig7_table, shape_checks,
     )
     from repro.harness.parallel import (
-        ResultCache, print_progress, serialize_params, suite_sweep_jobs,
-        sweep,
+        ResultCache, merged_telemetry, print_progress, serialize_params,
+        suite_sweep_jobs, sweep, telemetry_digest,
     )
     config = _apply_config_overrides(TolConfig(), args.set) \
         if args.set else None
@@ -251,6 +251,8 @@ def cmd_sweep(args) -> int:
         # Deterministic result artifact: only resume-stable fields go
         # in (attempts/durations vary run to run), so a resumed sweep's
         # output is byte-identical to an uninterrupted one.
+        from pathlib import Path
+
         from repro.ioutil import write_artifact
         payload = {"results": [
             {"task": r.job.task,
@@ -260,10 +262,18 @@ def cmd_sweep(args) -> int:
              "value": (r.value.as_dict()
                        if hasattr(r.value, "as_dict")
                        else serialize_params(r.value)),
-             "error": r.error}
+             "telemetry_digest": telemetry_digest(r.value),
+             "error": r.error,
+             "stderr_tail": r.stderr_tail}
             for r in results]}
         write_artifact(args.out, "sweep_results", 1, payload)
         print(f"wrote {args.out}")
+        merged = merged_telemetry(results)
+        if merged is not None:
+            telemetry_path = Path(args.out).with_suffix(".telemetry.json")
+            merged.save(telemetry_path)
+            print(f"wrote {telemetry_path} (merged telemetry of "
+                  f"{sum(1 for r in results if r.ok)} tasks)")
     for r in failed:
         print(f"\nFAILED {r.job.label} after {r.attempts} attempt(s):")
         for line in r.error.rstrip().splitlines():
@@ -286,6 +296,94 @@ def cmd_sweep(args) -> int:
         for name, ok in shape_checks(metrics).items():
             print(f"  {'PASS' if ok else 'FAIL'}  {name}")
     return 0
+
+
+def _print_snapshot(snapshot, show_zeros: bool = False) -> None:
+    """Human-readable instrument table for a telemetry snapshot."""
+    print("counters:")
+    for name, value in snapshot.counters.items():
+        if value or show_zeros:
+            print(f"  {name:36s} {value}")
+    if snapshot.gauges:
+        print("gauges:")
+        for name, value in snapshot.gauges.items():
+            if value or show_zeros:
+                print(f"  {name:36s} {value:g}")
+    if snapshot.histograms:
+        print("histograms:")
+        for name, hist in snapshot.histograms.items():
+            count = hist.get("count", 0)
+            if not count and not show_zeros:
+                continue
+            mean = hist.get("total", 0) / count if count else 0.0
+            print(f"  {name:36s} n={count} mean={mean:.1f}")
+
+
+def cmd_metrics(args) -> int:
+    """Dump a workload's metrics snapshot, or diff two saved snapshots."""
+    if args.diff:
+        from repro.ioutil import SchemaError
+        from repro.telemetry import TelemetrySnapshot
+        try:
+            before = TelemetrySnapshot.load(args.diff[0])
+            after = TelemetrySnapshot.load(args.diff[1])
+        except SchemaError as exc:
+            print(f"cannot load snapshot: {exc}", file=sys.stderr)
+            return 1
+        delta = before.diff(after)
+        print(f"counter deltas ({args.diff[1]} - {args.diff[0]}):")
+        for name, value in delta["counters"].items():
+            if value or args.all:
+                print(f"  {name:36s} {value:+d}")
+        if delta["gauges"]:
+            print("gauge changes (before -> after):")
+            for name, (va, vb) in delta["gauges"].items():
+                print(f"  {name:36s} {va} -> {vb}")
+        changed_hists = {n: d for n, d in delta["histograms"].items() if d}
+        if changed_hists:
+            print("histogram observation deltas:")
+            for name, value in changed_hists.items():
+                print(f"  {name:36s} {value:+d}")
+        return 0
+
+    if not args.target:
+        raise SystemExit("metrics needs a target (or --diff A B)")
+    program, name = _load_program(args.target, args.scale)
+    config = _apply_config_overrides(TolConfig(), args.set)
+    if config.telemetry == "off":
+        # The whole point of this command is a snapshot.
+        config = replace(config, telemetry="counters")
+    from repro.system.controller import run_codesigned
+    result, _controller = run_codesigned(
+        program, config=config, validate=not args.no_validate)
+    print(f"{name}: exit={result.exit_code} "
+          f"guest_insns={result.guest_icount}")
+    _print_snapshot(result.telemetry, show_zeros=args.all)
+    if args.out:
+        digest = result.telemetry.save(args.out)
+        print(f"wrote {args.out} ({digest[:12]})")
+    return 0 if result.exit_code == 0 else int(result.exit_code or 1)
+
+
+def cmd_trace(args) -> int:
+    """Run a workload in full-trace mode and export the span trace."""
+    program, name = _load_program(args.target, args.scale)
+    config = _apply_config_overrides(TolConfig(), args.set)
+    config = replace(config, telemetry="full")
+    from repro.system.controller import run_codesigned
+    result, controller = run_codesigned(
+        program, config=config, validate=not args.no_validate)
+    tracer = controller.telemetry.tracer
+    tracer.write_chrome(args.out)
+    print(f"{name}: exit={result.exit_code} "
+          f"guest_insns={result.guest_icount}")
+    print(f"wrote {args.out} ({len(tracer.events)} events, "
+          f"{tracer.dropped} dropped) — load in Perfetto "
+          f"(ui.perfetto.dev) or chrome://tracing")
+    if args.jsonl:
+        tracer.write_jsonl(args.jsonl)
+        print(f"wrote {args.jsonl}")
+    return 0 if result.exit_code == 0 else int(result.exit_code or 1)
 
 
 def cmd_repro(args) -> int:
@@ -477,6 +575,48 @@ def build_parser() -> argparse.ArgumentParser:
     inject_p.add_argument("--json", action="store_true",
                           help="emit the full report as JSON")
     inject_p.set_defaults(fn=cmd_inject)
+
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="run a workload and dump its telemetry snapshot, or diff "
+             "two saved snapshots (--diff)")
+    metrics_p.add_argument("target", nargs="?", default=None,
+                           help="assembly file (*.s) or workload")
+    metrics_p.add_argument("--scale", type=float, default=1.0,
+                           help="workload scale factor")
+    metrics_p.add_argument("--no-validate", action="store_true",
+                           help="skip authoritative state validation")
+    metrics_p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                           help="override a TolConfig field (repeatable)")
+    metrics_p.add_argument("--all", action="store_true",
+                           help="include zero-valued instruments")
+    metrics_p.add_argument("--out", default=None, metavar="PATH",
+                           help="save the snapshot as a versioned "
+                                "artifact (for later --diff)")
+    metrics_p.add_argument("--diff", nargs=2, metavar=("A", "B"),
+                           default=None,
+                           help="report per-instrument deltas B - A of "
+                                "two saved snapshots")
+    metrics_p.set_defaults(fn=cmd_metrics)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run a workload in full-trace mode and export a "
+             "Perfetto-viewable Chrome trace")
+    trace_p.add_argument("target", help="assembly file (*.s) or workload")
+    trace_p.add_argument("--scale", type=float, default=1.0,
+                         help="workload scale factor")
+    trace_p.add_argument("--no-validate", action="store_true",
+                         help="skip authoritative state validation")
+    trace_p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                         help="override a TolConfig field (repeatable)")
+    trace_p.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="Chrome trace-event JSON output path "
+                              "(default: trace.json)")
+    trace_p.add_argument("--jsonl", default=None, metavar="PATH",
+                         help="additionally write one event per line "
+                              "here (jq/pandas-friendly)")
+    trace_p.set_defaults(fn=cmd_trace)
 
     speed_p = sub.add_parser("speed", help="measure simulation speed")
     speed_p.add_argument("--workload", default="429.mcf")

@@ -39,6 +39,10 @@ class KernelMetrics:
     tol_host_insns: int
     static_code_bytes: int
     extras: Dict[str, object] = field(default_factory=dict)
+    #: ``TelemetrySnapshot.as_dict()`` of the run ({} with telemetry
+    #: off).  ``overhead_breakdown`` above is derived from its
+    #: ``tol.overhead.*`` counters whenever a snapshot is available.
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
 
 def run_workload_metrics(workload, scale: float = 1.0,
@@ -53,6 +57,16 @@ def run_workload_metrics(workload, scale: float = 1.0,
     tol = controller.codesigned.tol
     dist = tol.mode_distribution()
     total = sum(dist.values()) or 1
+    # Fig. 7 delegates to the metrics registry when telemetry is on:
+    # the snapshot's tol.overhead.* counters are the same accounting
+    # (held to equality with OverheadAccount.breakdown by the tests).
+    if result.telemetry is not None:
+        from repro.telemetry import overhead_breakdown_from_snapshot
+        breakdown = overhead_breakdown_from_snapshot(result.telemetry)
+        telemetry_dict = result.telemetry.as_dict()
+    else:
+        breakdown = tol.overhead.breakdown()
+        telemetry_dict = {}
     return KernelMetrics(
         name=workload.name,
         suite=workload.suite,
@@ -60,7 +74,7 @@ def run_workload_metrics(workload, scale: float = 1.0,
         mode_fraction={k: v / total for k, v in dist.items()},
         emulation_cost_sbm=tol.emulation_cost_sbm(),
         tol_overhead_fraction=tol.overhead_fraction(),
-        overhead_breakdown=tol.overhead.breakdown(),
+        overhead_breakdown=breakdown,
         app_host_insns=tol.app_host_insns,
         tol_host_insns=tol.tol_overhead_insns,
         static_code_bytes=program.static_code_bytes,
@@ -73,6 +87,7 @@ def run_workload_metrics(workload, scale: float = 1.0,
             "recoveries": result.recoveries,
             "watchdog_fires": tol.stats.watchdog_fires,
         },
+        telemetry=telemetry_dict,
     )
 
 

@@ -29,11 +29,13 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import io
 import json
 import os
 import pickle
 import time
 import traceback
+from contextlib import redirect_stderr
 from concurrent.futures import (
     ProcessPoolExecutor, TimeoutError as FuturesTimeout, as_completed,
 )
@@ -143,6 +145,10 @@ class SweepResult:
     cached: bool = False
     attempts: int = 0
     duration_s: float = 0.0
+    #: Tail of the worker's captured stderr — populated only on failure
+    #: (successful and cached results keep it empty, so sweep artifacts
+    #: stay byte-identical across resumes).
+    stderr_tail: str = ""
 
     @property
     def ok(self) -> bool:
@@ -236,15 +242,27 @@ def _execute(task: str, params: Dict[str, Any]):
     return fn(**params)
 
 
+#: How much captured worker stderr a failure record keeps.
+STDERR_TAIL_CHARS = 2000
+
+
 def _worker(task: str, params: Dict[str, Any]):
-    """Top-level worker entry (picklable); exceptions become records."""
+    """Top-level worker entry (picklable); exceptions become records.
+
+    Worker stderr is captured so a failing task's diagnostics (warnings,
+    native-layer complaints) survive the process boundary; only the tail
+    is kept, and only for failures.
+    """
     start = time.perf_counter()
+    captured = io.StringIO()
     try:
-        value = _execute(task, params)
-        return ("ok", value, time.perf_counter() - start)
+        with redirect_stderr(captured):
+            value = _execute(task, params)
+        return ("ok", value, time.perf_counter() - start, "")
     except Exception:
         return ("error", traceback.format_exc(),
-                time.perf_counter() - start)
+                time.perf_counter() - start,
+                captured.getvalue()[-STDERR_TAIL_CHARS:])
 
 
 # ---------------------------------------------------------------------------
@@ -312,12 +330,12 @@ def _terminate(executor: ProcessPoolExecutor) -> None:
 
 
 def _run_inline(job: SweepJob, params: Dict[str, Any]) -> SweepResult:
-    status, payload, duration = _worker(job.task, params)
+    status, payload, duration, stderr_tail = _worker(job.task, params)
     if status == "ok":
         return SweepResult(job=job, value=payload, attempts=1,
                            duration_s=duration)
     return SweepResult(job=job, error=payload, attempts=1,
-                       duration_s=duration)
+                       duration_s=duration, stderr_tail=stderr_tail)
 
 
 def _run_isolated(job: SweepJob, params: Dict[str, Any],
@@ -329,7 +347,8 @@ def _run_isolated(job: SweepJob, params: Dict[str, Any],
     try:
         future = executor.submit(_worker, job.task, params)
         try:
-            status, payload, duration = future.result(timeout=timeout)
+            status, payload, duration, stderr_tail = \
+                future.result(timeout=timeout)
         except FuturesTimeout:
             return SweepResult(
                 job=job, attempts=1, duration_s=time.perf_counter() - start,
@@ -342,7 +361,7 @@ def _run_isolated(job: SweepJob, params: Dict[str, Any],
             return SweepResult(job=job, value=payload, attempts=1,
                                duration_s=duration)
         return SweepResult(job=job, error=payload, attempts=1,
-                           duration_s=duration)
+                           duration_s=duration, stderr_tail=stderr_tail)
     finally:
         _terminate(executor)
 
@@ -464,7 +483,8 @@ def sweep(jobs: Iterable[SweepJob],
                     index = future_map.pop(future)
                     job = jobs[index]
                     try:
-                        status, payload, duration = future.result()
+                        status, payload, duration, stderr_tail = \
+                            future.result()
                     except BrokenProcessPool:
                         failed.append(index)
                         results[index] = SweepResult(
@@ -486,7 +506,7 @@ def sweep(jobs: Iterable[SweepJob],
                         failed.append(index)
                         results[index] = SweepResult(
                             job=job, error=payload, attempts=1,
-                            duration_s=duration)
+                            duration_s=duration, stderr_tail=stderr_tail)
             except FuturesTimeout:
                 for future, index in future_map.items():
                     failed.append(index)
@@ -552,6 +572,59 @@ def suite_sweep_jobs(scale: float = 1.0, config=None,
                              "config": config, "validate": validate},
                      label=name)
             for name in workloads]
+
+
+#: Counters projected into the compact per-task telemetry digest.
+DIGEST_COUNTERS = (
+    "tol.guest_icount",
+    "tol.translations.bb",
+    "tol.translations.sb",
+    "cache.hits",
+    "cache.misses",
+    "host.insns.committed",
+    "host.fastpath.insns",
+    "resilience.incidents",
+    "controller.validations",
+    "controller.recoveries",
+)
+
+
+def telemetry_digest(value: Any) -> Dict[str, int]:
+    """Compact named-counter digest of a task value's telemetry.
+
+    Accepts anything a sweep task returns: objects carrying a
+    :class:`~repro.telemetry.TelemetrySnapshot` (``RunResult``) or an
+    ``as_dict`` mapping (``KernelMetrics``).  Returns ``{}`` when the
+    value carries no telemetry, so digests are safe to compute
+    unconditionally.  Every digest value derives from simulated
+    quantities — never wall clock — keeping sweep artifacts
+    byte-identical across resumes and parallelism levels.
+    """
+    telem = getattr(value, "telemetry", None)
+    if telem is None:
+        return {}
+    counters = getattr(telem, "counters", None)
+    if counters is None and isinstance(telem, dict):
+        counters = telem.get("counters", {})
+    if not counters:
+        return {}
+    return {k: counters[k] for k in DIGEST_COUNTERS if k in counters}
+
+
+def merged_telemetry(results: List[SweepResult]):
+    """Fold the telemetry of every successful result into one
+    :class:`~repro.telemetry.TelemetrySnapshot` (counters and histogram
+    buckets sum, gauges keep the peak); ``None`` when no result carried
+    telemetry."""
+    from repro.telemetry import merge_snapshots
+    snaps = []
+    for result in results:
+        if not result.ok:
+            continue
+        telem = getattr(result.value, "telemetry", None)
+        if telem:
+            snaps.append(telem)
+    return merge_snapshots(snaps)
 
 
 def _incident_note(value: Any) -> str:

@@ -166,6 +166,11 @@ class HostEmulator:
         self.host_insns_committed = 0
         self.host_insns_wasted = 0
         self.guest_retired_total = 0
+        #: Closure-compiled straight-line segments executed, and the
+        #: host instructions they covered (the remainder of
+        #: ``host_insns_total`` went through the interpretive slow path).
+        self.fast_segments = 0
+        self.fast_segment_insns = 0
         #: when set, execution returns to the TOL at the next checkpoint
         #: boundary once this many guest instructions have retired
         #: (sampling support; bounds pause overshoot to one region).
@@ -368,6 +373,8 @@ class HostEmulator:
                             length, fn, records = seg
                             executed += length
                             self._region_insns += length
+                            self.fast_segments += 1
+                            self.fast_segment_insns += length
                             fn(iregs, fregs, vregs)
                             sink = self.trace_sink
                             if sink is not None:

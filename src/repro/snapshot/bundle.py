@@ -55,6 +55,10 @@ class ReproBundle:
     guest_icount: int
     counters: Dict[str, int] = field(default_factory=dict)
     checkpoint: Optional[Dict[str, Any]] = None
+    #: Telemetry snapshot taken at divergence time (``as_dict`` form;
+    #: ``None`` for bundles written with telemetry off or by older
+    #: versions — the field is additive within schema version 1).
+    telemetry: Optional[Dict[str, Any]] = None
     path: Optional[Path] = None
 
 
@@ -65,6 +69,7 @@ def write_bundle(directory, controller, reason: str,
     tol = controller.codesigned.tol
     injector = getattr(tol, "fault_injector", None)
     store = getattr(controller, "_checkpoint_store", None)
+    snapshot = tol.telemetry.snapshot()
     checkpoint = None
     if store is not None and store.written:
         # Embed the payload of the last checkpoint this run wrote, so
@@ -95,6 +100,7 @@ def write_bundle(directory, controller, reason: str,
             "recoveries": controller.recoveries,
         },
         "checkpoint": checkpoint,
+        "telemetry": None if snapshot is None else snapshot.as_dict(),
     }
     digest = content_hash(payload)
     path = Path(directory) / f"bundle-{reason}-{digest[:12]}.json"
@@ -120,6 +126,7 @@ def load_bundle(path) -> ReproBundle:
         guest_icount=payload["guest_icount"],
         counters=dict(payload["counters"]),
         checkpoint=payload.get("checkpoint"),
+        telemetry=payload.get("telemetry"),
         path=Path(path),
     )
 

@@ -23,6 +23,13 @@ from repro.tol.tol import (
 )
 from repro.system.codesigned import CoDesignedComponent
 from repro.system.x86comp import X86Component
+from repro.telemetry import TelemetrySnapshot
+from repro.telemetry.collectors import register_controller_collector
+
+#: Validation-gap histogram buckets (guest instructions between
+#: consecutive validations — the amortization the ``validate_min_icount_gap``
+#: knob controls).
+VALIDATE_GAP_BOUNDS = (10, 100, 1_000, 10_000, 100_000, 1_000_000)
 
 
 class ValidationError(Exception):
@@ -54,6 +61,9 @@ class RunResult:
     #: controller performed.
     incidents: int = 0
     recoveries: int = 0
+    #: Metrics snapshot taken at the end of the run (``None`` when the
+    #: ``telemetry`` config mode is ``off``).
+    telemetry: Optional[TelemetrySnapshot] = None
 
 
 class Controller:
@@ -70,6 +80,11 @@ class Controller:
         self.codesigned = CoDesignedComponent(config=self.config,
                                               frontend=frontend)
         self.validate = validate
+        #: Shared telemetry hub — the TOL owns it; the controller adds
+        #: its synchronization-protocol collector and stamps snapshots
+        #: onto run results.
+        self.telemetry = self.codesigned.tol.telemetry
+        register_controller_collector(self.telemetry, self)
         self.validations = 0
         self.syscall_events = 0
         self._sync_events = 0
@@ -233,7 +248,10 @@ class Controller:
                 and self._sync_events % self._checkpoint_every == 0):
             # Post-syscall sync point: both components agree on state and
             # retirement count — the resume-safe boundary.
-            self._checkpoint_store.write(self)
+            with self.telemetry.span(
+                    "checkpoint", "controller",
+                    icount=self.codesigned.guest_icount):
+                self._checkpoint_store.write(self)
         return self.x86.os.exited
 
     def _paused_result(self) -> RunResult:
@@ -246,6 +264,7 @@ class Controller:
             stdout=bytes(self.x86.os.stdout),
             incidents=len(self.codesigned.tol.incidents),
             recoveries=self.recoveries,
+            telemetry=self.telemetry.snapshot(),
         )
 
     def _finish(self) -> RunResult:
@@ -265,6 +284,7 @@ class Controller:
             stdout=bytes(os.stdout),
             incidents=len(self.codesigned.tol.incidents),
             recoveries=self.recoveries,
+            telemetry=self.telemetry.snapshot(),
         )
 
     # -- validation ----------------------------------------------------------------
@@ -291,7 +311,18 @@ class Controller:
         ``recover`` mode it becomes an incident: the co-designed state is
         resynced from the authoritative state, the implicated
         translations are quarantined and execution continues."""
+        with self.telemetry.span("validate", "controller",
+                                 icount=self.codesigned.guest_icount,
+                                 final=final):
+            self._validate_states_inner(final)
+
+    def _validate_states_inner(self, final: bool) -> None:
         self.validations += 1
+        if self.telemetry.counters_on:
+            self.telemetry.registry.histogram(
+                "controller.validate.gap", bounds=VALIDATE_GAP_BOUNDS
+            ).observe(self.codesigned.guest_icount
+                      - self._last_validated_icount)
         self._last_validated_icount = self.codesigned.guest_icount
         mine = self.codesigned.state
         authoritative = self.x86.state
@@ -356,6 +387,9 @@ class Controller:
             suspects=suspects, actions=tuple(actions))
         tol.clear_dispatch_window()
         self.recoveries += 1
+        self.telemetry.instant("divergence_recovery", "resilience",
+                               icount=self.codesigned.guest_icount,
+                               kind=kind)
         self._emit_bundle(kind)
 
     def _emit_bundle(self, reason: str, error: Optional[str] = None) -> None:

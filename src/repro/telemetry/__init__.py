@@ -1,0 +1,114 @@
+"""Unified telemetry layer for the tri-component system.
+
+One :class:`Telemetry` hub per TOL instance ties together:
+
+- a **metrics registry** (:mod:`repro.telemetry.registry`) of named
+  counters/gauges/histograms, filled by pull-style collectors at
+  snapshot boundaries (so the ``counters`` mode costs <5% of KIPS —
+  enforced by ``benchmarks/bench_fastpath.py --telemetry``);
+- a **span tracer** (:mod:`repro.telemetry.tracer`), active only in
+  ``full`` mode, covering dispatch, translate, optimize, validate,
+  checkpoint and sweep-task phases, exportable to Chrome trace-event
+  JSON (Perfetto) and JSONL.
+
+Modes (``TolConfig.telemetry``):
+
+``off``
+    No snapshots, no tracing.  Components still keep their native
+    counters (they always have); the registry is simply never scraped.
+``counters``
+    :meth:`Telemetry.snapshot` scrapes every registered collector into
+    a deterministic :class:`TelemetrySnapshot`, returned on
+    ``RunResult.telemetry``.
+``full``
+    ``counters`` plus the span tracer.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Optional
+
+from repro.telemetry.registry import (
+    DEFAULT_BOUNDS, KIND_TELEMETRY_SNAPSHOT, TELEMETRY_SCHEMA_VERSION,
+    Counter, Gauge, Histogram, MetricsRegistry, TelemetrySnapshot,
+    merge_snapshots,
+)
+from repro.telemetry.tracer import DEFAULT_MAX_EVENTS, SpanTracer
+
+MODE_OFF = "off"
+MODE_COUNTERS = "counters"
+MODE_FULL = "full"
+MODES = (MODE_OFF, MODE_COUNTERS, MODE_FULL)
+
+#: Shared no-op context manager for span() in non-tracing modes.
+_NULL_CM = nullcontext()
+
+
+class Telemetry:
+    """The per-system telemetry hub (owned by the TOL, shared with the
+    controller, timing session and harness)."""
+
+    def __init__(self, mode: str = MODE_OFF,
+                 max_trace_events: int = DEFAULT_MAX_EVENTS):
+        if mode not in MODES:
+            raise ValueError(
+                f"unknown telemetry mode {mode!r}; valid: "
+                f"{', '.join(MODES)}")
+        self.mode = mode
+        self.registry = MetricsRegistry()
+        self.tracer: Optional[SpanTracer] = (
+            SpanTracer(max_events=max_trace_events)
+            if mode == MODE_FULL else None)
+
+    @property
+    def counters_on(self) -> bool:
+        """True when snapshots will be produced (``counters``/``full``)."""
+        return self.mode != MODE_OFF
+
+    def register_collector(self, fn):
+        return self.registry.register_collector(fn)
+
+    def span(self, name: str, cat: str, icount: Optional[int] = None,
+             **args):
+        """A tracer span in ``full`` mode; a shared no-op context
+        manager otherwise (call sites stay unconditional)."""
+        if self.tracer is None:
+            return _NULL_CM
+        return self.tracer.span(name, cat, icount=icount, **args)
+
+    def instant(self, name: str, cat: str, icount: Optional[int] = None,
+                **args) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(name, cat, icount=icount, **args)
+
+    def snapshot(self, force: bool = False) -> Optional[TelemetrySnapshot]:
+        """Scrape the collectors and freeze the registry; ``None`` in
+        ``off`` mode unless ``force`` (debug dumps scrape regardless)."""
+        if not self.counters_on and not force:
+            return None
+        return self.registry.snapshot()
+
+
+def overhead_breakdown_from_snapshot(snapshot: TelemetrySnapshot):
+    """Figure 7 overhead-category fractions recomputed from the metrics
+    registry's ``tol.overhead.*`` instruments (the telemetry-side twin
+    of :meth:`repro.tol.overhead.OverheadAccount.breakdown`; the test
+    suite holds the two to equality)."""
+    from repro.tol.overhead import CATEGORIES
+    counters = snapshot.counters
+    values = {c: counters.get(f"tol.overhead.{c}", 0) for c in CATEGORIES}
+    total = sum(values.values())
+    if total == 0:
+        return {c: 0.0 for c in CATEGORIES}
+    return {c: values[c] / total for c in CATEGORIES}
+
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "SpanTracer",
+    "Telemetry", "TelemetrySnapshot", "merge_snapshots",
+    "overhead_breakdown_from_snapshot",
+    "DEFAULT_BOUNDS", "DEFAULT_MAX_EVENTS",
+    "KIND_TELEMETRY_SNAPSHOT", "TELEMETRY_SCHEMA_VERSION",
+    "MODES", "MODE_OFF", "MODE_COUNTERS", "MODE_FULL",
+]

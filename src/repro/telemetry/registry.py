@@ -1,0 +1,266 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Design: **pull, not push**.  The simulator's hot loops (interpreter
+steps, host dispatch, code-cache lookups) already maintain their own
+plain-int counters — they always have, because the paper's figures are
+read off them.  The registry therefore does *not* sit in the hot path;
+instead each component registers a *collector* callback that scrapes
+those native counters into named instruments at snapshot boundaries
+(end of run, pause, sweep-task completion).  Push-style updates
+(:meth:`Counter.inc`, :meth:`Histogram.observe`) are reserved for cold
+paths — translations, validations, incidents, sweep-task bookkeeping —
+where a dict lookup per event is noise.
+
+This is what makes the ``counters`` telemetry mode nearly free: the
+only work added over ``off`` is one scrape per snapshot, which the
+overhead benchmark (``benchmarks/bench_fastpath.py --telemetry``) holds
+under 5% of KIPS.
+
+Determinism contract: every value held by the registry derives from
+simulated quantities (instruction counts, event counts, sizes) — never
+wall-clock time — so the same workload yields bit-identical snapshots
+regardless of host speed or sweep parallelism.  Wall-clock data lives
+in the tracer (:mod:`repro.telemetry.tracer`) and in harness-side
+latency records, which are deliberately kept out of snapshots.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Versioned-artifact identity for exported snapshots (``ioutil``).
+TELEMETRY_SCHEMA_VERSION = 1
+KIND_TELEMETRY_SNAPSHOT = "telemetry_snapshot"
+
+#: Default histogram bucket boundaries (upper-inclusive edges); values
+#: above the last edge land in the overflow bucket.
+DEFAULT_BOUNDS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
+
+
+class Counter:
+    """A monotonically meaningful integer instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def set(self, value: int) -> None:
+        """Collector path: adopt a component's native counter value."""
+        self.value = int(value)
+
+
+class Gauge:
+    """A point-in-time float instrument (occupancy, rates, fractions)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary histogram: ``len(bounds) + 1`` buckets, the last
+    one catching everything above the highest edge."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "total")
+
+    def __init__(self, name: str, bounds: Tuple[float, ...] = DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value) -> None:
+        self.counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "count": self.count, "total": self.total}
+
+
+class MetricsRegistry:
+    """Named instruments plus the collector callbacks that fill them.
+
+    Instrument names are dotted paths (``tol.translations.bb``,
+    ``cache.hits``); :meth:`counter`/:meth:`gauge`/:meth:`histogram`
+    get-or-create, so components can share instruments without
+    coordination.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # -- instruments --------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(self, name: str,
+                  bounds: Tuple[float, ...] = DEFAULT_BOUNDS) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, bounds)
+        return inst
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_counter(self, name: str, value: int) -> None:
+        self.counter(name).set(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    # -- collectors ---------------------------------------------------------
+
+    def register_collector(self, fn: Callable[["MetricsRegistry"], None]):
+        """Register a scrape callback run by :meth:`collect`; returns
+        ``fn`` so it can be used as a decorator."""
+        self._collectors.append(fn)
+        return fn
+
+    def collect(self) -> None:
+        for fn in self._collectors:
+            fn(self)
+
+    def snapshot(self, collect: bool = True) -> "TelemetrySnapshot":
+        """Freeze every instrument into a :class:`TelemetrySnapshot`
+        (running the collectors first unless ``collect=False``)."""
+        if collect:
+            self.collect()
+        return TelemetrySnapshot(
+            counters={n: c.value for n, c in sorted(self._counters.items())},
+            gauges={n: g.value for n, g in sorted(self._gauges.items())},
+            histograms={n: h.as_dict()
+                        for n, h in sorted(self._histograms.items())},
+        )
+
+
+@dataclass
+class TelemetrySnapshot:
+    """An immutable-by-convention dump of every instrument.
+
+    Round-trips losslessly through the versioned artifact envelope
+    (:meth:`save`/:meth:`load`) and merges/diffs instrument-wise for
+    sweep aggregation and ``darco metrics --diff``.
+    """
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {n: dict(h)
+                               for n, h in self.histograms.items()}}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TelemetrySnapshot":
+        return cls(counters=dict(d.get("counters", {})),
+                   gauges=dict(d.get("gauges", {})),
+                   histograms={n: dict(h)
+                               for n, h in d.get("histograms", {}).items()})
+
+    # -- algebra ------------------------------------------------------------
+
+    def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Instrument-wise union: counters and histogram buckets sum,
+        gauges keep the maximum (a merged snapshot answers "how much
+        work happened across these runs", and peak is the only gauge
+        reduction that stays order-independent)."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            gauges[name] = max(gauges.get(name, value), value)
+        histograms = {n: dict(h) for n, h in self.histograms.items()}
+        for name, h in other.histograms.items():
+            mine = histograms.get(name)
+            if mine is None or list(mine["bounds"]) != list(h["bounds"]):
+                histograms[name] = dict(h)
+                continue
+            histograms[name] = {
+                "bounds": list(mine["bounds"]),
+                "counts": [a + b for a, b in zip(mine["counts"],
+                                                 h["counts"])],
+                "count": mine["count"] + h["count"],
+                "total": mine["total"] + h["total"],
+            }
+        return TelemetrySnapshot(counters=counters, gauges=gauges,
+                                 histograms=histograms)
+
+    def diff(self, other: "TelemetrySnapshot") -> Dict[str, Any]:
+        """Per-instrument deltas ``other - self`` (counters and
+        histogram observation counts subtract; gauges report both
+        sides).  Instruments present on only one side still appear."""
+        names = sorted(set(self.counters) | set(other.counters))
+        counters = {n: other.counters.get(n, 0) - self.counters.get(n, 0)
+                    for n in names}
+        gauges = {n: (self.gauges.get(n), other.gauges.get(n))
+                  for n in sorted(set(self.gauges) | set(other.gauges))
+                  if self.gauges.get(n) != other.gauges.get(n)}
+        histograms = {}
+        for n in sorted(set(self.histograms) | set(other.histograms)):
+            a = self.histograms.get(n, {}).get("count", 0)
+            b = other.histograms.get(n, {}).get("count", 0)
+            histograms[n] = b - a
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path) -> str:
+        """Export as a versioned artifact; returns the content hash."""
+        from repro.ioutil import write_artifact
+        return write_artifact(path, KIND_TELEMETRY_SNAPSHOT,
+                              TELEMETRY_SCHEMA_VERSION, self.as_dict())
+
+    @classmethod
+    def load(cls, path) -> "TelemetrySnapshot":
+        """Load a saved snapshot; raises
+        :class:`repro.ioutil.SchemaError` on corruption/mismatch."""
+        from repro.ioutil import load_artifact
+        payload = load_artifact(path, KIND_TELEMETRY_SNAPSHOT,
+                                TELEMETRY_SCHEMA_VERSION)
+        return cls.from_dict(payload)
+
+
+def merge_snapshots(snapshots) -> Optional[TelemetrySnapshot]:
+    """Fold an iterable of snapshots (or ``as_dict`` mappings) into one;
+    returns ``None`` for an empty input."""
+    merged: Optional[TelemetrySnapshot] = None
+    for snap in snapshots:
+        if snap is None:
+            continue
+        if isinstance(snap, dict):
+            snap = TelemetrySnapshot.from_dict(snap)
+        merged = snap if merged is None else merged.merge(snap)
+    return merged

@@ -1,0 +1,151 @@
+"""Span-based structured tracer.
+
+Records begin/end (and instant/complete) events with monotonic
+``perf_counter_ns`` timestamps and guest-icount anchors, bounded by a
+hard event cap so a runaway run cannot exhaust memory.  Two exporters:
+
+- **Chrome trace-event JSON** (:meth:`SpanTracer.to_chrome_trace`):
+  the ``{"traceEvents": [...]}`` dict format, viewable in Perfetto or
+  ``chrome://tracing``.  Each category gets its own track (thread id)
+  plus a thread-name metadata event, so dispatch / translate / validate
+  phases render as parallel lanes.
+- **JSONL** (:meth:`SpanTracer.write_jsonl`): one event per line, for
+  ad-hoc offline analysis (``jq``, pandas).
+
+Timestamps are wall-clock by nature and therefore never flow into the
+metrics registry (whose snapshots must stay deterministic); the
+guest-icount anchor carried in each event's ``args`` is the
+deterministic ruler to line traces up against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+#: Default hard cap on buffered events (~40 MB of dicts at worst).
+DEFAULT_MAX_EVENTS = 200_000
+
+
+class SpanTracer:
+    """Bounded in-memory trace-event buffer."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS,
+                 pid: Optional[int] = None):
+        self.max_events = max_events
+        self.pid = pid if pid is not None else os.getpid()
+        self.events: List[Dict[str, Any]] = []
+        #: Events refused because the buffer was full.
+        self.dropped = 0
+        #: Open spans whose begin was dropped: their ends are swallowed
+        #: too, keeping B/E balance intact under the cap.
+        self._suppressed = 0
+        self._tids: Dict[str, int] = {}
+        self._t0 = time.perf_counter_ns()
+
+    # -- internals ----------------------------------------------------------
+
+    def _ts(self) -> float:
+        """Microseconds since tracer creation (Chrome's time unit)."""
+        return (time.perf_counter_ns() - self._t0) / 1000.0
+
+    def _tid(self, cat: str) -> int:
+        tid = self._tids.get(cat)
+        if tid is None:
+            tid = self._tids[cat] = len(self._tids)
+        return tid
+
+    def _full(self) -> bool:
+        return len(self.events) >= self.max_events
+
+    # -- event emission -----------------------------------------------------
+
+    def begin(self, name: str, cat: str, icount: Optional[int] = None,
+              **args) -> None:
+        if self._full():
+            self.dropped += 1
+            self._suppressed += 1
+            return
+        if icount is not None:
+            args["icount"] = icount
+        self.events.append({"name": name, "cat": cat, "ph": "B",
+                            "ts": self._ts(), "pid": self.pid,
+                            "tid": self._tid(cat), "args": args})
+
+    def end(self, name: str, cat: str, icount: Optional[int] = None,
+            **args) -> None:
+        if self._suppressed > 0:
+            self._suppressed -= 1
+            return
+        if icount is not None:
+            args["icount"] = icount
+        # Ends are appended even at the cap: an unbalanced B would render
+        # as a span swallowing the rest of the trace.
+        self.events.append({"name": name, "cat": cat, "ph": "E",
+                            "ts": self._ts(), "pid": self.pid,
+                            "tid": self._tid(cat), "args": args})
+
+    def instant(self, name: str, cat: str, icount: Optional[int] = None,
+                **args) -> None:
+        if self._full():
+            self.dropped += 1
+            return
+        if icount is not None:
+            args["icount"] = icount
+        self.events.append({"name": name, "cat": cat, "ph": "i",
+                            "ts": self._ts(), "pid": self.pid,
+                            "tid": self._tid(cat), "s": "t",
+                            "args": args})
+
+    def complete(self, name: str, cat: str, dur_us: float,
+                 ts_us: Optional[float] = None, **args) -> None:
+        """One self-contained ``X`` event (used for externally-timed
+        work, e.g. sweep tasks whose duration is already known)."""
+        if self._full():
+            self.dropped += 1
+            return
+        ts = ts_us if ts_us is not None else self._ts() - dur_us
+        self.events.append({"name": name, "cat": cat, "ph": "X",
+                            "ts": max(0.0, ts), "dur": max(0.0, dur_us),
+                            "pid": self.pid, "tid": self._tid(cat),
+                            "args": args})
+
+    @contextmanager
+    def span(self, name: str, cat: str, icount: Optional[int] = None,
+             **args):
+        self.begin(name, cat, icount=icount, **args)
+        try:
+            yield self
+        finally:
+            self.end(name, cat)
+
+    # -- export -------------------------------------------------------------
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome trace-event dict (Perfetto-loadable)."""
+        meta = [{"name": "process_name", "ph": "M", "pid": self.pid,
+                 "tid": 0, "args": {"name": "darco"}}]
+        for cat, tid in sorted(self._tids.items(), key=lambda kv: kv[1]):
+            meta.append({"name": "thread_name", "ph": "M", "pid": self.pid,
+                         "tid": tid, "args": {"name": cat}})
+        return {"traceEvents": meta + self.events,
+                "displayTimeUnit": "ms",
+                "otherData": {"dropped_events": self.dropped}}
+
+    def write_chrome(self, path) -> None:
+        """Atomically write the Chrome trace JSON (plain JSON, not the
+        artifact envelope: Perfetto must open the file as-is)."""
+        from repro.ioutil import atomic_write_bytes
+        blob = json.dumps(self.to_chrome_trace(), indent=None,
+                          separators=(",", ":")).encode()
+        atomic_write_bytes(path, blob)
+
+    def write_jsonl(self, path) -> None:
+        """Atomically write one JSON event per line."""
+        from repro.ioutil import atomic_write_bytes
+        lines = [json.dumps(ev, separators=(",", ":"))
+                 for ev in self.events]
+        atomic_write_bytes(path, ("\n".join(lines) + "\n").encode())

@@ -37,6 +37,9 @@ class TimingStats:
     loads: int = 0
     stores: int = 0
     stall_cycles: Dict[str, int] = field(default_factory=dict)
+    #: Instructions issued per execution-unit class (telemetry's
+    #: per-unit occupancy view).
+    by_class: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -89,6 +92,7 @@ class InOrderCore:
         cfg = self.config
         stats = self.stats
         stats.instructions += 1
+        stats.by_class[klass] = stats.by_class.get(klass, 0) + 1
 
         # -- fetch -------------------------------------------------------
         if self._fetched_in_cycle >= cfg.fetch_width:

@@ -10,6 +10,7 @@ from typing import Optional, Tuple
 from repro.guest.program import GuestProgram
 from repro.guest.syscalls import GuestOS
 from repro.system.controller import Controller, RunResult
+from repro.telemetry.collectors import register_timing_collector
 from repro.timing.config import TimingConfig
 from repro.timing.core import InOrderCore
 from repro.timing.trace import TimingSession
@@ -35,6 +36,7 @@ def run_with_timing(program: GuestProgram,
     core = InOrderCore(timing_config)
     session = TimingSession(core, sample_filter=sample_filter)
     tol = controller.codesigned.tol
+    register_timing_collector(tol.telemetry, core)
     tol.host.trace_sink = session.sink
     if include_tol_overhead:
         def on_charge(category, insns):

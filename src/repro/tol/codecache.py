@@ -29,6 +29,11 @@ class CodeCache:
         self.flushes = 0
         self.insertions = 0
         self.invalidations = 0
+        self.hits = 0
+        self.misses = 0
+        #: Units dropped by capacity flushes (the cache's only eviction
+        #: mechanism), as opposed to targeted invalidations.
+        self.evictions = 0
         #: Units larger than the whole cache, refused outright (the TOL
         #: still executes them from the translator's hand-back; they are
         #: simply never cached).
@@ -51,10 +56,15 @@ class CodeCache:
                ) -> Optional[CodeUnit]:
         """Find a translation for ``pc``; unrolled variants win by default."""
         if variant is not None:
-            return self._units.get((pc, variant))
-        unit = self._units.get((pc, UNROLLED))
+            unit = self._units.get((pc, variant))
+        else:
+            unit = self._units.get((pc, UNROLLED))
+            if unit is None:
+                unit = self._units.get((pc, PLAIN))
         if unit is None:
-            unit = self._units.get((pc, PLAIN))
+            self.misses += 1
+        else:
+            self.hits += 1
         return unit
 
     # -- insertion / invalidation ------------------------------------------------
@@ -136,6 +146,7 @@ class CodeCache:
         self._incoming.clear()
         self.size_insns = 0
         self.flushes += 1
+        self.evictions += len(removed)
         # Clear outgoing links on everything removed — a flushed unit may
         # still be mid-execution in the host emulator, and a stale link
         # must not re-enter freed code — and let dependents (IBTC) drop

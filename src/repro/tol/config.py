@@ -111,6 +111,17 @@ class TolConfig:
     #: IBTC hops) kept for divergence implication and runaway diagnostics.
     dispatch_window_size: int = 64
 
+    # -- telemetry ----------------------------------------------------------------
+    #: Observability mode: ``off`` (no snapshots, no tracing),
+    #: ``counters`` (deterministic metrics snapshots scraped from
+    #: component-native counters at run boundaries — guaranteed <5% KIPS
+    #: overhead vs ``off`` by ``benchmarks/bench_fastpath.py``), or
+    #: ``full`` (``counters`` plus the span tracer, exportable to
+    #: Chrome trace-event JSON for Perfetto).
+    telemetry: str = "counters"
+    #: Hard cap on buffered trace events in ``full`` mode.
+    telemetry_max_trace_events: int = 200_000
+
     # -- validation ---------------------------------------------------------------
     #: Compare emulated vs authoritative state every N synchronization
     #: events (1 = every syscall; 0 disables periodic comparison — the

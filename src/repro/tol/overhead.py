@@ -44,7 +44,14 @@ class OverheadAccount:
         return sum(self.counters.values())
 
     def breakdown(self) -> Dict[str, float]:
-        """Fractions per category (of total TOL overhead)."""
+        """Fractions per category (of total TOL overhead).
+
+        The telemetry registry mirrors these counters as the
+        ``tol.overhead.*`` instruments; Fig. 7 can equivalently be
+        regenerated from a :class:`repro.telemetry.TelemetrySnapshot`
+        via :func:`repro.telemetry.overhead_breakdown_from_snapshot`,
+        and the test suite holds the two computations to equality.
+        """
         total = self.total
         if total == 0:
             return {c: 0.0 for c in CATEGORIES}

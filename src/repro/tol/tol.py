@@ -28,6 +28,8 @@ from repro.tol.interp import END, Interpreter, OK, SYSCALL
 from repro.tol.overhead import OverheadAccount
 from repro.tol.profile import Profiler
 from repro.tol.translate import Translator
+from repro.telemetry import Telemetry
+from repro.telemetry.collectors import register_tol_collectors
 from repro.resilience.incidents import IncidentLog
 from repro.resilience.quarantine import (
     LEVEL_BBM_ONLY, LEVEL_INTERPRET_ONLY, LEVEL_NAMES, LEVEL_NO_ASSERTS,
@@ -86,6 +88,14 @@ class Tol:
         self.translator = Translator(self.frontend, self.config)
         self.overhead = OverheadAccount()
         self.stats = TolStats()
+        #: Observability hub: metrics registry (scraped by pull-style
+        #: collectors at snapshot boundaries) plus, in ``full`` mode, the
+        #: span tracer.  Shared with the controller, the timing session
+        #: and the sweep harness.
+        self.telemetry = Telemetry(self.config.telemetry,
+                                   self.config.telemetry_max_trace_events)
+        register_tol_collectors(self.telemetry, self)
+        self.translator.telemetry = self.telemetry
         #: Total guest instructions retired by the co-designed component.
         self.guest_icount = 0
         #: Host instructions spent executing cold code through the
@@ -121,7 +131,11 @@ class Tol:
         self.install_hook = None
         #: debug hook: called as ``probe(tol, unit_or_None)`` after every
         #: dispatch step (unit execution or interpreted basic block).
+        #: Prefer :meth:`add_probe`/:meth:`remove_probe`, which fan out to
+        #: any number of observers and detach cleanly; direct assignment
+        #: still works for single exclusive owners (divergence repro).
         self.probe = None
+        self._probes: List = []
         #: when set, dispatch pauses once guest_icount reaches this value
         #: (sampling methodology support).
         self.pause_at_icount: Optional[int] = None
@@ -133,6 +147,11 @@ class Tol:
 
     def run(self) -> TolEvent:
         """Execute until a synchronization event occurs."""
+        with self.telemetry.span("dispatch", "tol",
+                                 icount=self.guest_icount):
+            return self._run_dispatch_loop()
+
+    def _run_dispatch_loop(self) -> TolEvent:
         watchdog = self.config.watchdog_enable
         limit = self.config.watchdog_stall_limit
         while True:
@@ -237,10 +256,13 @@ class Tol:
     # ------------------------------------------------------------------
 
     def _translate_bb(self, pc: int) -> Optional[CodeUnit]:
-        translation = self.translator.translate_bb(self.memory, pc)
+        with self.telemetry.span("translate_bb", "translate",
+                                 icount=self.guest_icount, pc=pc):
+            translation = self.translator.translate_bb(self.memory, pc)
         if translation is None:
             return None
         self._charge_translation("bb_translator", translation.cost)
+        self._observe_translation(translation)
         unit, variant = translation.units[0]
         self._install(unit, variant)
         return unit
@@ -252,14 +274,17 @@ class Tol:
 
     def _promote(self, pc: int) -> Optional[CodeUnit]:
         """Promote a hot BBM block to a superblock (SBM)."""
-        translation = self.translator.translate_superblock(
-            self.memory, pc, self.profiler,
-            demote=self.quarantine.level(pc) >= LEVEL_NO_ASSERTS)
+        with self.telemetry.span("translate_sb", "translate",
+                                 icount=self.guest_icount, pc=pc):
+            translation = self.translator.translate_superblock(
+                self.memory, pc, self.profiler,
+                demote=self.quarantine.level(pc) >= LEVEL_NO_ASSERTS)
         if translation is None:
             self._sb_blacklist.add(pc)
             self.stats.sb_blacklisted += 1
             return None
         self._charge_translation("sb_translator", translation.cost)
+        self._observe_translation(translation, superblock=True)
         first_unit = None
         for unit, variant in translation.units:
             self._install(unit, variant)
@@ -269,8 +294,11 @@ class Tol:
 
     def _demote(self, pc: int) -> None:
         """Recreate a failing superblock without asserts/speculation."""
-        translation = self.translator.translate_superblock(
-            self.memory, pc, self.profiler, demote=True)
+        with self.telemetry.span("translate_sb", "translate",
+                                 icount=self.guest_icount, pc=pc,
+                                 demote=True):
+            translation = self.translator.translate_superblock(
+                self.memory, pc, self.profiler, demote=True)
         if translation is None:
             # Could not rebuild (e.g. stale profile): drop the failing unit
             # so execution falls back to BBM/IM.
@@ -280,6 +308,7 @@ class Tol:
             self._sb_blacklist.add(pc)
             return
         self._charge_translation("sb_translator", translation.cost)
+        self._observe_translation(translation, superblock=True)
         # Remove a stale unrolled variant: the demoted translation replaces
         # only the keys it provides.
         old_unrolled = self.cache.lookup(pc, "unrolled")
@@ -290,6 +319,19 @@ class Tol:
             self._install(unit, variant)
         self.stats.demotions += 1
         self._sb_blacklist.add(pc)  # do not re-promote to assert mode
+
+    def _observe_translation(self, translation, superblock: bool = False
+                             ) -> None:
+        """Cold-path histogram observations: translation work cost, and
+        superblock sizes.  Per-translation, so deterministic across runs
+        and safely outside the dispatch hot loop."""
+        if not self.telemetry.counters_on:
+            return
+        reg = self.telemetry.registry
+        reg.histogram("tol.translation.cost").observe(translation.cost)
+        if superblock:
+            reg.histogram("tol.superblock.insns").observe(
+                max(u.guest_insn_count for u, _ in translation.units))
 
     def _charge_translation(self, category: str, cost: int) -> None:
         """Charge translation work to the main stream, or to the
@@ -347,6 +389,9 @@ class Tol:
                             "spec_failures": failing.spec_failures},
                     suspects=(failing.entry_pc,),
                     actions=(f"pc={failing.entry_pc:#x} demote",))
+                self.telemetry.instant(
+                    "rollback_storm", "resilience",
+                    icount=self.guest_icount, pc=failing.entry_pc)
                 self.quarantine.escalate(failing.entry_pc,
                                          floor=LEVEL_NO_ASSERTS)
                 self._demote(failing.entry_pc)
@@ -438,6 +483,8 @@ class Tol:
         pc = self.state.eip
         actions = self.quarantine_pc(pc)
         self.stats.watchdog_fires += 1
+        self.telemetry.instant("watchdog_fire", "resilience",
+                               icount=self.guest_icount, pc=pc)
         self.incidents.record(
             "livelock", self.guest_icount,
             detail={"pc": pc,
@@ -449,6 +496,36 @@ class Tol:
     # ------------------------------------------------------------------
     # Hooks and controller interface.
     # ------------------------------------------------------------------
+
+    def add_probe(self, fn) -> None:
+        """Register a dispatch probe.  Any number of probes can coexist;
+        they fan out in registration order.  (The old idiom of each
+        tracer wrapping ``tol.probe`` leaked its predecessor forever —
+        probes registered here detach cleanly via :meth:`remove_probe`.)
+        """
+        self._probes.append(fn)
+        self._rebuild_probe()
+
+    def remove_probe(self, fn) -> None:
+        """Detach a probe registered with :meth:`add_probe` (no-op when
+        absent, so double-detach is safe)."""
+        if fn in self._probes:
+            self._probes.remove(fn)
+        self._rebuild_probe()
+
+    def _rebuild_probe(self) -> None:
+        if not self._probes:
+            self.probe = None
+        elif len(self._probes) == 1:
+            self.probe = self._probes[0]
+        else:
+            probes = tuple(self._probes)
+
+            def fanout(tol, unit):
+                for probe in probes:
+                    probe(tol, unit)
+
+            self.probe = fanout
 
     def _profile_hook(self, unit: CodeUnit, next_pc: int) -> bool:
         """BBM inline instrumentation: record the edge; request promotion

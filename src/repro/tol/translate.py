@@ -54,6 +54,9 @@ class Translator:
         #: translation; must return the (possibly replaced) op list.
         #: Fault-injection entry point.
         self.ir_hook = None
+        #: telemetry hub (set by the owning TOL): the optimization
+        #: pipeline is traced as "optimize" spans in full mode.
+        self.telemetry = None
         # Cumulative statistics.
         self.bb_translations = 0
         self.sb_translations = 0
@@ -64,6 +67,15 @@ class Translator:
     def _uid(self) -> int:
         self._next_uid += 1
         return self._next_uid
+
+    def _optimize(self, ops, passes, entry_pc, mode):
+        """Run an optimization pipeline, traced as an "optimize" span."""
+        if self.telemetry is not None:
+            with self.telemetry.span("optimize", "translate",
+                                     pc=entry_pc, mode=mode,
+                                     ops_in=len(ops)):
+                return run_pipeline(ops, passes)
+        return run_pipeline(ops, passes)
 
     # ------------------------------------------------------------------
     # BBM.
@@ -89,7 +101,8 @@ class Translator:
         else:
             ops.append(IRInstr(op="exit", attrs={
                 "next_pc": bb.next_pc, "guest_insns": count}))
-        ops, pass_stats = run_pipeline(ops, self.config.bbm_passes)
+        ops, pass_stats = self._optimize(ops, self.config.bbm_passes,
+                                         pc, UNIT_MODE_BBM)
         if self.ir_hook is not None:
             ops = self.ir_hook(ops, pc, UNIT_MODE_BBM, unrolled=False)
         allocation = allocate(ops)
@@ -147,7 +160,8 @@ class Translator:
                        alloc: TmpAllocator) -> Translation:
         assembled = assemble_region(region, mode="SBX")
         ops = assembled.body + [assembled.terminator]
-        ops, pass_stats = run_pipeline(ops, self.config.bbm_passes)
+        ops, pass_stats = self._optimize(ops, self.config.bbm_passes,
+                                         region.entry_pc, UNIT_MODE_SBX)
         if self.ir_hook is not None:
             ops = self.ir_hook(ops, region.entry_pc, UNIT_MODE_SBX,
                                unrolled=False)
@@ -211,7 +225,8 @@ class Translator:
             stages = self.capture.setdefault(entry_pc, {})
             stages["decoded"] = list(body) + [terminator]
             stages["ssa"] = list(full)
-        full, pass_stats = run_pipeline(full, self.config.sbm_passes)
+        full, pass_stats = self._optimize(full, self.config.sbm_passes,
+                                          entry_pc, mode)
         if self.ir_hook is not None:
             full = self.ir_hook(full, entry_pc, mode,
                                 unrolled=unrolled_variant)

@@ -1,0 +1,312 @@
+"""Unified telemetry layer: metrics registry, span tracer, snapshots,
+determinism across parallelism, probe registry, and the CLI surface."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.debug.tracing import ModeTracer
+from repro.guest.assembler import Assembler, EAX, ECX, EDI
+from repro.harness.parallel import (
+    SweepJob, merged_telemetry, sweep, telemetry_digest,
+)
+from repro.snapshot.bundle import load_bundle, write_bundle
+from repro.system.controller import Controller, run_codesigned
+from repro.telemetry import (
+    MetricsRegistry, SpanTracer, Telemetry, TelemetrySnapshot,
+    merge_snapshots, overhead_breakdown_from_snapshot,
+)
+from repro.tol.config import TolConfig
+from repro.workloads import get_workload
+
+FAST = TolConfig(bbm_threshold=3, sbm_threshold=8)
+
+
+def _load_validate_trace():
+    path = Path(__file__).resolve().parent.parent / "tools" / "validate_trace.py"
+    spec = importlib.util.spec_from_file_location("validate_trace", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def hot_loop_program(n=400):
+    asm = Assembler()
+    asm.mov(EAX, 0)
+    with asm.counted_loop(ECX, n):
+        asm.add(EAX, 3)
+    asm.mov(EDI, EAX)
+    asm.exit(0)
+    return asm.program()
+
+
+def run_mcf(telemetry="counters", scale=0.05):
+    program = get_workload("429.mcf").program(scale=scale)
+    config = TolConfig(telemetry=telemetry)
+    return run_codesigned(program, config=config)
+
+
+# ---------------------------------------------------------------------------
+# Registry primitives
+# ---------------------------------------------------------------------------
+
+
+def test_registry_instruments_and_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("a.hits").inc()
+    reg.counter("a.hits").inc(4)
+    reg.gauge("a.depth").set(7.5)
+    hist = reg.histogram("a.cost", bounds=(10, 100))
+    for v in (3, 30, 300):
+        hist.observe(v)
+    snap = reg.snapshot()
+    assert snap.counters["a.hits"] == 5
+    assert snap.gauges["a.depth"] == 7.5
+    h = snap.histograms["a.cost"]
+    assert h["count"] == 3
+    assert h["total"] == 333
+    assert h["counts"] == [1, 1, 1]  # <=10, <=100, overflow
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    assert reg.gauge("g") is reg.gauge("g")
+    assert reg.histogram("h") is reg.histogram("h")
+
+
+def test_collectors_scrape_only_at_snapshot():
+    reg = MetricsRegistry()
+    source = {"value": 0}
+    reg.register_collector(
+        lambda r: r.set_counter("scraped", source["value"]))
+    source["value"] = 41
+    source["value"] = 42
+    snap = reg.snapshot()
+    assert snap.counters["scraped"] == 42  # one scrape, latest value
+
+
+def test_snapshot_merge_and_diff():
+    a = TelemetrySnapshot(
+        counters={"n": 3, "only_a": 1}, gauges={"g": 2.0},
+        histograms={"h": {"bounds": [10], "counts": [1, 0],
+                          "count": 1, "total": 4}})
+    b = TelemetrySnapshot(
+        counters={"n": 5}, gauges={"g": 9.0},
+        histograms={"h": {"bounds": [10], "counts": [0, 2],
+                          "count": 2, "total": 60}})
+    merged = a.merge(b)
+    assert merged.counters == {"n": 8, "only_a": 1}
+    assert merged.gauges["g"] == 9.0  # gauges keep the peak
+    assert merged.histograms["h"]["counts"] == [1, 2]
+    assert merged.histograms["h"]["count"] == 3
+
+    delta = a.diff(b)
+    assert delta["counters"]["n"] == 2
+    assert delta["gauges"]["g"] == (2.0, 9.0)
+    assert delta["histograms"]["h"] == 1
+
+    assert merge_snapshots([]) is None
+    assert merge_snapshots([a.as_dict(), b]).counters["n"] == 8
+
+
+def test_snapshot_artifact_round_trip(tmp_path):
+    _, controller = run_mcf()
+    snap = controller.telemetry.snapshot()
+    path = tmp_path / "snap.json"
+    snap.save(path)
+    loaded = TelemetrySnapshot.load(path)
+    assert loaded.counters == snap.counters
+    assert loaded.gauges == snap.gauges
+    assert loaded.histograms == snap.histograms
+
+
+# ---------------------------------------------------------------------------
+# Telemetry modes and the run surface
+# ---------------------------------------------------------------------------
+
+
+def test_run_result_carries_snapshot():
+    result, controller = run_mcf()
+    snap = result.telemetry
+    assert snap is not None
+    assert snap.counters["tol.guest_icount"] == result.guest_icount
+    assert snap.counters["controller.validations"] > 0
+    assert snap.counters["cache.hits"] > 0
+    assert snap.gauges["cache.units"] > 0
+    assert snap.histograms["tol.translation.cost"]["count"] > 0
+
+
+def test_off_mode_produces_no_snapshot_but_forced_works():
+    result, controller = run_mcf(telemetry="off")
+    assert result.telemetry is None
+    forced = controller.codesigned.tol.telemetry.snapshot(force=True)
+    assert forced.counters["tol.guest_icount"] == result.guest_icount
+
+
+def test_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        Telemetry("loud")
+
+
+def test_fig7_breakdown_matches_legacy_accounting():
+    result, controller = run_mcf()
+    tol = controller.codesigned.tol
+    legacy = tol.overhead.breakdown()
+    from_registry = overhead_breakdown_from_snapshot(result.telemetry)
+    assert from_registry == legacy
+    assert sum(from_registry.values()) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Tracer and Chrome export
+# ---------------------------------------------------------------------------
+
+
+def test_trace_export_is_schema_valid(tmp_path):
+    result, controller = run_mcf(telemetry="full")
+    tracer = controller.telemetry.tracer
+    assert tracer is not None and tracer.events
+    names = {e["name"] for e in tracer.events}
+    assert {"dispatch", "translate_bb", "validate"} <= names
+
+    path = tmp_path / "trace.json"
+    tracer.write_chrome(path)
+    validate_trace = _load_validate_trace()
+    assert validate_trace.validate(path) == []
+
+    trace = json.loads(path.read_text())
+    thread_names = {e["args"]["name"] for e in trace["traceEvents"]
+                    if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert {"tol", "translate", "controller"} <= thread_names
+
+
+def test_tracer_cap_keeps_spans_balanced(tmp_path):
+    tracer = SpanTracer(max_events=6)
+    for i in range(10):
+        tracer.begin(f"s{i}", "cat")
+        tracer.end(f"s{i}", "cat")
+    assert len(tracer.events) <= 6
+    assert tracer.dropped > 0
+    path = tmp_path / "capped.json"
+    tracer.write_chrome(path)
+    validate_trace = _load_validate_trace()
+    assert validate_trace.validate(path) == []
+
+
+def test_counters_mode_has_no_tracer():
+    result, controller = run_mcf(telemetry="counters")
+    assert controller.telemetry.tracer is None
+    assert result.telemetry is not None
+
+
+# ---------------------------------------------------------------------------
+# Probe registry (satellite: ModeTracer stacking leak)
+# ---------------------------------------------------------------------------
+
+
+def test_two_tracers_stack_and_detach_independently():
+    controller = Controller(hot_loop_program(), config=FAST)
+    tol = controller.codesigned.tol
+    first = ModeTracer(tol)
+    second = ModeTracer(tol)
+    controller.run()
+    assert first.mode_sequence() == second.mode_sequence()
+    assert "SBM" in first.mode_sequence()
+
+    first.detach()
+    assert tol.probe == second._probe  # single probe: no fanout shim
+    second.detach()
+    assert tol.probe is None
+    assert tol._probes == []
+
+
+def test_detached_tracer_stops_recording():
+    controller = Controller(hot_loop_program(), config=FAST)
+    tol = controller.codesigned.tol
+    tracer = ModeTracer(tol)
+    tracer.detach()
+    controller.run()
+    assert tracer.transitions == []
+
+
+# ---------------------------------------------------------------------------
+# Sweep integration: determinism and digests
+# ---------------------------------------------------------------------------
+
+
+def _sweep_jobs():
+    return [SweepJob("workload_metrics",
+                     {"workload": w, "scale": 0.05, "validate": False})
+            for w in ("429.mcf", "401.bzip2")]
+
+
+def test_sweep_counters_identical_across_parallelism():
+    serial = sweep(_sweep_jobs(), n_jobs=1, use_cache=False)
+    fanned = sweep(_sweep_jobs(), n_jobs=4, use_cache=False)
+    merged_serial = merged_telemetry(serial)
+    merged_fanned = merged_telemetry(fanned)
+    assert merged_serial is not None
+    assert merged_serial.counters == merged_fanned.counters
+    assert merged_serial.histograms == merged_fanned.histograms
+
+
+def test_telemetry_digest_from_run_and_without():
+    result, _ = run_mcf()
+    digest = telemetry_digest(result)
+    assert digest["tol.guest_icount"] == result.guest_icount
+    assert "cache.hits" in digest
+    assert telemetry_digest(object()) == {}
+
+
+# ---------------------------------------------------------------------------
+# Bundles embed the snapshot
+# ---------------------------------------------------------------------------
+
+
+def test_bundle_embeds_telemetry(tmp_path):
+    controller = Controller(hot_loop_program(), config=FAST)
+    controller.run()
+    path = write_bundle(tmp_path, controller, reason="test")
+    bundle = load_bundle(path)
+    assert bundle.telemetry is not None
+    snap = TelemetrySnapshot.from_dict(bundle.telemetry)
+    assert snap.counters["tol.guest_icount"] > 0
+
+
+# ---------------------------------------------------------------------------
+# CLI: darco metrics / darco trace
+# ---------------------------------------------------------------------------
+
+
+def test_cli_metrics_dump(capsys):
+    assert main(["metrics", "429.mcf", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "tol.guest_icount" in out
+    assert "cache.hits" in out
+
+
+def test_cli_metrics_diff(tmp_path, capsys):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    assert main(["metrics", "429.mcf", "--scale", "0.05",
+                 "--out", str(a)]) == 0
+    assert main(["metrics", "429.mcf", "--scale", "0.1",
+                 "--out", str(b)]) == 0
+    capsys.readouterr()
+    assert main(["metrics", "--diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "tol.guest_icount" in out
+    assert "+" in out
+
+
+def test_cli_trace_writes_valid_trace(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert main(["trace", "429.mcf", "--scale", "0.05",
+                 "--out", str(out_path)]) == 0
+    assert "Perfetto" in capsys.readouterr().out or out_path.exists()
+    validate_trace = _load_validate_trace()
+    assert validate_trace.validate(out_path) == []

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Schema validator for exported Chrome trace-event JSON.
+
+Checks the structural invariants Perfetto / chrome://tracing rely on,
+so CI can assert that ``darco trace`` output stays loadable:
+
+- the file is a JSON object with a ``traceEvents`` list;
+- every event carries ``name``/``ph``/``pid``/``tid``, a known phase,
+  and (except metadata events) a numeric non-negative ``ts``;
+- duration events balance: every ``E`` closes a ``B`` on the same
+  ``(pid, tid)`` lane, and no ``B`` is left open at the end;
+- ``X`` (complete) events carry a non-negative ``dur``.
+
+Usage::
+
+    python tools/validate_trace.py trace.json [more.json ...]
+
+Exit status 0 when every file validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+#: Phases ``darco trace`` emits (a subset of the full spec).
+KNOWN_PHASES = {"B", "E", "X", "i", "C", "M"}
+
+
+def validate(path) -> List[str]:
+    """Validate one trace file; returns a list of error strings
+    (empty when the file is schema-valid)."""
+    errors: List[str] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    if not isinstance(trace, dict):
+        return ["top level is not a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+
+    open_spans: Dict[Any, List[str]] = {}
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                errors.append(f"{where}: missing {key!r}")
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: bad ts {ts!r}")
+        lane = (event.get("pid"), event.get("tid"))
+        if ph == "B":
+            open_spans.setdefault(lane, []).append(event.get("name"))
+        elif ph == "E":
+            stack = open_spans.get(lane)
+            if not stack:
+                errors.append(f"{where}: E without matching B on "
+                              f"lane {lane}")
+            else:
+                stack.pop()
+        elif ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X with bad dur {dur!r}")
+    for lane, stack in open_spans.items():
+        if stack:
+            errors.append(f"lane {lane}: {len(stack)} unclosed B "
+                          f"event(s): {stack[-3:]}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 1
+    status = 0
+    for path in argv:
+        errors = validate(path)
+        if errors:
+            status = 1
+            print(f"{path}: INVALID")
+            for error in errors[:20]:
+                print(f"  {error}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                count = len(json.load(handle)["traceEvents"])
+            print(f"{path}: OK ({count} events)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
