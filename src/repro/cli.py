@@ -247,6 +247,13 @@ def cmd_sweep(args) -> int:
           f"{hits} cache hits, {wall:.1f}s wall "
           f"(jobs={args.jobs or 'auto'}, "
           f"cache={'off' if args.no_cache else args.cache_dir})")
+    from repro.harness.parallel import SWEEP_ERROR_COUNTERS, SWEEP_ERROR_LOG
+    swallowed = SWEEP_ERROR_COUNTERS.get("sweep.errors.swallowed", 0)
+    if swallowed:
+        print(f"sweep.errors.swallowed={swallowed} (unexpected exceptions "
+              f"absorbed by the harness; most recent below)")
+        for context, summary in list(SWEEP_ERROR_LOG)[-5:]:
+            print(f"  {context}: {summary}")
     if args.out:
         # Deterministic result artifact: only resume-stable fields go
         # in (attempts/durations vary run to run), so a resumed sweep's

@@ -35,6 +35,7 @@ import os
 import pickle
 import time
 import traceback
+from collections import Counter, deque
 from contextlib import redirect_stderr
 from concurrent.futures import (
     ProcessPoolExecutor, TimeoutError as FuturesTimeout, as_completed,
@@ -49,6 +50,40 @@ CACHE_VERSION = 1
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 _MISS = object()
+
+
+# ---------------------------------------------------------------------------
+# Harness-side error accounting.
+# ---------------------------------------------------------------------------
+
+#: Structured counters for exceptions the sweep machinery absorbs
+#: (``sweep.errors.*`` namespace).  Expected, narrow error classes —
+#: cache corruption, worker teardown — are handled in place; anything
+#: *outside* those classes is still absorbed where crashing would kill
+#: an unrelated thousand-run campaign, but lands in
+#: ``sweep.errors.swallowed`` with its summary in
+#: :data:`SWEEP_ERROR_LOG`, so nothing disappears silently.
+SWEEP_ERROR_COUNTERS: Counter = Counter()
+#: Most recent absorbed unexpected exceptions, newest last, as
+#: ``(context, exception summary)`` pairs.
+SWEEP_ERROR_LOG: deque = deque(maxlen=32)
+
+
+def _record_swallowed(context: str) -> None:
+    """Count (and remember) an exception absorbed outside its expected
+    error classes."""
+    SWEEP_ERROR_COUNTERS["sweep.errors.swallowed"] += 1
+    summary = traceback.format_exc().strip().splitlines()[-1]
+    SWEEP_ERROR_LOG.append((context, summary))
+
+
+#: Error classes a damaged, truncated or stale cache entry is expected
+#: to raise while unpickling (``IndexError``/``AttributeError``/
+#: ``ImportError`` cover records written by a different code version).
+CACHE_CORRUPTION_ERRORS = (
+    pickle.UnpicklingError, EOFError, OSError, ValueError,
+    AttributeError, ImportError, IndexError,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -294,19 +329,29 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return _MISS
+        except CACHE_CORRUPTION_ERRORS:
+            # Corrupted/truncated/stale entry: a miss, never a crash.
+            return self._drop(path)
         except Exception:
-            # Corrupted/truncated entry: a miss, never a crash.
-            self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return _MISS
+            # Not an expected corruption signature.  Still degrade to a
+            # miss — one bad entry must never kill a sweep — but record
+            # it instead of losing it silently.
+            _record_swallowed(f"cache.get:{key[:12]}")
+            return self._drop(path)
         if stored_key != key:
             self.misses += 1
             return _MISS
         self.hits += 1
         return value
+
+    def _drop(self, path: Path):
+        """Remove an unreadable entry and account a miss."""
+        self.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return _MISS
 
     def put(self, key: str, value: Any) -> None:
         from repro.ioutil import atomic_write_bytes
@@ -493,6 +538,11 @@ def sweep(jobs: Iterable[SweepJob],
                                   "(crash during task)")
                         continue
                     except Exception:
+                        # Workers convert task exceptions to records, so
+                        # anything raised *here* (result unpickling, pool
+                        # teardown) is unexpected: count it, and surface
+                        # it as this job's error record.
+                        _record_swallowed(f"pool.result:{job.label}")
                         failed.append(index)
                         results[index] = SweepResult(
                             job=job, attempts=1,

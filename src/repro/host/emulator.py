@@ -180,6 +180,25 @@ class HostEmulator:
         #: Optional per-instruction trace callback for the timing simulator:
         #: ``trace_sink(unit, index, instr, info_dict)``.
         self.trace_sink: Optional[Callable] = None
+        #: Optional bulk variant: ``trace_sink_batch(unit, records)`` with
+        #: ``records`` a list of ``(index, info)`` pairs — the direct tier
+        #: delivers its buffered records through this when set (must be
+        #: record-for-record equivalent to looping ``trace_sink``).
+        self.trace_sink_batch: Optional[Callable] = None
+        # -- direct (IR-less) tier ------------------------------------
+        #: Execute units through generated direct-tier programs when
+        #: attached (``unit._directprog``/``_directprog_traced``).
+        self.direct_enable = False
+        #: Entries needed before ``direct_promote_hook`` is consulted.
+        self.direct_promote_threshold = 0
+        #: Policy callback ``hook(unit)``; must set ``unit._directprog``
+        #: (possibly to None) so it is consulted at most once per unit.
+        self.direct_promote_hook: Optional[Callable] = None
+        #: Unit entries executed via direct programs, and the host
+        #: instructions they covered (simulator-strategy counters, like
+        #: ``fast_segments``: never part of the simulated quantities).
+        self.direct_entries = 0
+        self.direct_insns = 0
         #: BBM inline profiling: called as ``profile_hook(unit, next_pc)``
         #: at instrumented dispatch points; returning True interrupts
         #: chaining and returns control to the TOL (promotion request).
@@ -264,9 +283,12 @@ class HostEmulator:
                 self.memory.write_vec(addr, old)
         self._undo.clear()
         self.alias_table.clear()
-        self.iregs = list(cp.iregs)
-        self.fregs = list(cp.fregs)
-        self.vregs = [list(v) for v in cp.vregs]
+        # In-place restore: the register-file *lists* are identity-stable
+        # for the emulator's lifetime (direct-tier programs bake direct
+        # references to them).
+        self.iregs[:] = cp.iregs
+        self.fregs[:] = cp.fregs
+        self.vregs[:] = [list(v) for v in cp.vregs]
         unit.host_insns_wasted += self._region_insns
         self.host_insns_wasted += self._region_insns
         self._region_insns = 0
@@ -347,10 +369,48 @@ class HostEmulator:
         # interleaves (every record is ``(unit, index, ins, None)``).
         use_fast = self.fastpath
         unit_log = self.unit_log
+        use_direct = self.direct_enable
+        if use_direct:
+            dkey = "_directprog" if self.trace_sink is None \
+                else "_directprog_traced"
+            dhook = self.direct_promote_hook
+            dthresh = self.direct_promote_threshold
         while True:
             unit.exec_count += 1
             if unit_log is not None:
                 unit_log.append(unit)
+            if use_direct:
+                udict = unit.__dict__
+                dprog = udict.get(dkey)
+                if (dprog is None and dhook is not None
+                        and "_directprog" not in udict
+                        and unit.exec_count >= dthresh):
+                    dhook(unit)
+                    dprog = udict.get(dkey)
+                if dprog is not None:
+                    self.direct_entries += 1
+                    entered = executed
+                    # ``unit`` rebinds to wherever the program ended up
+                    # (cluster programs follow chains between members
+                    # internally, so exits can come from any member).
+                    kind, a, b, executed, unit = dprog(self, executed,
+                                                       fuel)
+                    self.direct_insns += executed - entered
+                    if kind == 0:
+                        unit = a  # chain / IBTC hit: continue in unit a
+                        continue
+                    if kind <= 2:
+                        return ExitEvent(
+                            kind=EXIT_TOL, next_pc=a, unit=unit,
+                            exit_index=b, ibtc_miss=(kind == 2),
+                            host_insns=executed)
+                    if kind == 3:
+                        return ExitEvent(
+                            kind=EXIT_PAGE_FAULT, next_pc=a,
+                            fault_addr=b, unit=unit, host_insns=executed)
+                    return ExitEvent(
+                        kind=EXIT_ASSERT if kind == 4 else EXIT_SPEC,
+                        next_pc=a, unit=unit, host_insns=executed)
             instrs = unit.instrs
             prog = None
             if use_fast:
@@ -546,6 +606,9 @@ class HostEmulator:
                         f"(entry {unit.entry_pc:#x})")
             except PageFault as fault:
                 restart = self._rollback(unit)
+                # The faulting instruction delivered no record; drop its
+                # staged info so it cannot attach to a later instruction.
+                self._pending_info = None
                 return ExitEvent(
                     kind=EXIT_PAGE_FAULT,
                     next_pc=restart,
@@ -555,6 +618,7 @@ class HostEmulator:
                 )
             except self._Fail as failure:
                 restart = self._rollback(unit)
+                self._pending_info = None
                 if failure.kind == EXIT_ASSERT:
                     unit.assert_failures += 1
                 else:
@@ -573,6 +637,22 @@ class HostEmulator:
     def _trace_mem(self, unit, index, ins, addr):
         if self.trace_sink is not None:
             self._pending_info = {"mem_addr": addr}
+
+    def _flush_direct_trace(self, unit, records):
+        """Deliver a direct-tier program's buffered ``(index, info)``
+        records to the trace sink, in stream order, then clear the
+        buffer.  Uses the batch sink when one is attached."""
+        if not records:
+            return
+        batch = self.trace_sink_batch
+        if batch is not None:
+            batch(unit, records)
+        else:
+            sink = self.trace_sink
+            instrs = unit.instrs
+            for index, info in records:
+                sink(unit, index, instrs[index], info)
+        del records[:]
 
     def _trace_branch(self, unit, index, ins, taken):
         if self.trace_sink is not None:

@@ -185,6 +185,8 @@ class FaultInjector:
             detail = self._bitflip(ins)
         # Drop any compiled fastpath so the corruption takes effect.
         unit.__dict__.pop("_fastprog", None)
+        unit.__dict__.pop("_directprog", None)
+        unit.__dict__.pop("_directprog_traced", None)
         self._fire({"uid": unit.uid, "entry_pc": unit.entry_pc,
                     "mode": unit.mode, "instr_index": idx, **detail})
 

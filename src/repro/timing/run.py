@@ -38,6 +38,7 @@ def run_with_timing(program: GuestProgram,
     tol = controller.codesigned.tol
     register_timing_collector(tol.telemetry, core)
     tol.host.trace_sink = session.sink
+    tol.host.trace_sink_batch = session.sink_batch
     if include_tol_overhead:
         def on_charge(category, insns):
             session.feed_tol_overhead(insns)

@@ -138,6 +138,15 @@ class TimingSession:
                        mem_addr=mem_addr, branch=branch)
         self.fed += 1
 
+    def sink_batch(self, unit, records) -> None:
+        """Batch form of :meth:`sink` for the direct tier's buffered
+        trace flushes: ``records`` is a list of ``(index, ins, info)``
+        tuples in execution order.  Semantically identical to calling
+        :meth:`sink` per record."""
+        instrs = unit.instrs
+        for index, info in records:
+            self.sink(unit, index, instrs[index], info)
+
     # ------------------------------------------------------------------
 
     def feed_tol_overhead(self, host_insns: int) -> None:

@@ -94,6 +94,15 @@ class CodeCache:
         self.insertions += 1
         return flushed
 
+    @staticmethod
+    def _strip_direct(unit: CodeUnit) -> None:
+        """Drop a removed unit's direct-tier programs.  A removed unit
+        can still be referenced (it may be mid-execution), but its entry
+        PC may have been quarantined — if a fresh translation ever
+        re-promotes, it must recompile against its own instructions."""
+        unit.__dict__.pop("_directprog", None)
+        unit.__dict__.pop("_directprog_traced", None)
+
     def invalidate(self, unit: CodeUnit) -> None:
         """Remove a unit, unlinking chains in both directions."""
         keys = [k for k, u in self._units.items() if u is unit]
@@ -101,6 +110,7 @@ class CodeCache:
             del self._units[key]
             self.size_insns -= unit.size()
         self._unlink(unit)
+        self._strip_direct(unit)
         self.invalidations += 1
         if self.on_remove is not None:
             self.on_remove(unit)
@@ -155,6 +165,7 @@ class CodeCache:
             for instr in unit.instrs:
                 if instr.op == "exit" and instr.meta.get("link") is not None:
                     instr.meta["link"] = None
+            self._strip_direct(unit)
             if self.on_remove is not None:
                 self.on_remove(unit)
 

@@ -89,6 +89,24 @@ class TolConfig:
     #: per-instruction records are delivered after each segment).
     host_fastpath: bool = True
 
+    # -- direct (IR-less) translation tier ------------------------------------
+    #: Compile units that stay hot past ``direct_promote_threshold``
+    #: entries straight to generated Python (no per-instruction host
+    #: emulation).  Same contract again: wall-clock only — every
+    #: simulated quantity is bit-identical with the tier off.
+    direct_enable: bool = True
+    #: Unit entries (dispatches + chain/IBTC hops) before direct
+    #: promotion; only non-BBM units at quarantine level 0 qualify.
+    direct_promote_threshold: int = 200
+    #: Times one entry PC may be direct-promoted across invalidations
+    #: (quarantine/eviction churn guard).
+    direct_max_repromotions: int = 8
+    #: Units per direct-tier program: promotion follows existing chain
+    #: links breadth-first and compiles up to this many same-mode units
+    #: into one function, so a hot loop spanning a few superblocks runs
+    #: without driver round-trips.  1 disables clustering.
+    direct_cluster_max: int = 4
+
     # -- resilience ---------------------------------------------------------------
     #: What to do when validation against the authoritative x86 component
     #: fails (or synchronization is lost): ``strict`` raises on the first

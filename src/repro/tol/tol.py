@@ -23,6 +23,7 @@ from repro.host.emulator import (
 from repro.host.isa import CodeUnit, UNIT_MODE_BBM
 from repro.tol.codecache import CodeCache
 from repro.tol.config import TolConfig
+from repro.tol.direct import compile_direct
 from repro.tol.decoder import Frontend, GisaFrontend
 from repro.tol.interp import END, Interpreter, OK, SYSCALL
 from repro.tol.overhead import OverheadAccount
@@ -60,6 +61,7 @@ class TolStats:
     im_guest_insns: int = 0
     sb_blacklisted: int = 0
     watchdog_fires: int = 0
+    direct_promotions: int = 0
 
 
 class Tol:
@@ -79,6 +81,14 @@ class Tol:
             fastpath=self.config.host_fastpath)
         self.host.profile_hook = self._profile_hook
         self.host.alias_serial_search = self.config.alias_serial_search
+        # Direct (IR-less) tier: the host consults the hook once per
+        # unit that crosses the entry threshold — including units only
+        # ever entered through chains/IBTC hops, which TOL dispatch
+        # never sees.
+        self.host.direct_enable = self.config.direct_enable
+        self.host.direct_promote_threshold = \
+            self.config.direct_promote_threshold
+        self.host.direct_promote_hook = self._direct_promote_unit
         if self.config.profiling_hw_assist:
             self.host.profile_inline_cost = 0
         self.interp = Interpreter(self.frontend, state, memory,
@@ -291,6 +301,66 @@ class Tol:
             if first_unit is None:
                 first_unit = unit
         return self.cache.lookup(pc)
+
+    def _direct_promote_unit(self, unit: CodeUnit) -> None:
+        """Direct-tier promotion policy (host callback, consulted once
+        per unit past the entry threshold).  Always stamps
+        ``unit._directprog`` so rejection is remembered.  BBM units stay
+        on the IR path (their profiled exits drive SBM promotion), any
+        quarantine rung blocks the tier, and per-PC re-promotions are
+        capped so invalidation churn cannot thrash the compiler."""
+        pc = unit.entry_pc
+        if (unit.mode == UNIT_MODE_BBM
+                or self.quarantine.level(pc) > 0
+                or self.profiler.direct_promotions[pc]
+                >= self.config.direct_max_repromotions):
+            unit._directprog = None
+            return
+        members = self._direct_cluster_members(unit)
+        prog = compile_direct(unit, self.host, cluster=members)
+        if prog is None and len(members) > 1:
+            # A member may be individually ineligible (oversize, odd
+            # op); the entry unit alone can still make the tier.
+            prog = compile_direct(unit, self.host)
+        unit._directprog = prog
+        if prog is None:
+            return
+        # Compile the traced variant eagerly: a timing session may
+        # attach its sink after the unit was promoted.
+        unit._directprog_traced = compile_direct(unit, self.host,
+                                                 traced=True)
+        self.profiler.record_direct_promotion(pc)
+        self.stats.direct_promotions += 1
+
+    def _direct_cluster_members(self, unit: CodeUnit) -> List[CodeUnit]:
+        """The unit plus the same-mode units its chain links reach
+        (breadth-first over exit links, capped by
+        ``direct_cluster_max``).  Hot loops spanning a few units — a
+        body ping-ponging between two superblocks is the common case —
+        then execute entirely inside one generated function.  Links
+        are only followed, never created: a unit with no chains yet
+        compiles alone, exactly as before."""
+        members = [unit]
+        limit = self.config.direct_cluster_max
+        if limit <= 1:
+            return members
+        seen = {unit.uid}
+        frontier = [unit]
+        while frontier and len(members) < limit:
+            for ins in frontier.pop(0).instrs:
+                if ins.op != "exit":
+                    continue
+                link = ins.meta.get("link")
+                if (link is None or link.uid in seen
+                        or link.mode != unit.mode
+                        or self.quarantine.level(link.entry_pc) > 0):
+                    continue
+                seen.add(link.uid)
+                members.append(link)
+                frontier.append(link)
+                if len(members) >= limit:
+                    break
+        return members
 
     def _demote(self, pc: int) -> None:
         """Recreate a failing superblock without asserts/speculation."""

@@ -118,6 +118,62 @@ def test_cache_flush_unlinks_chains_and_fires_on_remove():
     assert {u.uid for u in removed} == {1, 2}
 
 
+def test_cache_replace_fires_on_remove_before_new_unit_visible():
+    # Audit of insert's replace-before-insert path: the on_remove hook
+    # (IBTC consistency) must observe the cache *without* the new unit —
+    # if the replacement were already visible, a dependent structure
+    # refreshing itself inside the hook could alias the dead unit's key
+    # to the new unit before its own cleanup ran.
+    cache = CodeCache()
+    old = unit(1, 0x1000)
+    cache.insert(old, PLAIN)
+    observed = []
+
+    def hook(victim):
+        observed.append((victim, cache._units.get((0x1000, PLAIN))))
+
+    cache.on_remove = hook
+    new = unit(2, 0x1000, mode="SBM")
+    cache.insert(new, PLAIN)
+    assert observed == [(old, None)]      # old gone, new not yet visible
+    assert cache.lookup(0x1000) is new
+
+
+def test_cache_removal_strips_direct_tier_programs():
+    # Replace, targeted invalidation and capacity flush must all drop a
+    # removed unit's direct-tier programs: the unit object can stay
+    # referenced (mid-execution), but after quarantine/retranslation a
+    # stale generated function must never be re-entered.
+    def promoted(uid, pc, n_instrs=4):
+        u = unit(uid, pc, n_instrs=n_instrs, mode="SBM")
+        u._directprog = lambda emu, executed, fuel: None
+        u._directprog_traced = lambda emu, executed, fuel: None
+        return u
+
+    # Replace (same PC/variant).
+    cache = CodeCache()
+    old = promoted(1, 0x1000)
+    cache.insert(old, PLAIN)
+    cache.insert(unit(2, 0x1000, mode="SBM"), PLAIN)
+    assert "_directprog" not in old.__dict__
+    assert "_directprog_traced" not in old.__dict__
+
+    # Targeted invalidation (quarantine path).
+    victim = promoted(3, 0x2000)
+    cache.insert(victim, PLAIN)
+    cache.invalidate_pc(0x2000)
+    assert "_directprog" not in victim.__dict__
+    assert "_directprog_traced" not in victim.__dict__
+
+    # Capacity flush.
+    small = CodeCache(capacity_insns=10)
+    evicted = promoted(4, 0x3000, n_instrs=6)
+    small.insert(evicted, PLAIN)
+    assert small.insert(unit(5, 0x4000, n_instrs=6), PLAIN)  # flushes
+    assert "_directprog" not in evicted.__dict__
+    assert "_directprog_traced" not in evicted.__dict__
+
+
 def test_cache_invalidate_severs_incoming_and_outgoing_links():
     cache = CodeCache()
     a = unit(1, 0x1000)

@@ -311,6 +311,95 @@ def test_host_fastpath_full_system_identity():
     assert tol_fast.mode_distribution()["BBM"] > 0
 
 
+# -- direct (IR-less) tier: full-system identity --------------------------------
+
+#: Counters that legitimately differ with the direct tier on: they
+#: describe *how* the simulator executed (wall-clock bookkeeping), not
+#: any simulated quantity.
+DIRECT_WALLCLOCK_COUNTERS = (
+    "host.fastpath.", "host.slowpath.", "host.direct.", "tol.direct",
+)
+
+
+def _simulated_counters(snapshot):
+    return {name: value for name, value in snapshot.counters.items()
+            if not name.startswith(DIRECT_WALLCLOCK_COUNTERS)}
+
+
+def test_direct_tier_full_system_identity():
+    """With the direct tier on vs off, every simulated quantity —
+    retired-per-mode counts, overhead breakdown, host accounting,
+    telemetry counters, guest-visible output — must be bit-identical;
+    only the wall-clock path counters may differ."""
+    from repro.workloads import get_workload
+    base = dict(bbm_threshold=3, sbm_threshold=8,
+                direct_promote_threshold=20, telemetry="counters")
+
+    def run(direct):
+        program = get_workload("429.mcf").program(scale=0.1)
+        result, controller = run_codesigned(
+            program, config=TolConfig(direct_enable=direct, **base))
+        return result, controller.codesigned.tol
+
+    result_on, tol_on = run(True)
+    result_off, tol_off = run(False)
+    assert result_on.exit_code == result_off.exit_code == 0
+    assert result_on.guest_icount == result_off.guest_icount
+    assert result_on.stdout == result_off.stdout
+    assert result_on.validations == result_off.validations
+    assert tol_on.mode_distribution() == tol_off.mode_distribution()
+    assert tol_on.overhead.counters == tol_off.overhead.counters
+    host_on, host_off = tol_on.host, tol_off.host
+    assert host_on.host_insns_total == host_off.host_insns_total
+    assert host_on.host_insns_committed == host_off.host_insns_committed
+    assert host_on.host_insns_wasted == host_off.host_insns_wasted
+    assert host_on.guest_retired_total == host_off.guest_retired_total
+    assert host_on.ibtc.hits == host_off.ibtc.hits
+    assert host_on.ibtc.misses == host_off.ibtc.misses
+    assert _simulated_counters(result_on.telemetry) == \
+        _simulated_counters(result_off.telemetry)
+    # The comparison is only meaningful if the tier actually ran.
+    assert tol_on.stats.direct_promotions > 0
+    assert host_on.direct_entries > 0
+    assert host_on.direct_insns > 0
+    assert host_off.direct_entries == 0
+
+
+def test_direct_tier_traced_timing_identity():
+    """Under a timing trace the direct tier compiles its traced variant
+    (per-instruction records delivered segment-batched); the cycle-level
+    report must be identical to the tier-off run."""
+    from repro.timing.run import run_with_timing
+
+    # An unrolled self-contained loop never re-enters its unit (internal
+    # back-jump), so use a branchy multi-unit loop; speculation stays off
+    # so quarantine churn cannot block promotion on this short run.
+    spec = SyntheticSpec(seed=5, hot_loops=2, trip_count=400, bb_size=6,
+                         branchy=True, mem_ops=1, fp_ops=1)
+    base = dict(bbm_threshold=3, sbm_threshold=8,
+                direct_promote_threshold=20, mem_speculation=False)
+
+    def run(direct):
+        result, controller, core = run_with_timing(
+            generate(spec),
+            tol_config=TolConfig(direct_enable=direct, **base),
+            include_tol_overhead=True, validate=False)
+        assert result.exit_code == 0
+        return result, controller.codesigned.tol, core
+
+    result_on, tol_on, core_on = run(True)
+    result_off, tol_off, core_off = run(False)
+    assert result_on.guest_icount == result_off.guest_icount
+    assert tol_on.host.host_insns_total == tol_off.host.host_insns_total
+    assert core_on.report() == core_off.report()
+    # The traced run really executed through traced direct programs.
+    assert tol_on.host.direct_entries > 0
+    assert any(getattr(u, "_directprog_traced", None) is not None
+               for u in tol_on.cache.units())
+    assert all(getattr(u, "_directprog_traced", None) is None
+               for u in tol_off.cache.units())
+
+
 # -- validation epoch ----------------------------------------------------------
 
 

@@ -160,6 +160,65 @@ def test_strict_mode_raises_on_first_divergence():
     assert "ValidationError" in record.error
 
 
+def test_direct_tier_fault_recovers_and_demotes_below_tier():
+    """A fault firing inside a direct-tier program is caught like any
+    translation fault: recover mode resyncs from the authoritative
+    component, the quarantine ladder demotes the entry PC below the
+    direct tier (no re-promotion), and the final state stays
+    bit-identical to a clean reference run."""
+    from dataclasses import replace
+
+    program = build_campaign_program()
+    ref = GuestEmulator(program, os=GuestOS())
+    ref.run()
+
+    config = replace(campaign_config("recover"), direct_promote_threshold=5)
+    controller = Controller(program, config=config)
+    tol = controller.codesigned.tol
+    fired = {}
+    hook = tol.host.direct_promote_hook
+
+    def sabotaging_hook(unit):
+        hook(unit)
+        prog = unit.__dict__.get("_directprog")
+        if prog is None or fired:
+            return
+
+        def faulty(emu, executed, fuel, _prog=prog, _unit=unit):
+            result = _prog(emu, executed, fuel)
+            if not fired:
+                # One bad store "emitted by" the generated code: corrupt
+                # the workload's source operand so the accumulator
+                # diverges at the next validation epoch.
+                fired["pc"] = _unit.entry_pc
+                emu.memory.write_u32(0x9000, 0xDEAD)
+            return result
+
+        unit._directprog = faulty
+
+    tol.host.direct_promote_hook = sabotaging_hook
+    result = controller.run()
+
+    assert fired, "direct tier never engaged"
+    pc = fired["pc"]
+    assert controller.recoveries >= 1
+    assert result.incidents >= 1
+    # The ladder demoted the faulting PC below the direct tier...
+    assert tol.quarantine.level(pc) > 0
+    # ...and no cached translation of it carries a direct program.
+    for unit in tol.cache.units():
+        if unit.entry_pc == pc:
+            assert unit.__dict__.get("_directprog") is None
+    # The campaign's bit-identical final-state contract still holds.
+    assert not controller.codesigned.state.diff(ref.state)
+    assert not controller.x86.state.diff(ref.state)
+    pages = list(controller.codesigned.memory.present_pages())
+    assert controller.codesigned.memory.first_difference(
+        controller.x86.memory, pages) is None
+    assert result.exit_code == ref.os.exit_code
+    assert result.stdout == bytes(ref.os.stdout)
+
+
 # -- the acceptance campaign -----------------------------------------------------
 
 

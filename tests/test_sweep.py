@@ -118,6 +118,42 @@ def test_corrupted_cache_entry_is_a_miss_not_a_crash(tmp_path):
     assert all(r.cached for r in replay)
 
 
+def _boom_on_load():
+    raise ZeroDivisionError("synthetic non-corruption unpickle failure")
+
+
+class _EvilPayload:
+    """Unpickles by raising an error *outside* the expected
+    cache-corruption classes."""
+
+    def __reduce__(self):
+        return (_boom_on_load, ())
+
+
+def test_unexpected_cache_error_is_counted_not_silent(tmp_path):
+    """An unpickle failure outside CACHE_CORRUPTION_ERRORS still
+    degrades to a miss (never kills the sweep) but must land in the
+    sweep.errors.swallowed counter; expected corruption must not."""
+    cache = ResultCache(tmp_path / "cache")
+    key = "c" * 64
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps((key, _EvilPayload())))
+    before = parallel.SWEEP_ERROR_COUNTERS["sweep.errors.swallowed"]
+    assert cache.get(key) is parallel._MISS
+    assert parallel.SWEEP_ERROR_COUNTERS["sweep.errors.swallowed"] \
+        == before + 1
+    assert not path.exists()                 # entry was dropped
+    context, summary = parallel.SWEEP_ERROR_LOG[-1]
+    assert context.startswith("cache.get:") and "ZeroDivisionError" in summary
+    # Plain truncation is an *expected* corruption class: miss, no count.
+    cache.put(key, {"v": 1})
+    path.write_bytes(path.read_bytes()[:8])
+    assert cache.get(key) is parallel._MISS
+    assert parallel.SWEEP_ERROR_COUNTERS["sweep.errors.swallowed"] \
+        == before + 1
+
+
 def test_cache_rejects_key_mismatch(tmp_path):
     cache = ResultCache(tmp_path / "cache")
     cache.put("a" * 64, {"v": 1})
@@ -151,6 +187,27 @@ def _crash_task():
 def _sleep_task(seconds=60.0):
     time.sleep(seconds)
     return "woke"
+
+
+class _UnexpectedSweepError(RuntimeError):
+    pass
+
+
+@parallel.register_task("_test_unexpected_raise")
+def _unexpected_raise_task():
+    raise _UnexpectedSweepError("must surface in the sweep report")
+
+
+@pytest.mark.parametrize("n_jobs", [1, 2], ids=["inline", "pooled"])
+def test_unexpected_worker_exception_surfaces_in_report(n_jobs):
+    """Regression: an exception type the harness has no special handling
+    for must come back as a full error record in the sweep report —
+    never vanish into a bare except."""
+    (result,) = sweep([SweepJob(task="_test_unexpected_raise")],
+                      n_jobs=n_jobs, use_cache=False, retries=1)
+    assert not result.ok
+    assert "_UnexpectedSweepError" in result.error
+    assert "must surface in the sweep report" in result.error
 
 
 def test_worker_crash_is_isolated_per_task():
