@@ -1,0 +1,147 @@
+"""Traced-timing speed: cycle-annotated batches vs per-instruction feed.
+
+A detailed-timing run pays a *trace tax* on top of plain co-designed
+execution: every retired host instruction historically crossed a Python
+call boundary (``trace_sink`` -> classify -> ``InOrderCore.feed``).
+ISSUE 7 eliminates most of that tax: units carry a translate-time static
+timing profile, record batches are applied through
+``InOrderCore.feed_unit`` in one call, and hot units tier up to a
+generated per-unit applier with the static facts folded into bytecode
+(:mod:`repro.timing.annotate`).
+
+The benchmark isolates exactly that tax.  Three wall-clocks on the same
+workload, best of ``ROUNDS`` each:
+
+- ``base``: plain ``run_codesigned`` (no timing attached);
+- ``annotated``: ``run_with_timing`` on the annotated path;
+- ``per_instruction``: ``run_with_timing`` with ``annotate=False``.
+
+``tax = traced - base`` per mode; ``speedup = tax_per / tax_annotated``
+is what the >=3x bar is asserted on, and ``timing_kips_*`` report host
+timing instructions per second of tax.  The differential identity suite
+(tests/test_timing_annotation.py) guarantees both modes produce
+bit-identical ``core.report()``; this benchmark re-checks it on its own
+workload, so a regression cannot hide behind a fast-but-wrong path.
+
+Run as a script to (re)generate ``BENCH_timing.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_timing.py
+    PYTHONPATH=src python benchmarks/bench_timing.py --smoke
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.system.controller import run_codesigned
+from repro.timing.run import run_with_timing
+from repro.tol.config import TolConfig
+from repro.workloads import SyntheticSpec, generate
+
+#: The annotated-path guarantee: >=3x the per-instruction path on the
+#: trace tax (wall-clock added by detailed timing).
+TIMING_SPEEDUP_BAR = 3.0
+ROUNDS = 3
+
+#: A hot, branchy, mixed int/fp/mem workload: mostly translated-code
+#: execution, so the trace tax dominates the timed delta.
+SPEC = SyntheticSpec(seed=5, hot_loops=3, trip_count=4000, bb_size=8,
+                     branchy=True, mem_ops=1, fp_ops=1)
+SMOKE_SPEC = SyntheticSpec(seed=5, hot_loops=3, trip_count=400, bb_size=8,
+                           branchy=True, mem_ops=1, fp_ops=1)
+TOL = dict(bbm_threshold=3, sbm_threshold=8)
+
+
+def _best_of(fn, rounds):
+    best = None
+    value = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        value = fn()
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return best, value
+
+
+def compare(spec=SPEC, rounds: int = ROUNDS):
+    base_s, _ = _best_of(
+        lambda: run_codesigned(generate(spec), config=TolConfig(**TOL),
+                               validate=False),
+        rounds)
+    ann_s, ann = _best_of(
+        lambda: run_with_timing(generate(spec), tol_config=TolConfig(**TOL),
+                                validate=False, annotate=True),
+        rounds)
+    per_s, per = _best_of(
+        lambda: run_with_timing(generate(spec), tol_config=TolConfig(**TOL),
+                                validate=False, annotate=False),
+        rounds)
+    _, ann_controller, ann_core = ann
+    _, _, per_core = per
+    session = ann_controller.codesigned.tol.host.trace_sink.__self__
+    identical = ann_core.report() == per_core.report()
+    insns = ann_core.stats.instructions
+    tax_ann = max(ann_s - base_s, 1e-9)
+    tax_per = max(per_s - base_s, 1e-9)
+    speedup = tax_per / tax_ann
+    return {
+        "timed_insns": insns,
+        "base_s": round(base_s, 3),
+        "annotated_s": round(ann_s, 3),
+        "per_instruction_s": round(per_s, 3),
+        "timing_kips_annotated": round(insns / tax_ann / 1e3, 1),
+        "timing_kips_per_instruction": round(insns / tax_per / 1e3, 1),
+        "annotated_units": session.annotated_units,
+        "compiled_units": session.compiled_units,
+        "fastpath_insns": session.fastpath_insns,
+        "fallback_insns": session.fallback_insns,
+        "report_identical": identical,
+        "speedup": round(speedup, 2),
+        "bar": TIMING_SPEEDUP_BAR,
+        "pass": identical and speedup >= TIMING_SPEEDUP_BAR,
+    }
+
+
+def test_annotated_timing_speedup(benchmark):
+    results = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print("\n=== cycle-annotated timing ===")
+    print(f"base (no timing):   {results['base_s']:.2f}s")
+    print(f"annotated:          {results['annotated_s']:.2f}s "
+          f"({results['timing_kips_annotated']:.0f} KIPS of tax)")
+    print(f"per-instruction:    {results['per_instruction_s']:.2f}s "
+          f"({results['timing_kips_per_instruction']:.0f} KIPS of tax)")
+    print(f"trace-tax speedup:  {results['speedup']:.2f}x")
+    assert results["report_identical"], \
+        "annotated and per-instruction timing reports diverged"
+    assert results["pass"], (
+        f"annotated timing at {results['speedup']:.2f}x the "
+        f"per-instruction trace tax (bar {results['bar']:.1f}x)")
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    if smoke:
+        # CI smoke: a short run must exercise the annotated fast path
+        # (batches actually consumed, zero fallback) and stay identical
+        # to the per-instruction path; the 3x bar is only asserted on
+        # the full-length run (short runs are dominated by warm-up).
+        results = compare(spec=SMOKE_SPEC, rounds=1)
+        print(json.dumps(results, indent=2))
+        ok = (results["report_identical"]
+              and results["fastpath_insns"] > 0
+              and results["fallback_insns"] == 0)
+        return 0 if ok else 1
+    results = compare()
+    print(json.dumps(results, indent=2))
+    out = Path(__file__).resolve().parent.parent / "BENCH_timing.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0 if results["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -228,7 +228,16 @@ def cmd_sweep(args) -> int:
     )
     config = _apply_config_overrides(TolConfig(), args.set) \
         if args.set else None
-    task = "arch_run" if args.arch else "workload_metrics"
+    if args.arch and args.timing:
+        print("--arch and --timing are mutually exclusive",
+              file=sys.stderr)
+        return 1
+    if args.arch:
+        task = "arch_run"
+    elif args.timing:
+        task = "timing_report"
+    else:
+        task = "workload_metrics"
     sweep_jobs = suite_sweep_jobs(scale=args.scale, config=config,
                                   workloads=args.workload or None,
                                   validate=args.validate, task=task)
@@ -287,9 +296,9 @@ def cmd_sweep(args) -> int:
             print(f"  {line}")
     if failed:
         return 1
-    if args.figures and args.arch:
-        print("--figures needs performance metrics; rerun without --arch",
-              file=sys.stderr)
+    if args.figures and (args.arch or args.timing):
+        print("--figures needs performance metrics; rerun without "
+              "--arch/--timing", file=sys.stderr)
         return 1
     if args.figures:
         metrics = [r.value for r in results]
@@ -360,11 +369,21 @@ def cmd_metrics(args) -> int:
     if config.telemetry == "off":
         # The whole point of this command is a snapshot.
         config = replace(config, telemetry="counters")
-    from repro.system.controller import run_codesigned
-    result, _controller = run_codesigned(
-        program, config=config, validate=not args.no_validate)
+    if args.timing:
+        from repro.timing.run import run_with_timing
+        result, _controller, core = run_with_timing(
+            program, tol_config=config, validate=not args.no_validate)
+    else:
+        from repro.system.controller import run_codesigned
+        result, _controller = run_codesigned(
+            program, config=config, validate=not args.no_validate)
+        core = None
     print(f"{name}: exit={result.exit_code} "
           f"guest_insns={result.guest_icount}")
+    if core is not None:
+        print("timing report:")
+        for key, value in core.report().items():
+            print(f"  {key:26s}: {value}")
     _print_snapshot(result.telemetry, show_zeros=args.all)
     if args.out:
         digest = result.telemetry.save(args.out)
@@ -526,6 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--arch", action="store_true",
                          help="run architectural (checkpointable) tasks "
                               "instead of performance metrics")
+    sweep_p.add_argument("--timing", action="store_true",
+                         help="run detailed-timing tasks (cycle reports "
+                              "via the annotated fast path) instead of "
+                              "performance metrics")
     sweep_p.add_argument("--checkpoint-dir", default=None,
                          help="write per-task checkpoints here; enables "
                               "crash-resumable sweeps for --arch tasks")
@@ -597,6 +620,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="override a TolConfig field (repeatable)")
     metrics_p.add_argument("--all", action="store_true",
                            help="include zero-valued instruments")
+    metrics_p.add_argument("--timing", action="store_true",
+                           help="attach the timing simulator: print the "
+                                "cycle report and include timing.* / "
+                                "timing.annotated.* instruments")
     metrics_p.add_argument("--out", default=None, metavar="PATH",
                            help="save the snapshot as a versioned "
                                 "artifact (for later --diff)")

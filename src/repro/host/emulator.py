@@ -36,6 +36,10 @@ from repro.host.isa import (
 #: checkpointing and validation.
 TOL_AREA_BASE = 0xF000_0000
 
+#: Max buffered trace records before a mid-unit flush (bounds memory on
+#: long-running loops; batch boundaries never change timing results).
+_TRACE_BATCH_CAP = 8192
+
 EXIT_TOL = "tol_exit"
 EXIT_ASSERT = "assert_fail"
 EXIT_SPEC = "spec_fail"
@@ -185,6 +189,12 @@ class HostEmulator:
         #: delivers its buffered records through this when set (must be
         #: record-for-record equivalent to looping ``trace_sink``).
         self.trace_sink_batch: Optional[Callable] = None
+        #: When True (and a batch sink is attached), the interpretive and
+        #: fast paths buffer ``(index, info)`` records and deliver them
+        #: through ``trace_sink_batch`` at unit boundaries instead of one
+        #: ``trace_sink`` call per instruction.  Record order is exactly
+        #: the per-instruction stream; only the call granularity changes.
+        self.trace_batching = False
         # -- direct (IR-less) tier ------------------------------------
         #: Execute units through generated direct-tier programs when
         #: attached (``unit._directprog``/``_directprog_traced``).
@@ -368,6 +378,15 @@ class HostEmulator:
         # its records produces the exact record stream the slow path
         # interleaves (every record is ``(unit, index, ins, None)``).
         use_fast = self.fastpath
+        # Batched trace delivery: buffer ``(index, info)`` records and
+        # hand whole runs to the batch sink at unit boundaries (and at a
+        # cap, checked at branch sites, so loop-heavy units stay bounded).
+        # ``tbuf`` is always empty at the top of the dispatch loop.
+        tbuf = None
+        sink_batch = self.trace_sink_batch
+        if (self.trace_sink is not None and self.trace_batching
+                and sink_batch is not None):
+            tbuf = []
         unit_log = self.unit_log
         use_direct = self.direct_enable
         if use_direct:
@@ -430,14 +449,16 @@ class HostEmulator:
                     if prog is not None:
                         seg = prog[index]
                         if seg is not None:
-                            length, fn, records = seg
+                            length, fn, records, brecords = seg
                             executed += length
                             self._region_insns += length
                             self.fast_segments += 1
                             self.fast_segment_insns += length
                             fn(iregs, fregs, vregs)
-                            sink = self.trace_sink
-                            if sink is not None:
+                            if tbuf is not None:
+                                tbuf.extend(brecords)
+                            elif self.trace_sink is not None:
+                                sink = self.trace_sink
                                 for rec_index, rec_ins in records:
                                     sink(unit, rec_index, rec_ins, None)
                             index += length
@@ -458,17 +479,23 @@ class HostEmulator:
                     elif op == "li":
                         iregs[ins.d] = ins.imm & 0xFFFFFFFFFFFFFFFF
                     elif op == "ld32":
-                        self._trace_mem(unit, index, ins,
-                                        u32(iregs[ins.a] + ins.imm))
-                        iregs[ins.d] = self._read_u32(
-                            u32(iregs[ins.a] + ins.imm))
+                        addr = u32(iregs[ins.a] + ins.imm)
+                        if self.trace_sink is not None:
+                            self._pending_info = {"mem_addr": addr}
+                        iregs[ins.d] = self._read_u32(addr)
                     elif op == "st32":
                         addr = u32(iregs[ins.a] + ins.imm)
-                        self._trace_mem(unit, index, ins, addr)
+                        if self.trace_sink is not None:
+                            self._pending_info = {"mem_addr": addr}
                         self._write_u32(addr, iregs[ins.b])
                     elif op == "beqz":
                         taken = iregs[ins.a] == 0
-                        if self.trace_sink is not None:
+                        if tbuf is not None:
+                            tbuf.append((index, {"taken": taken}))
+                            if len(tbuf) > _TRACE_BATCH_CAP:
+                                sink_batch(unit, tbuf)
+                                del tbuf[:]
+                        elif self.trace_sink is not None:
                             self.trace_sink(
                                 unit, index, ins, {"taken": taken})
                         if taken:
@@ -478,7 +505,12 @@ class HostEmulator:
                         continue
                     elif op == "bnez":
                         taken = iregs[ins.a] != 0
-                        if self.trace_sink is not None:
+                        if tbuf is not None:
+                            tbuf.append((index, {"taken": taken}))
+                            if len(tbuf) > _TRACE_BATCH_CAP:
+                                sink_batch(unit, tbuf)
+                                del tbuf[:]
+                        elif self.trace_sink is not None:
                             self.trace_sink(
                                 unit, index, ins, {"taken": taken})
                         if taken:
@@ -487,7 +519,12 @@ class HostEmulator:
                         index += 1
                         continue
                     elif op == "j":
-                        if self.trace_sink is not None:
+                        if tbuf is not None:
+                            tbuf.append((index, {"taken": True}))
+                            if len(tbuf) > _TRACE_BATCH_CAP:
+                                sink_batch(unit, tbuf)
+                                del tbuf[:]
+                        elif self.trace_sink is not None:
                             self.trace_sink(
                                 unit, index, ins, {"taken": True})
                         index = ins.target
@@ -500,6 +537,9 @@ class HostEmulator:
                             # checkpoint boundary is architecturally clean.
                             # (Never true at dispatch entry: the TOL pauses
                             # before dispatching in that case.)
+                            if tbuf:
+                                sink_batch(unit, tbuf)
+                                del tbuf[:]
                             return ExitEvent(
                                 kind=EXIT_TOL,
                                 next_pc=ins.meta["guest_pc"],
@@ -525,7 +565,11 @@ class HostEmulator:
                                 interrupt = self.profile_hook(
                                     unit, ins.meta["next_pc"])
                         self._commit_region(unit, ins.meta["guest_insns"])
-                        if self.trace_sink is not None:
+                        if tbuf is not None:
+                            tbuf.append((index, {"taken": True}))
+                            sink_batch(unit, tbuf)
+                            del tbuf[:]
+                        elif self.trace_sink is not None:
                             self.trace_sink(
                                 unit, index, ins, {"taken": True})
                         link = ins.meta.get("link")
@@ -547,7 +591,11 @@ class HostEmulator:
                             if self.profile_hook is not None:
                                 self.profile_hook(unit, next_pc)
                         self._commit_region(unit, ins.meta["guest_insns"])
-                        if self.trace_sink is not None:
+                        if tbuf is not None:
+                            tbuf.append((index, {"taken": True}))
+                            sink_batch(unit, tbuf)
+                            del tbuf[:]
+                        elif self.trace_sink is not None:
                             self.trace_sink(
                                 unit, index, ins, {"taken": True})
                         return ExitEvent(
@@ -570,7 +618,11 @@ class HostEmulator:
                         executed += costs.IBTC_HIT_INLINE
                         self._region_insns += costs.IBTC_HIT_INLINE
                         self._commit_region(unit, ins.meta["guest_insns"])
-                        if self.trace_sink is not None:
+                        if tbuf is not None:
+                            tbuf.append((index, {"taken": True}))
+                            sink_batch(unit, tbuf)
+                            del tbuf[:]
+                        elif self.trace_sink is not None:
                             self.trace_sink(
                                 unit, index, ins, {"taken": True})
                         target = None if interrupt else self.ibtc.lookup(
@@ -595,7 +647,10 @@ class HostEmulator:
                             executed += self._extra_insns
                             self._region_insns += self._extra_insns
                             self._extra_insns = 0
-                    if self.trace_sink is not None:
+                    if tbuf is not None:
+                        tbuf.append((index, self._pending_info))
+                        self._pending_info = None
+                    elif self.trace_sink is not None:
                         self.trace_sink(unit, index, ins,
                                         self._pending_info)
                         self._pending_info = None
@@ -609,6 +664,9 @@ class HostEmulator:
                 # The faulting instruction delivered no record; drop its
                 # staged info so it cannot attach to a later instruction.
                 self._pending_info = None
+                if tbuf:
+                    sink_batch(unit, tbuf)
+                    del tbuf[:]
                 return ExitEvent(
                     kind=EXIT_PAGE_FAULT,
                     next_pc=restart,
@@ -619,6 +677,9 @@ class HostEmulator:
             except self._Fail as failure:
                 restart = self._rollback(unit)
                 self._pending_info = None
+                if tbuf:
+                    sink_batch(unit, tbuf)
+                    del tbuf[:]
                 if failure.kind == EXIT_ASSERT:
                     unit.assert_failures += 1
                 else:
@@ -1208,7 +1269,10 @@ def _compile_unit(unit):
             stmts.append(stmt)
             j += 1
         records = tuple((k, instrs[k]) for k in range(i, j))
-        prog[i] = (j - i, _compile_segment(stmts), records)
+        # Batched form of the same records: segment ops never touch
+        # memory or branch, so every info slot is statically None.
+        brecords = tuple((k, None) for k in range(i, j))
+        prog[i] = (j - i, _compile_segment(stmts), records, brecords)
         i = j
     return prog
 

@@ -183,10 +183,12 @@ class FaultInjector:
             detail = {"op_before": before, "op_after": ins.op}
         else:
             detail = self._bitflip(ins)
-        # Drop any compiled fastpath so the corruption takes effect.
+        # Drop any compiled fastpath (and the static timing profile) so
+        # the corruption takes effect.
         unit.__dict__.pop("_fastprog", None)
         unit.__dict__.pop("_directprog", None)
         unit.__dict__.pop("_directprog_traced", None)
+        unit.__dict__.pop("_timing_profile", None)
         self._fire({"uid": unit.uid, "entry_pc": unit.entry_pc,
                     "mode": unit.mode, "instr_index": idx, **detail})
 

@@ -125,9 +125,11 @@ def register_controller_collector(telemetry, controller) -> None:
     telemetry.register_collector(collect)
 
 
-def register_timing_collector(telemetry, core) -> None:
+def register_timing_collector(telemetry, core, session=None) -> None:
     """Scrape the in-order timing core: cycles, per-unit-class issue
-    counts, branch/cache statistics and stall attribution."""
+    counts, branch/cache statistics and stall attribution.  With a
+    ``TimingSession`` attached, also surface the cycle-annotation
+    fastpath/fallback split (``timing.annotated.*``)."""
 
     def collect(reg):
         stats = core.stats
@@ -151,5 +153,19 @@ def register_timing_collector(telemetry, core) -> None:
             reg.set_counter("timing.prefetches_issued",
                             mem.prefetcher.issued)
             reg.set_counter("timing.prefetch_hits", mem.l1d.prefetch_hits)
+        if session is not None:
+            reg.set_counter("timing.annotated.units",
+                            session.annotated_units)
+            reg.set_counter("timing.annotated.compiled_units",
+                            session.compiled_units)
+            reg.set_counter("timing.annotated.batches",
+                            session.fastpath_batches)
+            reg.set_counter("timing.annotated.fastpath",
+                            session.fastpath_insns)
+            reg.set_counter("timing.annotated.fallback",
+                            session.fallback_insns)
+            for reason, count in sorted(session.fallback_reasons.items()):
+                reg.set_counter(f"timing.annotated.fallback.{reason}",
+                                count)
 
     telemetry.register_collector(collect)

@@ -214,6 +214,481 @@ class InOrderCore:
         return done
 
     # ------------------------------------------------------------------
+    # Aggregate feed entry points.
+    #
+    # ``feed_unit`` and ``feed_synthetic_batch`` are hoisted-locals
+    # mirrors of :meth:`feed`: one Python call per *batch* instead of
+    # one per instruction, with the classification/mapping work read
+    # from precomputed tables and every piece of core state lifted into
+    # locals for the duration of the loop.  They perform exactly the
+    # same arithmetic and the same stateful updates (scoreboard, IQ,
+    # caches, predictors, stall attribution) in the same order, so the
+    # resulting reports are bit-identical to the per-instruction path —
+    # the differential suite in ``tests/test_timing_annotation.py``
+    # holds all three to identity.  Any semantic change to ``feed``
+    # must be replicated here (and vice versa).
+    # ------------------------------------------------------------------
+
+    def feed_unit(self, ann, records) -> None:
+        """Feed one unit execution's trace records through the unit's
+        resolved annotation (:class:`~repro.timing.annotate.UnitAnnotation`).
+
+        ``records`` is the executed ``(index, info)`` stream in program
+        order; ``ann.recs[index]`` carries everything static about the
+        instruction, ``info`` only the per-execution dynamics (memory
+        address, branch direction).
+        """
+        cfg = self.config
+        stats = self.stats
+        recs = ann.recs
+        # -- hoisted configuration ------------------------------------
+        fetch_width = cfg.fetch_width
+        decode_depth = cfg.decode_depth
+        iq_size = cfg.iq_size
+        issue_width = cfg.issue_width
+        mispredict_penalty = cfg.mispredict_penalty
+        l1i_hit = cfg.l1i.hit_latency
+        # -- hoisted resources ----------------------------------------
+        reg_ready = self.reg_ready
+        fetch_latency = self.mem.fetch_latency
+        data_latency = self.mem.data_latency
+        gshare_update = self.gshare.update
+        btb_lookup = self.btb.lookup
+        btb_update = self.btb.update
+        iq = self._iq
+        iq_append = iq.append
+        iq_popleft = iq.popleft
+        read_ports = self._read_ports
+        write_ports = self._write_ports
+        n_read = len(read_ports)
+        n_write = len(write_ports)
+        class_names = ann.class_names
+        kcounts = [0] * len(class_names)
+        # -- mutable scalars as locals --------------------------------
+        stall = self._stall
+        st_raw = stall["raw"]
+        st_unit = stall["unit"]
+        st_mem = stall["memport"]
+        st_iq = stall["iq"]
+        st_front = stall["frontend"]
+        fetch_cycle = self._fetch_cycle
+        fetched = self._fetched_in_cycle
+        last_line = self._last_fetch_line
+        last_issue = self._last_issue
+        issued_in_cycle = self._issued_in_cycle
+        last_done = self._last_done
+        fed = 0
+        n_branches = 0
+        n_mispredicts = 0
+        n_loads = 0
+        n_stores = 0
+        try:
+            for index, info in records:
+                pc, line, kind, ki, dst, srcs, ulist, ext = recs[index]
+                fed += 1
+                kcounts[ki] += 1
+
+                # -- fetch --------------------------------------------
+                if fetched >= fetch_width:
+                    fetch_cycle += 1
+                    fetched = 0
+                if line != last_line:
+                    last_line = line
+                    fetch_lat = fetch_latency(pc)
+                    if fetch_lat > l1i_hit:
+                        fetch_cycle += fetch_lat - l1i_hit
+                        fetched = 0
+                        st_front += fetch_lat - l1i_hit
+                if len(iq) >= iq_size:
+                    blocker = iq_popleft()
+                    if blocker > fetch_cycle:
+                        st_iq += blocker - fetch_cycle
+                        fetch_cycle = blocker
+                        fetched = 0
+                fetched += 1
+                ready = fetch_cycle + decode_depth
+
+                raw_bound = 0
+                if srcs is not None:
+                    for src in srcs:
+                        r = reg_ready[src]
+                        if r > raw_bound:
+                            raw_bound = r
+
+                # -- issue / latency, specialized per kind ------------
+                # Exec/branch records never bind a memory port and
+                # loads/stores never bind a unit scoreboard, so each
+                # arm carries only the comparisons that can fire (a
+                # zero bound can never exceed ``ready``); the shared
+                # arithmetic is ``feed``'s, line for line.
+                if kind == 0:                # exec class
+                    latency, occupancy, n_units = ext
+                    unit_index = 0
+                    if n_units == 1:
+                        unit_bound = ulist[0]
+                    elif n_units == 2:
+                        u0 = ulist[0]
+                        u1 = ulist[1]
+                        if u0 <= u1:
+                            unit_bound = u0
+                        else:
+                            unit_bound = u1
+                            unit_index = 1
+                    else:
+                        unit_index = min(range(n_units),
+                                         key=ulist.__getitem__)
+                        unit_bound = ulist[unit_index]
+                    issue = ready
+                    if raw_bound > issue:
+                        issue = raw_bound
+                    if unit_bound > issue:
+                        issue = unit_bound
+                    if last_issue > issue:
+                        issue = last_issue
+                    if issue == last_issue \
+                            and issued_in_cycle >= issue_width:
+                        issue += 1
+                    if raw_bound >= issue and raw_bound > ready:
+                        st_raw += raw_bound - ready
+                    elif unit_bound >= issue and unit_bound > ready:
+                        st_unit += unit_bound - ready
+                    if issue > last_issue:
+                        issued_in_cycle = 1
+                        last_issue = issue
+                    else:
+                        issued_in_cycle += 1
+                    iq_append(issue)
+                    ulist[unit_index] = issue + occupancy
+                    done = issue + latency
+                elif kind == 3:              # branch class
+                    n_units = len(ulist)
+                    unit_index = 0
+                    if n_units == 1:
+                        unit_bound = ulist[0]
+                    elif n_units == 2:
+                        u0 = ulist[0]
+                        u1 = ulist[1]
+                        if u0 <= u1:
+                            unit_bound = u0
+                        else:
+                            unit_bound = u1
+                            unit_index = 1
+                    else:
+                        unit_index = min(range(n_units),
+                                         key=ulist.__getitem__)
+                        unit_bound = ulist[unit_index]
+                    issue = ready
+                    if raw_bound > issue:
+                        issue = raw_bound
+                    if unit_bound > issue:
+                        issue = unit_bound
+                    if last_issue > issue:
+                        issue = last_issue
+                    if issue == last_issue \
+                            and issued_in_cycle >= issue_width:
+                        issue += 1
+                    if raw_bound >= issue and raw_bound > ready:
+                        st_raw += raw_bound - ready
+                    elif unit_bound >= issue and unit_bound > ready:
+                        st_unit += unit_bound - ready
+                    if issue > last_issue:
+                        issued_in_cycle = 1
+                        last_issue = issue
+                    else:
+                        issued_in_cycle += 1
+                    iq_append(issue)
+                    ulist[unit_index] = issue + 1
+                    done = issue + 1
+                    n_branches += 1
+                    taken = info["taken"] if info is not None else False
+                    direction_ok = gshare_update(pc, taken)
+                    target_ok = True
+                    if taken:
+                        target_ok = btb_lookup(pc) == ext
+                        btb_update(pc, ext)
+                    if not direction_ok or not target_ok:
+                        n_mispredicts += 1
+                        redirect = done + mispredict_penalty
+                        if redirect > fetch_cycle:
+                            fetch_cycle = redirect
+                            fetched = 0
+                else:                        # load / store
+                    if kind == 1:
+                        port_list = read_ports
+                        n_ports = n_read
+                    else:
+                        port_list = write_ports
+                        n_ports = n_write
+                    port_index = 0
+                    if n_ports == 1:
+                        port_bound = port_list[0]
+                    else:
+                        port_index = min(range(n_ports),
+                                         key=port_list.__getitem__)
+                        port_bound = port_list[port_index]
+                    issue = ready
+                    if raw_bound > issue:
+                        issue = raw_bound
+                    if port_bound > issue:
+                        issue = port_bound
+                    if last_issue > issue:
+                        issue = last_issue
+                    if issue == last_issue \
+                            and issued_in_cycle >= issue_width:
+                        issue += 1
+                    if raw_bound >= issue and raw_bound > ready:
+                        st_raw += raw_bound - ready
+                    elif port_bound >= issue and port_bound > ready:
+                        st_mem += port_bound - ready
+                    if issue > last_issue:
+                        issued_in_cycle = 1
+                        last_issue = issue
+                    else:
+                        issued_in_cycle += 1
+                    iq_append(issue)
+                    addr = info["mem_addr"] if info is not None else None
+                    if kind == 1:
+                        n_loads += 1
+                        done = issue + data_latency(pc, addr or 0)
+                    else:
+                        n_stores += 1
+                        data_latency(pc, addr or 0)
+                        done = issue + 1
+                    port_list[port_index] = issue + 1
+                if dst is not None:
+                    reg_ready[dst] = done
+                if done > last_done:
+                    last_done = done
+        finally:
+            self._fetch_cycle = fetch_cycle
+            self._fetched_in_cycle = fetched
+            self._last_fetch_line = last_line
+            self._last_issue = last_issue
+            self._issued_in_cycle = issued_in_cycle
+            self._last_done = last_done
+            stall["raw"] = st_raw
+            stall["unit"] = st_unit
+            stall["memport"] = st_mem
+            stall["iq"] = st_iq
+            stall["frontend"] = st_front
+            by_class = stats.by_class
+            for ki, count in enumerate(kcounts):
+                if count:
+                    name = class_names[ki]
+                    by_class[name] = by_class.get(name, 0) + count
+            stats.instructions += fed
+            stats.branches += n_branches
+            stats.mispredicts += n_mispredicts
+            stats.loads += n_loads
+            stats.stores += n_stores
+            stats.cycles = last_done
+
+    def feed_synthetic_batch(self, n: int, slots, pc_base: int,
+                             addr: int) -> int:
+        """Feed ``n`` instructions of a precomputed synthetic slot
+        cycle (the TOL overhead mix) in one call; returns the updated
+        rolling data address.
+
+        ``slots`` is the steady-state schedule table: entry ``i % len``
+        is ``(kind, dst, klass)`` with the class mapping and destination
+        pattern precomputed once (see ``TimingSession._tol_slots``);
+        every mix instruction reads ``(dst, 22)``, and register 22 is
+        never written by the mix, so its readiness is loop-invariant.
+        Per-class counts are closed-form over the slot cycle and merged
+        after the loop.  Exact mirror of feeding the mix one
+        instruction at a time through :meth:`feed`.
+        """
+        cfg = self.config
+        stats = self.stats
+        n_slots = len(slots)
+        fetch_width = cfg.fetch_width
+        decode_depth = cfg.decode_depth
+        iq_size = cfg.iq_size
+        issue_width = cfg.issue_width
+        mispredict_penalty = cfg.mispredict_penalty
+        l1i_hit = cfg.l1i.hit_latency
+        s_count, s_latency, s_pipelined = cfg.units["simple"]
+        s_occupancy = 1 if s_pipelined else s_latency
+        reg_ready = self.reg_ready
+        fetch_latency = self.mem.fetch_latency
+        data_latency = self.mem.data_latency
+        gshare_update = self.gshare.update
+        btb_lookup = self.btb.lookup
+        btb_update = self.btb.update
+        iq = self._iq
+        iq_append = iq.append
+        iq_popleft = iq.popleft
+        simple_units = self._units["simple"]
+        n_simple = len(simple_units)
+        read_ports = self._read_ports
+        write_ports = self._write_ports
+        n_read = len(read_ports)
+        n_write = len(write_ports)
+        # Register 22 is read by every mix instruction but written by
+        # none of them (destinations cycle over 20/21): loop-invariant.
+        r22 = reg_ready[22]
+        stall = self._stall
+        st_raw = stall["raw"]
+        st_unit = stall["unit"]
+        st_mem = stall["memport"]
+        st_iq = stall["iq"]
+        st_front = stall["frontend"]
+        fetch_cycle = self._fetch_cycle
+        fetched = self._fetched_in_cycle
+        last_line = self._last_fetch_line
+        last_issue = self._last_issue
+        issued_in_cycle = self._issued_in_cycle
+        last_done = self._last_done
+        fed = 0
+        n_branches = 0
+        n_mispredicts = 0
+        n_loads = 0
+        n_stores = 0
+        try:
+            for i in range(n):
+                kind, dst, _klass = slots[i % n_slots]
+                pc = pc_base + (i & 4095) * 4
+                line = pc >> 6
+                fed += 1
+
+                if fetched >= fetch_width:
+                    fetch_cycle += 1
+                    fetched = 0
+                if line != last_line:
+                    last_line = line
+                    fetch_lat = fetch_latency(pc)
+                    if fetch_lat > l1i_hit:
+                        fetch_cycle += fetch_lat - l1i_hit
+                        fetched = 0
+                        st_front += fetch_lat - l1i_hit
+                if len(iq) >= iq_size:
+                    blocker = iq_popleft()
+                    if blocker > fetch_cycle:
+                        st_iq += blocker - fetch_cycle
+                        fetch_cycle = blocker
+                        fetched = 0
+                fetched += 1
+                ready = fetch_cycle + decode_depth
+
+                raw_bound = reg_ready[dst]
+                if r22 > raw_bound:
+                    raw_bound = r22
+                unit_bound = 0
+                port_bound = 0
+                unit_index = 0
+                port_index = 0
+                port_list = None
+                if kind == 0 or kind == 3:   # simple exec or branch
+                    if n_simple == 1:
+                        unit_bound = simple_units[0]
+                    elif n_simple == 2:
+                        u0 = simple_units[0]
+                        u1 = simple_units[1]
+                        if u0 <= u1:
+                            unit_bound = u0
+                        else:
+                            unit_bound = u1
+                            unit_index = 1
+                    else:
+                        unit_index = min(range(n_simple),
+                                         key=simple_units.__getitem__)
+                        unit_bound = simple_units[unit_index]
+                else:                        # load / store
+                    if kind == 1:
+                        port_list = read_ports
+                        n_ports = n_read
+                    else:
+                        port_list = write_ports
+                        n_ports = n_write
+                    if n_ports == 1:
+                        port_bound = port_list[0]
+                    else:
+                        port_index = min(range(n_ports),
+                                         key=port_list.__getitem__)
+                        port_bound = port_list[port_index]
+
+                issue = ready
+                if raw_bound > issue:
+                    issue = raw_bound
+                if unit_bound > issue:
+                    issue = unit_bound
+                if port_bound > issue:
+                    issue = port_bound
+                if last_issue > issue:
+                    issue = last_issue
+                if issue == last_issue and issued_in_cycle >= issue_width:
+                    issue += 1
+                if raw_bound >= issue and raw_bound > ready:
+                    st_raw += raw_bound - ready
+                elif unit_bound >= issue and unit_bound > ready:
+                    st_unit += unit_bound - ready
+                elif port_bound >= issue and port_bound > ready:
+                    st_mem += port_bound - ready
+                if issue > last_issue:
+                    issued_in_cycle = 1
+                    last_issue = issue
+                else:
+                    issued_in_cycle += 1
+                iq_append(issue)
+
+                if kind == 0:                # simple
+                    simple_units[unit_index] = issue + s_occupancy
+                    done = issue + s_latency
+                elif kind == 1:              # load
+                    n_loads += 1
+                    addr = 0xE000_0000 + ((addr + 64) & 0x1FFF)
+                    done = issue + data_latency(pc, addr)
+                    port_list[port_index] = issue + 1
+                elif kind == 2:              # store
+                    n_stores += 1
+                    addr = 0xE000_0000 + ((addr + 64) & 0x1FFF)
+                    data_latency(pc, addr)
+                    port_list[port_index] = issue + 1
+                    done = issue + 1
+                else:                        # branch (always taken, +64)
+                    simple_units[unit_index] = issue + 1
+                    done = issue + 1
+                    n_branches += 1
+                    target = pc + 64
+                    direction_ok = gshare_update(pc, True)
+                    target_ok = btb_lookup(pc) == target
+                    btb_update(pc, target)
+                    if not direction_ok or not target_ok:
+                        n_mispredicts += 1
+                        redirect = done + mispredict_penalty
+                        if redirect > fetch_cycle:
+                            fetch_cycle = redirect
+                            fetched = 0
+                reg_ready[dst] = done
+                if done > last_done:
+                    last_done = done
+        finally:
+            self._fetch_cycle = fetch_cycle
+            self._fetched_in_cycle = fetched
+            self._last_fetch_line = last_line
+            self._last_issue = last_issue
+            self._issued_in_cycle = issued_in_cycle
+            self._last_done = last_done
+            stall["raw"] = st_raw
+            stall["unit"] = st_unit
+            stall["memport"] = st_mem
+            stall["iq"] = st_iq
+            stall["frontend"] = st_front
+            by_class = stats.by_class
+            for i, (_kind, _dst, klass) in enumerate(slots):
+                # Closed-form count of slot i over ``fed`` iterations.
+                count = (fed + n_slots - 1 - i) // n_slots
+                if count:
+                    by_class[klass] = by_class.get(klass, 0) + count
+            stats.instructions += fed
+            stats.branches += n_branches
+            stats.mispredicts += n_mispredicts
+            stats.loads += n_loads
+            stats.stores += n_stores
+            stats.cycles = last_done
+        return addr
+
+    # ------------------------------------------------------------------
 
     def finalize(self) -> TimingStats:
         self.stats.cycles = self._last_done

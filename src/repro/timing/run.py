@@ -24,21 +24,26 @@ def run_with_timing(program: GuestProgram,
                     os: Optional[GuestOS] = None,
                     validate: bool = True,
                     sample_filter=None,
+                    annotate: Optional[bool] = None,
                     ) -> Tuple[RunResult, Controller, InOrderCore]:
     """Run a program with detailed timing simulation attached.
 
     Application host instructions stream from the host emulator; TOL
     overhead charges are (optionally) fed as synthetic instruction batches
     so the timing results reflect the whole dynamic host stream.
+
+    ``annotate`` selects the cycle-annotated delivery path (default: on
+    unless ``sample_filter`` is given); results are bit-identical either
+    way, only simulator wall-clock changes.
     """
     controller = Controller(program, config=tol_config, os=os,
                             validate=validate)
     core = InOrderCore(timing_config)
-    session = TimingSession(core, sample_filter=sample_filter)
+    session = TimingSession(core, sample_filter=sample_filter,
+                            annotate=annotate)
     tol = controller.codesigned.tol
-    register_timing_collector(tol.telemetry, core)
-    tol.host.trace_sink = session.sink
-    tol.host.trace_sink_batch = session.sink_batch
+    register_timing_collector(tol.telemetry, core, session=session)
+    session.install(tol)
     if include_tol_overhead:
         def on_charge(category, insns):
             session.feed_tol_overhead(insns)

@@ -5,56 +5,37 @@ per executed instruction; this module classifies the instruction, maps its
 register operands into the unified scoreboard namespace and synthesizes a
 host PC (units are placed in a synthetic code-address space so the I-cache
 and branch predictors see a realistic stream).
+
+Two delivery modes exist:
+
+- **per-instruction** (:meth:`TimingSession.sink`): the original adapter
+  — one Python round trip into :meth:`InOrderCore.feed` per record.
+  Still the path for sampled sessions and units without a usable
+  annotation.
+
+- **annotated** (:meth:`TimingSession.sink_batch` with annotation
+  enabled, the default): each unit's static timing profile is computed
+  once (:mod:`repro.timing.annotate`), and whole record batches are
+  applied through :meth:`InOrderCore.feed_unit` in a single call —
+  bit-identical results, without the per-record classification or call
+  overhead.  ``timing.annotated.*`` telemetry counters expose the
+  fastpath/fallback split.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.host.isa import HostInstr, HostOp, op_unit_class
-from repro.timing.core import FP_BASE, VEC_BASE, InOrderCore
-
-def _classify_regfiles(op: str) -> tuple:
-    d = a = b = c = "i"
-    if op in ("lif", "fmov", "fadd", "fsub", "fmul", "fdiv", "fneg",
-              "fabs", "fsqrt", "ffloor"):
-        d = a = b = "f"
-    elif op in ("fcmpeq", "fcmplt", "fcmpun"):
-        d, a, b = "i", "f", "f"
-    elif op == "i2f":
-        d, a = "f", "i"
-    elif op == "f2i":
-        d, a = "i", "f"
-    elif op in ("vmov", "vadd32", "vsub32", "vmul32"):
-        d = a = b = "v"
-    elif op == "vsplat":
-        d, a = "v", "i"
-    elif op in ("ldf", "sldf"):
-        d, a = "f", "i"
-    elif op == "vld":
-        d, a = "v", "i"
-    elif op in ("stf", "stfchk"):
-        d, a, b = "i", "i", "f"
-    elif op == "vst":
-        d, a, b = "i", "i", "v"
-    return (d, a, b, c)
-
-
-#: op -> (d, a, b, c) register file letters ('i' int, 'f' fp, 'v' vec),
-#: precomputed for the whole host ISA at import time so the per-record
-#: hot path is a single dict lookup (no lazy-memo branch).
-_REGFILES = {op: _classify_regfiles(op) for op in sorted(HostOp.ALL)}
+from repro.host.isa import HostInstr  # noqa: F401  (re-export for API compat)
+from repro.timing.annotate import (
+    _BASE, _REGFILES, _UNIT_CLASS, compile_applier, host_pc,
+    resolve_annotation,
+)
+from repro.timing.core import FP_BASE, VEC_BASE, InOrderCore  # noqa: F401
 
 
 def _reg_classes(op: str) -> tuple:
     return _REGFILES[op]
-
-
-#: op -> execution-unit class, likewise precomputed at import time.
-_UNIT_CLASS = {op: op_unit_class(op) for op in sorted(HostOp.ALL)}
-
-
-_BASE = {"i": 0, "f": FP_BASE, "v": VEC_BASE}
 
 
 def _map_reg(index: Optional[int], klass: str) -> Optional[int]:
@@ -63,29 +44,33 @@ def _map_reg(index: Optional[int], klass: str) -> Optional[int]:
     return _BASE[klass] + index
 
 
-def host_pc(unit_uid: int, index: int) -> int:
-    """Synthetic host code address of instruction ``index`` in a unit."""
-    return (unit_uid << 14) | (index << 2)
-
-
 _CONTROL = frozenset({"beqz", "bnez", "j", "exit", "exit_ind", "ibtc",
                       "assert_z", "assert_nz"})
 
-
-def classify(ins: HostInstr) -> str:
-    unit = op_unit_class(ins.op)
-    return unit
+#: fallback reasons surfaced through ``timing.annotated.fallback.*``
+FALLBACK_SAMPLING = "sampling"
+FALLBACK_UNANNOTATABLE = "unannotatable"
+FALLBACK_UNBATCHED = "unbatched"
 
 
 class TimingSession:
     """Streams executed host instructions into an :class:`InOrderCore`.
 
-    Attach via ``host_emulator.trace_sink = session.sink``.  Optionally,
-    TOL overhead charges can be fed as synthetic instruction batches so the
-    timing results include the software layer (``feed_tol_overhead``).
+    Attach via :meth:`install` (or manually:
+    ``host_emulator.trace_sink = session.sink`` plus
+    ``trace_sink_batch = session.sink_batch``).  Optionally, TOL overhead
+    charges can be fed as synthetic instruction batches so the timing
+    results include the software layer (``feed_tol_overhead``).
+
+    ``annotate`` (default: on, unless a ``sample_filter`` is given)
+    enables the cycle-annotated fast path: per-unit static profiles are
+    resolved against the core's configuration and record batches are fed
+    through ``InOrderCore.feed_unit``.  Cycle-for-cycle identical to the
+    per-instruction path by construction (DESIGN.md §10); only simulator
+    wall-clock changes.
     """
 
-    #: Synthetic TOL instruction mix: (class, has_mem, serial-dependency).
+    #: Synthetic TOL instruction mix: (class, has_mem).
     TOL_MIX = (
         ("simple", False), ("simple", False), ("simple", False),
         ("load", True), ("simple", False), ("branch", False),
@@ -94,17 +79,61 @@ class TimingSession:
     )
 
     def __init__(self, core: Optional[InOrderCore] = None,
-                 sample_filter=None):
+                 sample_filter=None, annotate: Optional[bool] = None):
         self.core = core if core is not None else InOrderCore()
         #: optional callable(instr_number) -> bool controlling whether the
         #: instruction is simulated in detail (sampling support).
         self.sample_filter = sample_filter
+        if annotate is None:
+            annotate = sample_filter is None
+        #: cycle-annotated batch mode (sampling forces per-record).
+        self.annotate = bool(annotate) and sample_filter is None
         self.fed = 0
         self.skipped = 0
         self._seen = 0
         self._tol_pc = 0x7F00_0000
         self._tol_addr = 0xE000_0000
-        self._tol_dep = None
+        self._tol_slots = None
+        # Satellite of ISSUE 7: per-record attribute lookups hoisted out
+        # of the hot path once, at session construction.
+        self._feed = self.core.feed
+        self._feed_unit = self.core.feed_unit
+        #: uid -> resolved UnitAnnotation (False = unannotatable).
+        self._annotations = {}
+        self._batch_reason = None
+        # -- annotated-mode accounting (timing.annotated.* telemetry) --
+        self.annotated_units = 0
+        self.compiled_units = 0
+        self.fastpath_batches = 0
+        self.fastpath_insns = 0
+        self.fallback_insns = 0
+        self.fallback_reasons = {}
+
+    # ------------------------------------------------------------------
+
+    def install(self, tol) -> None:
+        """Wire this session into a TOL instance: trace sinks, batched
+        delivery when annotating, and annotation-cache invalidation
+        chained onto the code cache's ``on_remove`` hook (which already
+        keeps the IBTC consistent)."""
+        host = tol.host
+        host.trace_sink = self.sink
+        host.trace_sink_batch = self.sink_batch
+        host.trace_batching = self.annotate
+        cache = tol.cache
+        prev = cache.on_remove
+        inv = self.invalidate_unit
+        if prev is None:
+            cache.on_remove = inv
+        else:
+            def chained(unit, _prev=prev, _inv=inv):
+                _inv(unit)
+                _prev(unit)
+            cache.on_remove = chained
+
+    def invalidate_unit(self, unit) -> None:
+        """Drop a removed unit's annotation (``CodeCache.on_remove``)."""
+        self._annotations.pop(unit.uid, None)
 
     # ------------------------------------------------------------------
 
@@ -122,51 +151,139 @@ class TimingSession:
                 _map_reg(ins.c, c_class))
         mem_addr = None
         branch = None
+        uid = unit.uid
         if info is not None:
             mem_addr = info.get("mem_addr")
             if "taken" in info:
                 taken = info["taken"]
-                target = host_pc(unit.uid, ins.target or 0) if taken \
-                    else host_pc(unit.uid, index + 1)
+                target = host_pc(uid, ins.target or 0) if taken \
+                    else host_pc(uid, index + 1)
                 branch = (taken, target)
         if klass in ("branch",) and branch is None:
             branch = (False, 0)
         # Stores carry their value in b (or d); they have no destination.
         if klass == "store":
             dst = None
-        self.core.feed(host_pc(unit.uid, index), klass, dst, srcs,
-                       mem_addr=mem_addr, branch=branch)
+        self._feed(host_pc(uid, index), klass, dst, srcs,
+                   mem_addr=mem_addr, branch=branch)
         self.fed += 1
+        if self.annotate and self._batch_reason is None:
+            # Per-record delivery while annotation is on: someone fed us
+            # outside the batched path (visible as a fallback).
+            self.fallback_insns += 1
+            reasons = self.fallback_reasons
+            reasons[FALLBACK_UNBATCHED] = \
+                reasons.get(FALLBACK_UNBATCHED, 0) + 1
 
     def sink_batch(self, unit, records) -> None:
-        """Batch form of :meth:`sink` for the direct tier's buffered
-        trace flushes: ``records`` is a list of ``(index, ins, info)``
-        tuples in execution order.  Semantically identical to calling
-        :meth:`sink` per record."""
+        """Batch form of :meth:`sink`: ``records`` is a list of
+        ``(index, info)`` pairs in execution order.  Semantically
+        identical to calling :meth:`sink` per record; with annotation
+        enabled the whole batch is applied through the unit's resolved
+        annotation in one core call."""
+        if self.annotate:
+            if self.sample_filter is None:
+                anns = self._annotations
+                uid = unit.uid
+                ann = anns.get(uid)
+                if ann is None and uid not in anns:
+                    ann = self._build_annotation(unit)
+                if ann:
+                    n = len(records)
+                    self._seen += n
+                    fn = ann.compiled
+                    if fn is not None:
+                        rem = fn(records)
+                        if rem is not None:
+                            # Non-leader entry (pause flush inside a
+                            # straight-line run): finish the batch on
+                            # the generic annotated loop — still exact.
+                            self._feed_unit(ann, records[rem:])
+                    else:
+                        self._feed_unit(ann, records)
+                        threshold = ann.compile_at
+                        if threshold is not None:
+                            fed = ann.fed_records = ann.fed_records + n
+                            if fed >= threshold:
+                                self._compile_annotation(unit, ann)
+                    self.fed += n
+                    self.fastpath_batches += 1
+                    self.fastpath_insns += n
+                    return
+                reason = FALLBACK_UNANNOTATABLE
+            else:
+                reason = FALLBACK_SAMPLING
+            n = len(records)
+            self.fallback_insns += n
+            reasons = self.fallback_reasons
+            reasons[reason] = reasons.get(reason, 0) + n
+            self._batch_reason = reason
+            try:
+                self._sink_records(unit, records)
+            finally:
+                self._batch_reason = None
+            return
+        self._sink_records(unit, records)
+
+    def _sink_records(self, unit, records) -> None:
         instrs = unit.instrs
+        sink = self.sink
         for index, info in records:
-            self.sink(unit, index, instrs[index], info)
+            sink(unit, index, instrs[index], info)
+
+    def _compile_annotation(self, unit, ann) -> None:
+        """Tier a hot unit's annotation up to its generated applier
+        (``annotate.compile_applier``); a failed or refused compile
+        pins the unit to the generic loop for good."""
+        ann.compile_at = None
+        try:
+            fn = compile_applier(unit, self.core)
+        except Exception:
+            fn = None
+        ann.compiled = fn
+        if fn is not None:
+            self.compiled_units += 1
+
+    def _build_annotation(self, unit):
+        """Resolve (and cache) a unit's annotation; ``False`` marks a
+        unit the profile cannot describe (it stays on the per-record
+        path — bailing is always safe)."""
+        try:
+            ann = resolve_annotation(unit, self.core)
+        except Exception:
+            ann = False
+        self._annotations[unit.uid] = ann
+        if ann:
+            self.annotated_units += 1
+        return ann
 
     # ------------------------------------------------------------------
 
-    def feed_tol_overhead(self, host_insns: int) -> None:
-        """Feed ``host_insns`` synthetic TOL instructions (a fixed,
-        moderately serial mix over a small working set)."""
+    def _build_tol_slots(self) -> tuple:
+        """Precompute the TOL mix's steady-state schedule table: one
+        ``(kind, dst, klass)`` entry per phase of the combined (mix x
+        destination-pattern) period, with the class mapping, kind code
+        and destination pattern folded in (every mix instruction reads
+        ``(dst, 22)``).  Computed once per session; after this, applying
+        a whole overhead charge is a single ``feed_synthetic_batch``
+        call."""
         mix = self.TOL_MIX
         n_mix = len(mix)
-        for i in range(host_insns):
-            klass, has_mem = mix[i % n_mix]
-            pc = self._tol_pc + (i % 4096) * 4
-            mem = None
-            if has_mem:
-                # The TOL's dispatch structures are a small, hot working
-                # set (~8KB) — mostly cache resident.
-                self._tol_addr = 0xE000_0000 + ((self._tol_addr + 64)
-                                                & 0x1FFF)
-                mem = self._tol_addr
-            branch = (True, pc + 64) if klass == "branch" else None
+        period = n_mix * 3  # lcm(len(mix), dst pattern period 3)
+        kinds = {"simple": 0, "load": 1, "store": 2, "branch": 3}
+        slots = []
+        for i in range(period):
+            klass, _has_mem = mix[i % n_mix]
             dst = 20 if i % 3 == 0 else 21
-            srcs = (dst, 22, None)
-            self.core.feed(pc, klass, dst, srcs, mem_addr=mem,
-                           branch=branch)
+            slots.append((kinds[klass], dst, klass))
+        return tuple(slots)
+
+    def feed_tol_overhead(self, host_insns: int) -> None:
+        """Feed ``host_insns`` synthetic TOL instructions (a fixed,
+        moderately serial mix over a small working set) as one batch."""
+        slots = self._tol_slots
+        if slots is None:
+            slots = self._tol_slots = self._build_tol_slots()
+        self._tol_addr = self.core.feed_synthetic_batch(
+            host_insns, slots, self._tol_pc, self._tol_addr)
         self.fed += host_insns

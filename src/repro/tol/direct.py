@@ -46,7 +46,8 @@ import struct
 from repro import costs
 from repro.guest.memory import PageFault
 from repro.host.emulator import (
-    _FAST_NS, _FAST_STMTS, HostEmulationError, TOL_AREA_BASE, _stmt_for,
+    _FAST_NS, _FAST_STMTS, _TRACE_BATCH_CAP, HostEmulationError,
+    TOL_AREA_BASE, _stmt_for,
 )
 
 
@@ -262,6 +263,15 @@ class _DirectCompiler:
             self.need("FLUSH", "U")
             self.w(d, "FLUSH(U, TRB)")
 
+    def _trace_cap_flush(self, d):
+        """Capped flush at back-edge sites: the record buffer drains at
+        unit boundaries (pause/exit/fault), so intra-unit flushes are
+        only needed to bound memory on long-running self-loops."""
+        if self.traced:
+            self.need("FLUSH", "U")
+            self.w(d, f"if len(TRB) > {_TRACE_BATCH_CAP}:")
+            self.w(d + 1, "FLUSH(U, TRB)")
+
     def _serial_flush(self, d):
         if self.serial:
             self.w(d, "if EMU._extra_insns:")
@@ -399,9 +409,10 @@ class _DirectCompiler:
             assert self.pending == 0
             return
         if nxt < size:
-            # Fall through into the next leader's arm.
+            # Fall through into the next leader's arm (forward edge:
+            # no capped trace flush needed — only back-edges can grow
+            # the record buffer unboundedly).
             self._flush(d)
-            self._trace_flush(d)
             self.w(d, f"_ip = {nxt}")
             self.w(d, "continue")
         else:
@@ -432,7 +443,7 @@ class _DirectCompiler:
         elif op == "j":
             self._flush(d, 1)
             self._record(d, idx, "{'taken': True}")
-            self._trace_flush(d)
+            self._trace_cap_flush(d)
             self.w(d, f"_ip = {ins.target}")
             self.w(d, "continue")
         elif op in ("ld32", "ldx32", "ldf", "vld"):
@@ -515,7 +526,7 @@ class _DirectCompiler:
             self.w(d, "if _tk:")
         else:
             self.w(d, f"if I[{ins.a}] {cmp} 0:")
-        self._trace_flush(d + 1)
+        self._trace_cap_flush(d + 1)
         self.w(d + 1, f"_ip = {ins.target}")
         self.w(d + 1, "continue")
 

@@ -241,3 +241,61 @@ def test_timing_without_tol_overhead_is_smaller():
                                      include_tol_overhead=False)
     assert core_all.finalize().instructions > \
         core_app.finalize().instructions
+
+
+# -- timing sweeps: schema and determinism (ISSUE 7 satellites) -----------------
+
+#: the stable shape of a ``timing_report`` sweep value (and of
+#: ``InOrderCore.report()`` plus the run identity fields the task adds).
+TIMING_REPORT_SCHEMA = {
+    "instructions": int,
+    "cycles": int,
+    "ipc": float,
+    "branches": int,
+    "mispredict_rate": float,
+    "l1d_miss_rate": float,
+    "l2_miss_rate": float,
+    "l1i_miss_rate": float,
+    "dtlb_misses": int,
+    "prefetches_issued": int,
+    "prefetch_hits": int,
+    "stalls": dict,
+    "exit_code": int,
+    "guest_icount": int,
+}
+
+
+def _timing_jobs():
+    from repro.harness.parallel import suite_sweep_jobs
+    return suite_sweep_jobs(scale=0.05, validate=False,
+                            workloads=["429.mcf", "continuous"],
+                            task="timing_report")
+
+
+def test_timing_report_schema():
+    from repro.harness.parallel import sweep
+    (result,) = sweep(_timing_jobs()[:1], n_jobs=1, use_cache=False)
+    assert result.ok
+    report = result.value
+    assert set(report) >= set(TIMING_REPORT_SCHEMA)
+    for key, expected_type in TIMING_REPORT_SCHEMA.items():
+        assert isinstance(report[key], expected_type), key
+    assert set(report["stalls"]) == {"raw", "unit", "memport", "iq",
+                                     "frontend"}
+
+
+def test_timing_sweep_jobs4_identical_to_jobs1():
+    """Fan-out may only change wall-clock: the cycle reports from a
+    parallel timing sweep must equal the sequential ones exactly."""
+    from repro.harness.parallel import sweep
+    seq = sweep(_timing_jobs(), n_jobs=1, use_cache=False)
+    par = sweep(_timing_jobs(), n_jobs=4, use_cache=False)
+    assert all(r.ok for r in seq + par)
+    assert [r.value for r in seq] == [r.value for r in par]
+
+
+def test_timing_report_repeat_run_identical():
+    from repro.harness.parallel import sweep
+    first = sweep(_timing_jobs(), n_jobs=1, use_cache=False)
+    second = sweep(_timing_jobs(), n_jobs=1, use_cache=False)
+    assert [r.value for r in first] == [r.value for r in second]
