@@ -333,9 +333,11 @@ def main(argv):
         return 0 if results["direct_promotions"] > 0 else 1
     steps = 5_000 if smoke else STEPS
     interp = compare(steps=steps)
+    from repro.hostinfo import host_snapshot
     results = {
         "workload": WORKLOAD,
         "scale": SCALE,
+        "host": host_snapshot(),
         "interp": interp,
     }
     if "--direct" in argv:

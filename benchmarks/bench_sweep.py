@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 
 from repro.harness.parallel import ResultCache, suite_sweep_jobs, sweep
+from repro.hostinfo import host_snapshot
 
 WORKLOADS = ("429.mcf", "462.libquantum", "continuous", "ragdoll")
 SCALE = 0.3
@@ -65,6 +66,7 @@ def compare(scale: float = SCALE):
         "scale": scale,
         "jobs": JOBS,
         "cpu_count": os.cpu_count(),
+        "host": host_snapshot(),
         "cold_sequential_s": round(cold_seq, 3),
         "cold_parallel_s": round(cold_par, 3),
         "warm_cached_s": round(warm, 3),

@@ -135,7 +135,9 @@ def main(argv):
               and results["fastpath_insns"] > 0
               and results["fallback_insns"] == 0)
         return 0 if ok else 1
+    from repro.hostinfo import host_snapshot
     results = compare()
+    results["host"] = host_snapshot()
     print(json.dumps(results, indent=2))
     out = Path(__file__).resolve().parent.parent / "BENCH_timing.json"
     out.write_text(json.dumps(results, indent=2) + "\n")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import fields, replace
+from dataclasses import replace
 
 from repro.guest.asmtext import assemble_text
 from repro.tol.config import TolConfig
@@ -35,29 +35,43 @@ def _load_program(target: str, scale: float):
     return workload.program(scale=scale), workload.name
 
 
-def _apply_config_overrides(config: TolConfig, pairs) -> TolConfig:
-    valid = {f.name: f.type for f in fields(TolConfig)}
+def _parse_set_pairs(pairs) -> dict:
     overrides = {}
     for pair in pairs or ():
         if "=" not in pair:
             raise SystemExit(f"--set expects key=value, got {pair!r}")
         key, value = pair.split("=", 1)
-        if key not in valid:
-            raise SystemExit(
-                f"unknown TolConfig field {key!r}; valid: "
-                f"{', '.join(sorted(valid))}")
-        current = getattr(config, key)
-        if isinstance(current, bool):
-            overrides[key] = value.lower() in ("1", "true", "yes", "on")
-        elif isinstance(current, int):
-            overrides[key] = int(value, 0)
-        elif isinstance(current, float):
-            overrides[key] = float(value)
-        elif isinstance(current, tuple):
-            overrides[key] = tuple(v for v in value.split(",") if v)
-        else:
-            overrides[key] = value
-    return replace(config, **overrides)
+        overrides[key] = value
+    return overrides
+
+
+def _apply_config_overrides(config: TolConfig, pairs) -> TolConfig:
+    try:
+        return config.with_overrides(_parse_set_pairs(pairs))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _merged_overrides(args) -> dict:
+    """``--set`` pairs plus the dedicated robustness flags
+    (``--watchdog-stall-limit`` / ``--event-budget``)."""
+    overrides = _parse_set_pairs(getattr(args, "set", None))
+    if getattr(args, "watchdog_stall_limit", None) is not None:
+        overrides["watchdog_stall_limit"] = args.watchdog_stall_limit
+    if getattr(args, "event_budget", None) is not None:
+        overrides["event_budget"] = args.event_budget
+    return overrides
+
+
+def _add_budget_args(parser) -> None:
+    parser.add_argument("--watchdog-stall-limit", type=int, default=None,
+                        metavar="N",
+                        help="kill a run after N consecutive events "
+                             "with no guest progress (livelock guard)")
+    parser.add_argument("--event-budget", type=int, default=None,
+                        metavar="N",
+                        help="hard cap on controller events per run "
+                             "(runaway-application guard)")
 
 
 # ---------------------------------------------------------------------------
@@ -178,10 +192,12 @@ def cmd_inject(args) -> int:
             print(f"  [{done}/{total}] {record.site}#{record.ordinal}"
                   f" -> {record.status}", file=sys.stderr)
 
+    overrides = _merged_overrides(args)
     report = run_campaign(args.seed, n=args.faults, sites=sites,
                           mode=args.mode, n_jobs=args.jobs or 1,
                           progress=progress if args.jobs in (None, 1)
-                          else None)
+                          else None,
+                          config_overrides=overrides or None)
     if args.json:
         import json
         payload = {
@@ -223,11 +239,15 @@ def cmd_sweep(args) -> int:
         fig4_table, fig5_table, fig6_table, fig7_table, shape_checks,
     )
     from repro.harness.parallel import (
-        ResultCache, merged_telemetry, print_progress, serialize_params,
-        suite_sweep_jobs, sweep, telemetry_digest,
+        ResultCache, merged_telemetry, print_progress, retry_summary,
+        serialize_params, suite_sweep_jobs, sweep, telemetry_digest,
     )
-    config = _apply_config_overrides(TolConfig(), args.set) \
-        if args.set else None
+    overrides = _merged_overrides(args)
+    try:
+        config = TolConfig().with_overrides(overrides) \
+            if overrides else None
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     if args.arch and args.timing:
         print("--arch and --timing are mutually exclusive",
               file=sys.stderr)
@@ -248,7 +268,7 @@ def cmd_sweep(args) -> int:
                     timeout=args.timeout, progress=print_progress,
                     checkpoint_dir=args.checkpoint_dir,
                     checkpoint_every=args.checkpoint_every,
-                    resume=args.resume)
+                    resume=args.resume, retries=args.retries)
     wall = time.perf_counter() - start
     failed = [r for r in results if not r.ok]
     hits = cache.hits if cache is not None else 0
@@ -256,6 +276,11 @@ def cmd_sweep(args) -> int:
           f"{hits} cache hits, {wall:.1f}s wall "
           f"(jobs={args.jobs or 'auto'}, "
           f"cache={'off' if args.no_cache else args.cache_dir})")
+    retried = retry_summary(results)
+    if retried["extra_attempts"]:
+        print(f"retries: {retried['tasks_retried']} task(s) retried, "
+              f"{retried['extra_attempts']} extra attempt(s), "
+              f"{retried['rescued']} rescued by retry")
     from repro.harness.parallel import SWEEP_ERROR_COUNTERS, SWEEP_ERROR_LOG
     swallowed = SWEEP_ERROR_COUNTERS.get("sweep.errors.swallowed", 0)
     if swallowed:
@@ -476,6 +501,215 @@ def cmd_repro(args) -> int:
     return 0 if outcome.reproduced else 2
 
 
+DEFAULT_SOCKET = ".darco-serve.sock"
+
+
+def _serve_client(args):
+    from repro.serve.client import ServeClient
+    if args.port:
+        return ServeClient(host=args.host, port=args.port,
+                           timeout=args.rpc_timeout)
+    return ServeClient(socket_path=args.socket, timeout=args.rpc_timeout)
+
+
+def cmd_serve(args) -> int:
+    """Run the fault-tolerant simulation service until shutdown."""
+    import asyncio
+
+    from repro.harness.retry import RetryPolicy
+    from repro.serve import ServeConfig, ServeService
+
+    retry = RetryPolicy(max_attempts=max(1, args.max_attempts),
+                        base_delay_s=0.05, max_delay_s=2.0, jitter=0.5)
+    config = ServeConfig(
+        socket_path=None if args.port is not None else args.socket,
+        host=args.host, port=args.port,
+        workers=args.workers, max_pending=args.max_pending,
+        default_deadline_s=args.deadline, retry=retry,
+        use_cache=not args.no_cache, cache_dir=args.cache_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        stale_serve=not args.no_stale)
+    service = ServeService(config)
+
+    async def _main():
+        await service.start()
+        print(f"darco serve: listening on {service.endpoint} "
+              f"({config.workers} workers, queue {config.max_pending}, "
+              f"cache={'off' if args.no_cache else args.cache_dir})",
+              flush=True)
+        try:
+            await service.serve_until_shutdown()
+        except asyncio.CancelledError:
+            await service.stop()
+            raise
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit one job; optionally wait for (and print) its result."""
+    import json
+
+    from repro.serve.client import ServeError
+
+    params = {}
+    if args.params:
+        try:
+            decoded = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"--params is not valid JSON: {exc}")
+        if not isinstance(decoded, dict):
+            raise SystemExit("--params must be a JSON object")
+        params.update(decoded)
+    for pair in args.param or ():
+        if "=" not in pair:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    overrides = _parse_set_pairs(args.set)
+    if overrides:
+        base = params.get("config")
+        params["config"] = ({**base, **overrides}
+                            if isinstance(base, dict) else overrides)
+    extra = {}
+    if args.deadline is not None:
+        extra["deadline_s"] = args.deadline
+    if args.max_attempts is not None:
+        extra["max_attempts"] = args.max_attempts
+
+    try:
+        with _serve_client(args) as client:
+            reply = client.submit(args.task, params,
+                                  label=args.label or "", **extra)
+            code = reply.get("code")
+            if code == 429:
+                print(f"shed: {reply.get('error')} "
+                      f"(retry after {reply.get('retry_after_s')}s)",
+                      file=sys.stderr)
+                return 2
+            if reply.get("error"):
+                print(f"submit failed ({code}): {reply['error']}",
+                      file=sys.stderr)
+                return 1
+            note = "".join((
+                ", coalesced" if reply.get("coalesced") else "",
+                ", cached" if reply.get("cached") else "",
+                ", STALE" if reply.get("stale") else ""))
+            print(f"job {reply['job']} {reply['state']} "
+                  f"(code {code}{note})")
+            if not args.wait:
+                return 0
+            final = client.wait(reply["job"], timeout=args.timeout)
+            print(json.dumps(final, indent=2, sort_keys=True))
+            return 0 if final.get("state") == "done" else 1
+    except ServeError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_serve_status(args) -> int:
+    """Job status (with --watch streaming) or, without a job id, the
+    service healthz summary."""
+    import json
+
+    from repro.serve.client import ServeError
+
+    try:
+        with _serve_client(args) as client:
+            if args.job and args.watch:
+                for update in client.watch(args.job):
+                    if update.get("error"):
+                        print(f"serve: {update['error']}",
+                              file=sys.stderr)
+                        return 1
+                    print(f"{update.get('state'):<11} "
+                          f"attempts={update.get('attempts')} "
+                          f"{(update.get('events') or [''])[-1]}")
+                return 0
+            if args.job:
+                reply = client.status(args.job)
+                if reply.get("error"):
+                    print(f"serve: {reply['error']}", file=sys.stderr)
+                    return 1
+                print(json.dumps(reply, indent=2, sort_keys=True))
+                return 0
+            health = client.healthz()
+            if args.json:
+                print(json.dumps(health, indent=2, sort_keys=True))
+                return 0
+            queue = health["queue"]
+            print(f"serve at {health['endpoint']}: live, "
+                  f"up {health['uptime_s']}s, "
+                  f"saturation {health['saturation']:.2f} "
+                  f"(pending {queue['pending']}/{queue['capacity']})")
+            host = health["host"]
+            load = host.get("loadavg") or {}
+            print(f"host: {host['cpu_count']} cpus "
+                  f"({host['available_cpus']} available), "
+                  f"load {load.get('1m', '?')}")
+            for worker in health["workers"]:
+                print(f"  worker {worker['index']}: {worker['state']} "
+                      f"pid={worker['pid']} spawns={worker['spawns']} "
+                      f"done={worker['jobs_done']}")
+            print("jobs: " + " ".join(
+                f"{state}={count}"
+                for state, count in health["jobs"].items()))
+            for name, value in sorted(health["counters"].items()):
+                print(f"  {name:28s} {value}")
+            return 0
+    except ServeError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_fetch(args) -> int:
+    """Fetch a completed job's value (exit 1: failed, 2: not done)."""
+    import json
+
+    from repro.serve.client import ServeError
+
+    try:
+        with _serve_client(args) as client:
+            reply = client.fetch(args.job) if not args.wait \
+                else client.wait(args.job, timeout=args.timeout)
+    except ServeError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+    if reply.get("error") and "value" not in reply:
+        print(f"serve: {reply['error']}", file=sys.stderr)
+        return 1
+    state = reply.get("state")
+    if state == "failed":
+        print(f"job {args.job} failed after "
+              f"{reply.get('attempts')} attempt(s): "
+              f"{reply.get('last_error')}", file=sys.stderr)
+        return 1
+    if state != "done":
+        print(f"job {args.job} not done yet (state {state!r}); "
+              f"use --wait", file=sys.stderr)
+        return 2
+    if reply.get("stale"):
+        print(f"NOTE: stale result (computed at source fingerprint "
+              f"{reply.get('stale_fingerprint', '')[:12]})",
+              file=sys.stderr)
+    text = json.dumps(reply, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="darco",
@@ -562,6 +796,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--out", default=None, metavar="PATH",
                          help="write a deterministic JSON result "
                               "artifact (resume-stable fields only)")
+    sweep_p.add_argument("--retries", type=int, default=None,
+                         metavar="N",
+                         help="extra attempts per failed task "
+                              "(default: 1 immediate retry)")
+    _add_budget_args(sweep_p)
     sweep_p.set_defaults(fn=cmd_sweep)
 
     repro_p = sub.add_parser(
@@ -604,6 +843,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "processes (default: sequential)")
     inject_p.add_argument("--json", action="store_true",
                           help="emit the full report as JSON")
+    inject_p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                          help="override a TolConfig field for every "
+                               "campaign run (repeatable)")
+    _add_budget_args(inject_p)
     inject_p.set_defaults(fn=cmd_inject)
 
     metrics_p = sub.add_parser(
@@ -656,6 +899,111 @@ def build_parser() -> argparse.ArgumentParser:
     speed_p.add_argument("--workload", default="429.mcf")
     speed_p.add_argument("--scale", type=float, default=0.4)
     speed_p.set_defaults(fn=cmd_speed)
+
+    def _endpoint_args(p):
+        p.add_argument("--socket", default=DEFAULT_SOCKET,
+                       metavar="PATH",
+                       help=f"unix socket path "
+                            f"(default: {DEFAULT_SOCKET})")
+        p.add_argument("--host", default="127.0.0.1",
+                       help="TCP host for --port mode")
+        p.add_argument("--port", type=int, default=None,
+                       help="serve over TCP loopback instead of the "
+                            "unix socket (0 = pick a free port)")
+        p.add_argument("--rpc-timeout", type=float, default=30.0,
+                       help="client-side RPC timeout in seconds")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant simulation service: supervised "
+             "workers, deadlines/retries, admission control, graceful "
+             "degradation")
+    _endpoint_args(serve_p)
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="supervised worker processes (default: 2)")
+    serve_p.add_argument("--max-pending", type=int, default=64,
+                         help="admission bound: queued+running jobs "
+                              "before shedding (default: 64)")
+    serve_p.add_argument("--deadline", type=float, default=None,
+                         metavar="S",
+                         help="default per-attempt deadline in seconds "
+                              "(jobs past it are killed and retried)")
+    serve_p.add_argument("--max-attempts", type=int, default=3,
+                         help="default attempt budget per job "
+                              "(default: 3)")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="disable the shared result cache")
+    serve_p.add_argument("--cache-dir", default=".repro_cache",
+                         help="result cache directory (shared with "
+                              "darco sweep; default: .repro_cache)")
+    serve_p.add_argument("--checkpoint-dir", default=None,
+                         help="checkpoint long checkpointable jobs "
+                              "here so killed workers resume them")
+    serve_p.add_argument("--checkpoint-every", type=int, default=1,
+                         help="checkpoint cadence (default: 1)")
+    serve_p.add_argument("--no-stale", action="store_true",
+                         help="shed instead of serving stale results "
+                              "under overload")
+    serve_p.set_defaults(fn=cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit a job to a running darco serve (exit 2 when shed)")
+    _endpoint_args(submit_p)
+    submit_p.add_argument("task",
+                          help="registered sweep task, e.g. "
+                               "workload_metrics, arch_run, "
+                               "timing_report, fault_run")
+    submit_p.add_argument("--param", action="append",
+                          metavar="KEY=VALUE",
+                          help="task parameter (JSON-coerced; "
+                               "repeatable), e.g. workload=429.mcf "
+                               "scale=0.2")
+    submit_p.add_argument("--params", default=None, metavar="JSON",
+                          help="task parameters as one JSON object")
+    submit_p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                          help="TolConfig override for the job "
+                               "(repeatable)")
+    submit_p.add_argument("--label", default=None,
+                          help="human-readable job label")
+    submit_p.add_argument("--deadline", type=float, default=None,
+                          metavar="S",
+                          help="per-attempt deadline for this job")
+    submit_p.add_argument("--max-attempts", type=int, default=None,
+                          help="attempt budget for this job")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="block until terminal and print the "
+                               "final fetch")
+    submit_p.add_argument("--timeout", type=float, default=300.0,
+                          help="--wait timeout in seconds")
+    submit_p.set_defaults(fn=cmd_submit)
+
+    status_p = sub.add_parser(
+        "status",
+        help="job status (--watch to stream) or, with no job id, the "
+             "service healthz summary")
+    _endpoint_args(status_p)
+    status_p.add_argument("job", nargs="?", default=None,
+                          help="job id (prefix accepted)")
+    status_p.add_argument("--watch", action="store_true",
+                          help="stream state changes until terminal")
+    status_p.add_argument("--json", action="store_true",
+                          help="raw healthz JSON")
+    status_p.set_defaults(fn=cmd_serve_status)
+
+    fetch_p = sub.add_parser(
+        "fetch",
+        help="fetch a completed job's result JSON")
+    _endpoint_args(fetch_p)
+    fetch_p.add_argument("job", help="job id (prefix accepted)")
+    fetch_p.add_argument("--wait", action="store_true",
+                         help="block until the job is terminal first")
+    fetch_p.add_argument("--timeout", type=float, default=300.0,
+                         help="--wait timeout in seconds")
+    fetch_p.add_argument("--out", default=None, metavar="PATH",
+                         help="write the result JSON here instead of "
+                              "stdout")
+    fetch_p.set_defaults(fn=cmd_fetch)
     return parser
 
 

@@ -45,6 +45,8 @@ from dataclasses import dataclass, field, is_dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
+from repro.harness.retry import RetryPolicy, SWEEP_DEFAULT
+
 #: Bump when the cache record layout changes (invalidates old entries).
 CACHE_VERSION = 1
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -265,9 +267,10 @@ def _task_warmup_case(workload: str = "473.astar", **kwargs):
 
 @register_task("fault_run")
 def _task_fault_run(site: str, ordinal: int, salt: int,
-                    mode: str = "recover"):
+                    mode: str = "recover", config_overrides=None):
     from repro.resilience.campaign import run_fault_case
-    return run_fault_case(site, ordinal, salt, mode=mode)
+    return run_fault_case(site, ordinal, salt, mode=mode,
+                          config_overrides=config_overrides)
 
 
 @register_task("arch_run", checkpointable=True)
@@ -335,6 +338,12 @@ class ResultCache:
         self.directory = Path(directory)
         self.hits = 0
         self.misses = 0
+
+    def cleanup_stale(self, max_age_s: float = 3600.0) -> int:
+        """Drop orphaned temp files left by killed writers (see
+        :func:`repro.ioutil.cleanup_stale_tmp`); returns count removed."""
+        from repro.ioutil import cleanup_stale_tmp
+        return cleanup_stale_tmp(self.directory, max_age_s)
 
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.pkl"
@@ -435,7 +444,8 @@ def sweep(jobs: Iterable[SweepJob],
           use_cache: bool = True,
           cache_dir=DEFAULT_CACHE_DIR,
           cache: Optional[ResultCache] = None,
-          retries: int = 1,
+          retries: Optional[int] = None,
+          retry: Optional[RetryPolicy] = None,
           timeout: Optional[float] = None,
           progress: Optional[Callable] = None,
           checkpoint_dir=None,
@@ -447,10 +457,17 @@ def sweep(jobs: Iterable[SweepJob],
                   runs inline in this process (identical results).
     ``use_cache``/``cache_dir``/``cache``: persistent result cache; pass
                   ``use_cache=False`` to both skip lookups and not write.
-    ``retries``:  failed/crashed/timed-out jobs are re-run this many
-                  times, each attempt in its own isolated worker.
+    ``retry``:    a :class:`~repro.harness.retry.RetryPolicy` governing
+                  re-runs of failed/crashed/timed-out jobs (attempt
+                  budget + backoff/jitter between attempts), each
+                  attempt in its own isolated worker.  Default:
+                  :data:`~repro.harness.retry.SWEEP_DEFAULT` (one
+                  immediate retry — the historical behaviour).
+    ``retries``:  legacy integer shorthand for ``retry`` (N extra
+                  attempts, no backoff); ignored when ``retry`` is set.
     ``timeout``:  per-attempt seconds; enforced strictly on isolated
-                  attempts and as a pool-wide deadline on the shared pool.
+                  attempts and as a pool-wide deadline on the shared
+                  pool.  Defaults to ``retry.deadline_s`` when unset.
     ``progress``: callable ``(result, done_count, total)`` invoked as
                   each job resolves (cache hits first).
     ``checkpoint_dir``: when set, checkpointable tasks write periodic
@@ -471,9 +488,18 @@ def sweep(jobs: Iterable[SweepJob],
     results: List[Optional[SweepResult]] = [None] * total
     done = 0
 
+    policy = retry
+    if policy is None:
+        policy = SWEEP_DEFAULT if retries is None else RetryPolicy(
+            max_attempts=max(0, retries) + 1,
+            base_delay_s=0.0, jitter=0.0)
+    if timeout is None:
+        timeout = policy.deadline_s
+
     store = cache
     if store is None and use_cache and cache_dir is not None:
         store = ResultCache(cache_dir)
+        store.cleanup_stale()
     fingerprint = code_fingerprint()
     keys = [job.key(fingerprint) for job in jobs]
 
@@ -586,7 +612,10 @@ def sweep(jobs: Iterable[SweepJob],
         finally:
             _terminate(executor)
 
-    # Isolated retries: one bad workload degrades to an error record.
+    # Isolated retries under the policy: one bad workload degrades to
+    # an error record after its attempt budget, with backoff + jitter
+    # between attempts (jitter seeded by the job key, so the schedule
+    # is reproducible per job and decorrelated across jobs).
     # Checkpointable tasks retry with resume forced on, so a retried
     # crash or timeout continues from its last checkpoint instead of
     # repaying the whole run.
@@ -597,17 +626,33 @@ def sweep(jobs: Iterable[SweepJob],
         if ck is not None:
             retry_params = {**retry_params,
                             "_checkpoint": {**ck, "resume": True}}
-        prior = results[index]
-        result = prior
-        for _ in range(max(0, retries)):
+        result = results[index]
+        failures = result.attempts if result else 1
+        while result is not None and policy.allows(result.attempts):
+            delay = policy.delay(failures, seed=keys[index])
+            if delay > 0:
+                time.sleep(delay)
             attempt = _run_isolated(job, retry_params, timeout)
-            attempt.attempts = (result.attempts if result else 0) + 1
+            attempt.attempts = result.attempts + 1
             result = attempt
             if attempt.ok:
                 break
+            failures += 1
         resolve(index, result)
 
     return results
+
+
+def retry_summary(results: List[SweepResult]) -> Dict[str, int]:
+    """Retry accounting for a finished sweep: how many tasks needed
+    more than one attempt, how many extra attempts were spent, and how
+    many tasks were rescued (failed first, succeeded on a retry)."""
+    retried = [r for r in results if r.attempts > 1]
+    return {
+        "tasks_retried": len(retried),
+        "extra_attempts": sum(r.attempts - 1 for r in retried),
+        "rescued": sum(1 for r in retried if r.ok),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -712,8 +757,10 @@ def print_progress(result: SweepResult, done: int, total: int) -> None:
     """Default per-task progress line for CLI/benchmark drivers."""
     if result.ok:
         note = "cached" if result.cached else f"{result.duration_s:.2f}s"
+        retry_note = (f" retries={result.attempts - 1}"
+                      if result.attempts > 1 else "")
         print(f"[{done}/{total}] {result.job.label:<24} ok    ({note})"
-              f"{_incident_note(result.value)}",
+              f"{_incident_note(result.value)}{retry_note}",
               flush=True)
     else:
         reason = result.error.strip().splitlines()[-1]

@@ -1,0 +1,52 @@
+"""Host-environment snapshots for benchmark artifacts and the service.
+
+Every ``BENCH_*.json`` at the repo root is a performance claim; whether
+a number like "parallel speedup 0.89" is a regression or just a 1-core
+CI box is undecidable without knowing the host it ran on.  Benchmarks
+embed :func:`host_snapshot` in their envelope so gates (and humans
+reading the checked-in artifacts) can condition on the machine
+machine-checkably instead of by folklore.
+
+``darco serve`` reuses the same snapshot for its ``/healthz`` payload.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Any, Dict, Optional
+
+
+def available_cpus() -> int:
+    """CPUs this *process* may use (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def load_averages() -> Optional[Dict[str, float]]:
+    """1/5/15-minute load averages, or ``None`` where unsupported."""
+    try:
+        one, five, fifteen = os.getloadavg()
+    except (AttributeError, OSError):
+        return None
+    return {"1m": round(one, 2), "5m": round(five, 2),
+            "15m": round(fifteen, 2)}
+
+
+def host_snapshot() -> Dict[str, Any]:
+    """The benchmark-envelope host record: CPU budget, load at measure
+    time, platform/python identity."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "available_cpus": available_cpus(),
+        "loadavg": load_averages(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def effectively_multicore(min_cores: int = 2) -> bool:
+    """Whether parallel-scaling gates are meaningful on this host."""
+    return available_cpus() >= min_cores

@@ -28,8 +28,11 @@ Loaders choose between two failure semantics:
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import re
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -39,16 +42,33 @@ class SchemaError(Exception):
     an incompatible schema version."""
 
 
+#: Per-process sequence for temp-file names: two threads of one process
+#: writing the same target must not collide on a pid-only suffix.
+_tmp_seq = itertools.count()
+
+#: ``<name>.tmp<pid>.<seq>`` — the in-flight temp-file suffix.  A file
+#: matching this pattern whose pid is dead is an orphan from a killed
+#: writer (the "stale lock" of the multi-process cache protocol) and is
+#: safe to delete: the rename it was staged for never happened.
+_TMP_RE = re.compile(r"\.tmp(\d+)\.\d+$")
+
+
 def atomic_write_bytes(path, data: bytes, fsync: bool = True) -> None:
     """Write ``data`` to ``path`` atomically (temp file + rename).
 
     The temp file lives in the target directory (``os.replace`` must not
     cross filesystems) and is fsynced before the rename so the published
-    name never points at partially-flushed content.
+    name never points at partially-flushed content.  Temp names carry
+    pid + a per-process sequence number, so concurrent writers of the
+    *same* target — two sweep processes sharing one ``.repro_cache``,
+    two serve workers completing a coalesced job's duplicate — each
+    stage a private file and the last rename wins whole; a reader can
+    never observe a torn artifact.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp = path.with_name(
+        f"{path.name}.tmp{os.getpid()}.{next(_tmp_seq)}")
     try:
         with open(tmp, "wb") as handle:
             handle.write(data)
@@ -62,6 +82,47 @@ def atomic_write_bytes(path, data: bytes, fsync: bool = True) -> None:
         except OSError:
             pass
         raise
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists but owned elsewhere — leave it alone
+    return True
+
+
+def cleanup_stale_tmp(root, max_age_s: float = 3600.0) -> int:
+    """Remove orphaned atomic-write temp files under ``root``.
+
+    A writer SIGKILLed between staging and rename (a sweep worker shot
+    by the watchdog, a serve worker shot by the chaos benchmark) leaks
+    its ``*.tmp<pid>.<seq>`` file.  Those are this protocol's stale
+    locks: they are never adopted, only ever renamed by their creator,
+    so any such file whose pid is dead — or whose mtime is older than
+    ``max_age_s`` (pid reuse guard) — is garbage.  Returns the number
+    of files removed.  Never raises: cleanup is opportunistic.
+    """
+    root = Path(root)
+    removed = 0
+    if not root.is_dir():
+        return removed
+    now = time.time()
+    for tmp in root.rglob("*.tmp*"):
+        match = _TMP_RE.search(tmp.name)
+        if match is None:
+            continue
+        try:
+            stale = not _pid_alive(int(match.group(1))) \
+                or now - tmp.stat().st_mtime > max_age_s
+            if stale:
+                tmp.unlink()
+                removed += 1
+        except OSError:
+            continue
+    return removed
 
 
 def canonical_json(payload: Any) -> str:

@@ -102,16 +102,24 @@ def build_campaign_program() -> GuestProgram:
     return asm.program()
 
 
-def campaign_config(mode: str = "recover") -> TolConfig:
+def campaign_config(mode: str = "recover",
+                    overrides: Optional[Dict] = None) -> TolConfig:
     """Aggressive promotion so translations (the fault surface) dominate
     the run even on the small campaign workload.  ``assert_fail_limit``
     sits above the workload's natural failure count (one per superblock,
     on the final loop exit) but low enough that an inverted assert trips
     the rollback-storm rung of the quarantine ladder within a few outer
-    iterations."""
-    return TolConfig(bbm_threshold=2, sbm_threshold=6,
-                     recovery_mode=mode, watchdog_stall_limit=50,
-                     assert_fail_limit=2)
+    iterations.
+
+    ``overrides`` (field-name -> value) lets callers tune the
+    protection machinery under test — ``darco inject`` threads
+    ``watchdog_stall_limit`` and ``event_budget`` through here."""
+    config = TolConfig(bbm_threshold=2, sbm_threshold=6,
+                       recovery_mode=mode, watchdog_stall_limit=50,
+                       assert_fail_limit=2)
+    if overrides:
+        config = config.with_overrides(overrides)
+    return config
 
 
 def plan_campaign(seed: int, n: int,
@@ -210,7 +218,8 @@ def _reference_run(program: GuestProgram):
 
 def run_fault_case(site: str, ordinal: int, salt: int,
                    mode: str = "recover",
-                   program: Optional[GuestProgram] = None
+                   program: Optional[GuestProgram] = None,
+                   config_overrides: Optional[Dict] = None
                    ) -> FaultRunRecord:
     """Run the campaign workload with one armed fault and classify it."""
     from repro.system.controller import Controller
@@ -222,7 +231,8 @@ def run_fault_case(site: str, ordinal: int, salt: int,
     injector = FaultInjector(spec)
     record = FaultRunRecord(site=site, ordinal=ordinal, salt=salt,
                             mode=mode)
-    controller = Controller(program, config=campaign_config(mode))
+    controller = Controller(
+        program, config=campaign_config(mode, config_overrides))
     tol = controller.codesigned.tol
     injector.attach(tol)
     try:
@@ -271,15 +281,20 @@ def run_campaign(seed: int, n: int = 50,
                  mode: str = "recover",
                  n_jobs: int = 1,
                  use_cache: bool = False,
-                 progress=None) -> CampaignReport:
+                 progress=None,
+                 config_overrides: Optional[Dict] = None
+                 ) -> CampaignReport:
     """Plan and run a whole campaign; ``n_jobs > 1`` fans out over the
-    sweep runner (``fault_run`` task)."""
+    sweep runner (``fault_run`` task).  ``config_overrides`` tunes the
+    campaign :class:`TolConfig` (e.g. ``watchdog_stall_limit``,
+    ``event_budget``) identically in both execution paths."""
     specs = plan_campaign(seed, n, sites)
     if n_jobs == 1:
         records = []
         for i, spec in enumerate(specs):
             record = run_fault_case(spec.site, spec.ordinal, spec.salt,
-                                    mode=mode)
+                                    mode=mode,
+                                    config_overrides=config_overrides)
             records.append(record)
             if progress is not None:
                 progress(record, i + 1, len(specs))
@@ -288,7 +303,9 @@ def run_campaign(seed: int, n: int = 50,
     from repro.harness.parallel import SweepJob, raise_on_errors, sweep
     jobs = [SweepJob(task="fault_run",
                      params={"site": spec.site, "ordinal": spec.ordinal,
-                             "salt": spec.salt, "mode": mode},
+                             "salt": spec.salt, "mode": mode,
+                             **({"config_overrides": config_overrides}
+                                if config_overrides else {})},
                      label=f"{spec.site}#{spec.ordinal}")
             for spec in specs]
     results = sweep(jobs, n_jobs=n_jobs, use_cache=use_cache,

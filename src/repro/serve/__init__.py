@@ -1,0 +1,30 @@
+"""``darco serve``: a fault-tolerant multi-tenant simulation service.
+
+Composes the repo's existing robustness substrate into a served system
+(ROADMAP item 3): the sweep task registry supplies the work, the
+content-addressed :class:`~repro.harness.parallel.ResultCache` supplies
+request coalescing and instant replays, the snapshot subsystem supplies
+checkpoint/resume for killed workers, the shared
+:class:`~repro.harness.retry.RetryPolicy` supplies attempt budgets and
+backoff, and the telemetry registry supplies liveness/saturation
+gauges.
+
+Layers:
+
+- :mod:`repro.serve.protocol` — the JSON-lines wire protocol (submit /
+  status / fetch / healthz / metrics / watch / shutdown) with
+  HTTP-flavoured status codes (202 accepted, 429 shed, ...);
+- :mod:`repro.serve.supervisor` — one supervised worker process per
+  shard: crash/SIGKILL detection, respawn with exponential backoff +
+  jitter, per-job deadline kills;
+- :mod:`repro.serve.service` — the asyncio front end: admission
+  control, a bounded queue with explicit load shedding, coalescing,
+  degradation tiers, the reaper, and the job table;
+- :mod:`repro.serve.client` — the small blocking client used by
+  ``darco submit`` / ``status`` / ``fetch`` and the benchmarks.
+"""
+
+from repro.serve.service import JobEntry, ServeConfig, ServeService
+from repro.serve.client import ServeClient
+
+__all__ = ["JobEntry", "ServeClient", "ServeConfig", "ServeService"]

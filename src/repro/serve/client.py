@@ -1,0 +1,151 @@
+"""Blocking JSON-lines client for ``darco serve``.
+
+Used by ``darco submit``/``status``/``fetch``, the smoke tool and the
+load-generator benchmark.  Deliberately synchronous — clients are
+simple; all the concurrency lives server-side.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, Iterator, Optional
+
+from repro.serve import protocol
+
+
+class ServeError(RuntimeError):
+    """Transport-level failure talking to the service."""
+
+
+class ServeClient:
+    """One connection to a serve endpoint (unix socket or TCP)."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: str = "127.0.0.1", port: Optional[int] = None,
+                 timeout: Optional[float] = 30.0):
+        if socket_path is None and port is None:
+            raise ValueError("need a socket path or a TCP port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._buf = b""
+
+    # -- transport -----------------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout)
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach serve endpoint "
+                f"{self.socket_path or f'{self.host}:{self.port}'}: {exc}"
+            ) from None
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._buf = b""
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _read_line(self) -> bytes:
+        while b"\n" not in self._buf:
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                raise ServeError("timed out waiting for response") from None
+            except OSError as exc:
+                raise ServeError(f"connection lost: {exc}") from None
+            if not chunk:
+                raise ServeError("server closed the connection")
+            self._buf += chunk
+            if len(self._buf) > protocol.MAX_LINE_BYTES:
+                raise ServeError("response line too long")
+        line, self._buf = self._buf.split(b"\n", 1)
+        return line
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        self.connect()
+        message = {"op": op, **fields}
+        try:
+            self._sock.sendall(protocol.encode(message))
+        except OSError as exc:
+            raise ServeError(f"send failed: {exc}") from None
+        line = self._read_line()
+        try:
+            return json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"bad response frame: {exc}") from None
+
+    # -- ops -----------------------------------------------------------------
+
+    def submit(self, task: str, params: Optional[Dict[str, Any]] = None,
+               label: str = "", **extra: Any) -> Dict[str, Any]:
+        return self.request("submit", task=task, params=params or {},
+                            label=label, **extra)
+
+    def status(self, job: Optional[str] = None) -> Dict[str, Any]:
+        fields = {"job": job} if job else {}
+        return self.request("status", **fields)
+
+    def fetch(self, job: str) -> Dict[str, Any]:
+        return self.request("fetch", job=job)
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("metrics")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    def watch(self, job: str) -> Iterator[Dict[str, Any]]:
+        """Yield status objects until the job reaches a terminal state."""
+        self.connect()
+        self._sock.sendall(protocol.encode({"op": "watch", "job": job}))
+        while True:
+            line = self._read_line()
+            update = json.loads(line.decode("utf-8"))
+            yield update
+            if update.get("error") or update.get("state") in ("done",
+                                                              "failed"):
+                return
+
+    def wait(self, job: str, timeout: float = 300.0,
+             poll_s: float = 0.05) -> Dict[str, Any]:
+        """Poll ``status`` until terminal; returns the final ``fetch``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job)
+            if status.get("error"):
+                return status
+            if status.get("state") in ("done", "failed"):
+                return self.fetch(job)
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"job {job} not terminal after {timeout:.0f}s "
+                    f"(state {status.get('state')!r})")
+            time.sleep(poll_s)

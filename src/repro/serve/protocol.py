@@ -1,0 +1,98 @@
+"""Wire protocol for ``darco serve``: JSON lines over a local socket.
+
+One request per line, one JSON object per response line (except
+``watch``, which streams one status object per state change and ends
+with a terminal-state object).  The transport is a Unix domain socket
+by default (a *local* service, like the paper's simulation farm front
+end) with an optional TCP/loopback mode for hosts without AF_UNIX.
+
+Responses carry HTTP-flavoured ``code`` values so degradation is
+explicit and machine-readable:
+
+====  ==========================================================
+200   OK (status / fetch of a completed job / healthz)
+202   accepted (submit queued, or fetch of a still-running job)
+203   degraded: a **stale** result served under overload, marked
+      with ``stale: true`` and the fingerprint it was computed at
+404   unknown job id / task
+409   job failed (fetch); error record attached
+429   shed: queue full, ``retry_after_s`` attached
+400   malformed request
+503   shutting down
+====  ==========================================================
+
+Jobs are the sweep runner's jobs: a registered task name plus JSON
+params.  A ``config`` mapping inside ``params`` is inflated to a
+:class:`~repro.tol.config.TolConfig` server-side (same coercion rules
+as the CLI's ``--set``), so job identity — the content-addressed cache
+key — is computed exactly as ``darco sweep`` computes it, and the two
+entry points share one result universe.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Protocol version, echoed in every response envelope.
+PROTOCOL_VERSION = 1
+
+#: Maximum accepted request-line length (1 MiB): admission control
+#: starts at the framing layer — a runaway client cannot balloon the
+#: server's memory with one unbounded line.
+MAX_LINE_BYTES = 1 << 20
+
+OK = 200
+ACCEPTED = 202
+DEGRADED_STALE = 203
+BAD_REQUEST = 400
+NOT_FOUND = 404
+FAILED = 409
+SHED = 429
+SHUTTING_DOWN = 503
+
+#: Ops a client may send.
+OPS = ("submit", "status", "fetch", "healthz", "metrics", "watch",
+       "shutdown")
+
+
+class ProtocolError(Exception):
+    """Malformed frame or request object."""
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One response/request as a compact JSON line."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode()
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return message
+
+
+def response(code: int, **fields: Any) -> Dict[str, Any]:
+    return {"v": PROTOCOL_VERSION, "code": code, **fields}
+
+
+def error_response(code: int, reason: str, **fields: Any) -> Dict[str, Any]:
+    return response(code, error=reason, **fields)
+
+
+def inflate_job_params(params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Server-side param inflation: a JSON ``config`` mapping becomes a
+    real :class:`TolConfig` so cache keys match ``darco sweep``'s."""
+    from repro.tol.config import TolConfig
+    params = dict(params or {})
+    config = params.get("config")
+    if isinstance(config, dict):
+        params["config"] = TolConfig(
+            recovery_mode="recover").with_overrides(config)
+    return params

@@ -1,0 +1,726 @@
+"""The serve front end: admission, coalescing, degradation, supervision.
+
+Robustness model (DESIGN.md §11):
+
+- **Admission control.**  Accepted jobs live in a job table plus one
+  dispatch queue bounded by ``max_pending``; past the bound, new work
+  is *shed explicitly* (429 + ``retry_after_s`` derived from the
+  observed service rate) instead of growing memory without bound.
+  Already-accepted jobs bypass the bound on retry — acceptance is a
+  completion promise, shedding happens only at the door.
+- **Coalescing.**  Job identity is the sweep runner's content-addressed
+  cache key, so identical submissions — same task, params, config and
+  source fingerprint, from any number of tenants — ride one run and one
+  table entry; completed results land in the shared
+  :class:`~repro.harness.parallel.ResultCache`, where both later
+  submissions and ``darco sweep`` replay them for free.
+- **Supervision.**  Worker shards (:mod:`repro.serve.supervisor`) are
+  restarted on death with exponential backoff + jitter; the in-flight
+  job's attempt is charged against its bounded retry budget and the job
+  requeues (resuming from its last checkpoint when the task supports
+  it) or fails with the death recorded.  A reaper enforces per-job
+  deadlines by killing the worker — the deadline path and the chaos
+  path are the same code.
+- **Graceful degradation.**  Under overload the service still answers:
+  cache hits are served from the shared result cache without touching
+  the queue, and when a full queue forces shedding, a previously
+  completed result for the same *logical* job (any source fingerprint)
+  is served instead with ``stale: true`` and the fingerprint it was
+  computed at (203, never silently).  ``healthz`` is answered inline by
+  the event loop, so liveness never queues behind simulation work.
+
+Wall-clock note: unlike the simulator underneath it, the service layer
+is *about* wall clock (deadlines, backoff, latency gauges).  The
+determinism contract lives one level down — job *values* remain
+bit-identical however many times, on whichever shard, a job ran.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.harness.parallel import (
+    _CHECKPOINTABLE, _MISS, _TASKS, ResultCache, SweepJob,
+    code_fingerprint, serialize_params, telemetry_digest,
+)
+from repro.harness.retry import RetryPolicy
+from repro.hostinfo import host_snapshot
+from repro.serve import protocol
+from repro.serve.supervisor import STATE_BACKOFF, STATE_BUSY, Shard
+from repro.telemetry.registry import MetricsRegistry
+
+#: Job states (terminal: done / failed).
+QUEUED = "queued"
+RUNNING = "running"
+RETRY_WAIT = "retry-wait"
+DONE = "done"
+FAILED = "failed"
+TERMINAL = (DONE, FAILED)
+
+#: Events kept per job (forensic tail, not a full log).
+MAX_EVENTS_PER_JOB = 32
+
+#: Hard ceiling on a client-requested per-job attempt budget.
+MAX_ATTEMPTS_CAP = 8
+
+
+def wire_value(value: Any) -> Any:
+    """JSON-able projection of a task value (same shape ``darco sweep
+    --out`` writes, so served and swept artifacts are comparable)."""
+    if hasattr(value, "as_dict"):
+        return value.as_dict()
+    return serialize_params(value)
+
+
+@dataclass
+class ServeConfig:
+    """Service shape: transport, pool size, robustness budgets."""
+
+    socket_path: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: Optional[int] = None
+    workers: int = 2
+    #: Admission bound: queued + running jobs before shedding starts.
+    max_pending: int = 64
+    #: Default per-attempt deadline (seconds; None = unbounded).
+    default_deadline_s: Optional[float] = None
+    #: Worker respawn + job retry policy (shared with the sweep runner).
+    retry: RetryPolicy = field(default_factory=lambda: RetryPolicy(
+        max_attempts=3, base_delay_s=0.05, max_delay_s=2.0, jitter=0.5))
+    use_cache: bool = True
+    cache_dir: str = ".repro_cache"
+    #: Arm checkpointing for checkpointable tasks (killed workers then
+    #: *resume* long jobs instead of restarting them).
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
+    #: Serve stale results (203) instead of shedding when possible.
+    stale_serve: bool = True
+    reaper_tick_s: float = 0.05
+
+
+@dataclass
+class JobEntry:
+    """One logical job in the table (possibly many submitters)."""
+
+    key: str
+    job: SweepJob
+    state: str = QUEUED
+    attempts: int = 0
+    max_attempts: int = 3
+    deadline_s: Optional[float] = None
+    submits: int = 1
+    created: float = field(default_factory=time.time)
+    finished: Optional[float] = None
+    events: List[str] = field(default_factory=list)
+    value: Any = None
+    value_payload: Any = None
+    telemetry_digest: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+    stderr_tail: str = ""
+    cached: bool = False
+    stale: bool = False
+    stale_fingerprint: Optional[str] = None
+    duration_s: float = 0.0
+    #: Bumped on every visible change (watch streams on it).
+    version: int = 0
+
+    def mark(self, state: str, note: str = "") -> None:
+        self.state = state
+        stamp = time.strftime("%H:%M:%S")
+        self.events.append(f"{stamp} {state}{': ' + note if note else ''}")
+        del self.events[:-MAX_EVENTS_PER_JOB]
+        if state in TERMINAL:
+            self.finished = time.time()
+        self.version += 1
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL
+
+    def status_dict(self) -> Dict[str, Any]:
+        return {
+            "job": self.key[:16],
+            "key": self.key,
+            "task": self.job.task,
+            "label": self.job.label,
+            "state": self.state,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "deadline_s": self.deadline_s,
+            "submits": self.submits,
+            "cached": self.cached,
+            "stale": self.stale,
+            "stale_fingerprint": self.stale_fingerprint,
+            "duration_s": round(self.duration_s, 4),
+            "telemetry_digest": self.telemetry_digest,
+            # "error" is reserved for protocol-level failures; a job's
+            # own (most recent) failure rides in "last_error".
+            "last_error": (self.error or "").strip().splitlines()[-1]
+            if self.error else None,
+            "events": list(self.events),
+            "version": self.version,
+        }
+
+
+class ServeService:
+    """The asyncio job service (one instance per ``darco serve``)."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.retry = self.config.retry
+        self.registry = MetricsRegistry()
+        self.table: Dict[str, JobEntry] = {}
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.shards = [Shard(i) for i in range(max(1,
+                                                   self.config.workers))]
+        self.cache: Optional[ResultCache] = None
+        if self.config.use_cache:
+            self.cache = ResultCache(self.config.cache_dir)
+            self.cache.cleanup_stale()
+        self.fingerprint = code_fingerprint()
+        #: logical key -> last completed wire payload + provenance
+        #: (the stale-serving tier under overload).
+        self._stale_index: Dict[str, Dict[str, Any]] = {}
+        self._pending = 0           # queued + running + retry-wait
+        self._duration_ewma = 0.0   # seconds per completed job
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: List[asyncio.Task] = []
+        self._stopping = False
+        self._drained = asyncio.Event()
+        self._shutdown_requested = asyncio.Event()
+        self.started_at = time.time()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start shards + reaper."""
+        if self.config.socket_path:
+            path = Path(self.config.socket_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if path.exists():
+                path.unlink()
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=str(path))
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=self.config.host,
+                port=self.config.port or 0)
+        for shard in self.shards:
+            self._tasks.append(asyncio.ensure_future(
+                self._run_shard(shard)))
+        self._tasks.append(asyncio.ensure_future(self._reap_loop()))
+        self._update_gauges()
+
+    @property
+    def endpoint(self) -> str:
+        if self.config.socket_path:
+            return str(self.config.socket_path)
+        addr = self._server.sockets[0].getsockname()
+        return f"{addr[0]}:{addr[1]}"
+
+    @property
+    def port(self) -> Optional[int]:
+        if self.config.socket_path or self._server is None:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` request (or :meth:`stop`) arrives."""
+        await self._shutdown_requested.wait()
+        await self.stop()
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every accepted job is terminal."""
+        self._check_drained()
+        try:
+            await asyncio.wait_for(self._drained.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel supervision, tear the pool down."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:
+                pass
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+        # Closing pipes unblocks any recv threads; kill what's left.
+        for shard in self.shards:
+            shard.stop()
+        if self.config.socket_path:
+            try:
+                Path(self.config.socket_path).unlink()
+            except OSError:
+                pass
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.registry.inc(name, n)
+
+    def _update_gauges(self) -> None:
+        reg = self.registry
+        reg.set_gauge("serve.queue_depth", self.queue.qsize())
+        reg.set_gauge("serve.pending", self._pending)
+        reg.set_gauge("serve.inflight", sum(
+            1 for s in self.shards if s.state == STATE_BUSY))
+        reg.set_gauge("serve.workers_alive", sum(
+            1 for s in self.shards if s.alive))
+        reg.set_gauge("serve.workers_total", len(self.shards))
+        reg.set_gauge("serve.saturation", min(
+            1.0, self._pending / max(1, self.config.max_pending)))
+
+    def service_rate(self) -> float:
+        """Observed completions/second across the pool (0 = unknown)."""
+        if self._duration_ewma <= 0.0:
+            return 0.0
+        workers = max(1, sum(1 for s in self.shards if s.alive))
+        return workers / self._duration_ewma
+
+    # -- job identity ----------------------------------------------------------
+
+    def _logical_key(self, job: SweepJob) -> str:
+        """Identity of the job *regardless of source version* — the
+        stale-serving index key."""
+        return job.key(fingerprint="")
+
+    def _find(self, job_id: str) -> Optional[JobEntry]:
+        if job_id in self.table:
+            return self.table[job_id]
+        matches = [e for k, e in self.table.items()
+                   if k.startswith(job_id)]
+        return matches[0] if len(matches) == 1 else None
+
+    # -- admission -------------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Admission decision for one submit request (sync: runs inline
+        on the event loop; nothing here blocks)."""
+        if self._stopping:
+            return protocol.error_response(
+                protocol.SHUTTING_DOWN, "service is shutting down")
+        task = spec.get("task", "workload_metrics")
+        if task not in _TASKS:
+            return protocol.error_response(
+                protocol.NOT_FOUND,
+                f"unknown task {task!r}; registered: "
+                f"{', '.join(sorted(t for t in _TASKS if not t.startswith('_')))}")
+        try:
+            params = protocol.inflate_job_params(spec.get("params"))
+        except (ValueError, TypeError) as exc:
+            return protocol.error_response(
+                protocol.BAD_REQUEST, f"bad params: {exc}")
+        job = SweepJob(task=task, params=params,
+                       label=spec.get("label", ""))
+        key = job.key(self.fingerprint)
+        self._count("serve.submitted")
+
+        entry = self.table.get(key)
+        if entry is not None and not entry.terminal:
+            # Identical in-flight job: ride it.
+            entry.submits += 1
+            entry.version += 1
+            self._count("serve.coalesced")
+            return protocol.response(
+                protocol.ACCEPTED, coalesced=True,
+                **entry.status_dict())
+        if entry is not None and entry.state == DONE and not entry.stale:
+            entry.submits += 1
+            self._count("serve.coalesced")
+            return protocol.response(protocol.OK, coalesced=True,
+                                     **entry.status_dict())
+        # Failed (or stale-served) entries are resubmittable: fall
+        # through to fresh admission below.
+
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not _MISS:
+                entry = self._install_done(job, key, cached, cached=True)
+                self._count("serve.cache_hits")
+                return protocol.response(protocol.OK,
+                                         **entry.status_dict())
+
+        deadline = spec.get("deadline_s", self.config.default_deadline_s)
+        max_attempts = min(MAX_ATTEMPTS_CAP,
+                           int(spec.get("max_attempts",
+                                        self.retry.max_attempts)))
+        if self._pending >= self.config.max_pending:
+            return self._degrade_or_shed(job, key)
+
+        entry = JobEntry(key=key, job=job,
+                         max_attempts=max(1, max_attempts),
+                         deadline_s=deadline)
+        if self.table.get(key) is not None:
+            entry.submits += self.table[key].submits
+        self.table[key] = entry
+        entry.mark(QUEUED, f"accepted (queue depth {self.queue.qsize()})")
+        self._enqueue(entry)
+        self._count("serve.accepted")
+        return protocol.response(protocol.ACCEPTED, coalesced=False,
+                                 **entry.status_dict())
+
+    def _degrade_or_shed(self, job: SweepJob, key: str) -> Dict[str, Any]:
+        """Queue is full: serve stale if we can, shed explicitly if not."""
+        logical = self._logical_key(job)
+        known = self._stale_index.get(logical)
+        if self.config.stale_serve and known is not None:
+            entry = JobEntry(key=key, job=job, state=DONE,
+                             stale=True,
+                             stale_fingerprint=known["fingerprint"])
+            entry.value_payload = known["payload"]
+            entry.telemetry_digest = known.get("digest", {})
+            entry.mark(DONE, "stale result served under overload "
+                             f"(computed at {known['fingerprint'][:12]})")
+            self.table[key] = entry
+            self._count("serve.stale_served")
+            return protocol.response(protocol.DEGRADED_STALE,
+                                     **entry.status_dict())
+        self._count("serve.shed")
+        retry_after = self.retry.retry_after_hint(
+            self._pending, self.service_rate())
+        return protocol.error_response(
+            protocol.SHED,
+            f"queue full ({self._pending}/{self.config.max_pending})",
+            retry_after_s=round(retry_after, 2))
+
+    def _enqueue(self, entry: JobEntry) -> None:
+        self._pending += 1
+        self._drained.clear()
+        self.queue.put_nowait(entry.key)
+        self._update_gauges()
+
+    def _requeue(self, entry: JobEntry) -> None:
+        """Re-dispatch an already-accepted job (bypasses admission:
+        acceptance is a completion promise)."""
+        self.queue.put_nowait(entry.key)
+        self._update_gauges()
+
+    def _install_done(self, job: SweepJob, key: str, value: Any,
+                      cached: bool) -> JobEntry:
+        entry = JobEntry(key=key, job=job, state=DONE, cached=cached)
+        entry.value = value
+        entry.value_payload = wire_value(value)
+        entry.telemetry_digest = telemetry_digest(value)
+        entry.mark(DONE, "served from result cache" if cached else "")
+        self.table[key] = entry
+        self._note_known_result(entry)
+        return entry
+
+    # -- shard supervision -----------------------------------------------------
+
+    async def _run_shard(self, shard: Shard) -> None:
+        """Supervision loop: spawn, pump until death, backoff, respawn."""
+        while not self._stopping:
+            shard.spawn()
+            self._count("serve.worker_spawns")
+            self._update_gauges()
+            clean = await self._pump_shard(shard)
+            shard.reap()
+            self._update_gauges()
+            if clean or self._stopping:
+                break
+            shard.crashes += 1
+            shard.state = STATE_BACKOFF
+            self._count("serve.worker_restarts")
+            delay = self.retry.delay(
+                shard.crashes, seed=f"respawn:{shard.index}:{shard.spawns}")
+            await asyncio.sleep(delay)
+
+    async def _pump_shard(self, shard: Shard) -> bool:
+        """Feed jobs to one worker until it dies (False) or the service
+        stops (True)."""
+        frame = await asyncio.to_thread(shard.recv)
+        if frame is None or frame[0] != "ready":
+            return False
+        shard.state = "idle"
+        while not self._stopping:
+            entry = await self._next_job()
+            if entry is None:
+                continue
+            entry.attempts += 1
+            entry.mark(RUNNING,
+                       f"attempt {entry.attempts}/{entry.max_attempts} "
+                       f"on shard {shard.index} (pid {shard.pid})")
+            try:
+                shard.send_job(entry.key, entry.job.task,
+                               self._exec_params(entry),
+                               entry.deadline_s)
+            except (BrokenPipeError, OSError):
+                # Worker died between jobs: don't charge the attempt.
+                entry.attempts -= 1
+                entry.mark(QUEUED, "worker lost before dispatch; requeued")
+                self._requeue(entry)
+                return False
+            self._update_gauges()
+            started = time.monotonic()
+            frame = await asyncio.to_thread(shard.recv)
+            if frame is None:
+                _key, reason = shard.take_crash_context()
+                self._on_worker_death(entry, reason,
+                                      time.monotonic() - started)
+                return False
+            _tag, _key, status, payload, duration, stderr_tail = frame
+            shard.note_job_done()
+            self._on_result(entry, status, payload, duration, stderr_tail)
+            self._update_gauges()
+        return True
+
+    async def _next_job(self) -> Optional[JobEntry]:
+        key = await self.queue.get()
+        entry = self.table.get(key)
+        if entry is None or entry.state != QUEUED:
+            return None
+        return entry
+
+    def _exec_params(self, entry: JobEntry) -> Dict[str, Any]:
+        """Execution params for this attempt: checkpoint plumbing rides
+        outside job identity, exactly like the sweep runner's."""
+        params = entry.job.params
+        if (self.config.checkpoint_dir is not None
+                and entry.job.task in _CHECKPOINTABLE):
+            params = {**params, "_checkpoint": {
+                "dir": str(Path(self.config.checkpoint_dir)
+                           / entry.key[:16]),
+                "every": int(self.config.checkpoint_every),
+                # First attempt starts clean; a retry after a kill or
+                # deadline resumes from the last checkpoint.
+                "resume": entry.attempts > 1,
+            }}
+        return params
+
+    def _on_result(self, entry: JobEntry, status: str, payload: Any,
+                   duration: float, stderr_tail: str) -> None:
+        if status == "ok":
+            entry.value = payload
+            entry.value_payload = wire_value(payload)
+            entry.telemetry_digest = telemetry_digest(payload)
+            entry.duration_s = duration
+            entry.error = None
+            entry.mark(DONE, f"completed in {duration:.2f}s")
+            self._job_finished(entry)
+            self._count("serve.completed")
+            alpha = 0.3
+            self._duration_ewma = (duration if not self._duration_ewma
+                                   else alpha * duration
+                                   + (1 - alpha) * self._duration_ewma)
+            if self.cache is not None:
+                self.cache.put(entry.key, payload)
+            self._note_known_result(entry)
+            return
+        # Task raised: retry under the budget (transient host trouble),
+        # then surface the record.
+        entry.error = payload
+        entry.stderr_tail = stderr_tail
+        self._count("serve.task_errors")
+        self._retry_or_fail(entry, f"task error on attempt "
+                                   f"{entry.attempts}")
+
+    def _on_worker_death(self, entry: JobEntry, reason: Optional[str],
+                         elapsed: float) -> None:
+        if reason == "deadline":
+            self._count("serve.deadline_kills")
+            entry.error = (f"deadline exceeded "
+                           f"({entry.deadline_s:.1f}s) on attempt "
+                           f"{entry.attempts}; worker killed")
+        else:
+            self._count("serve.worker_deaths")
+            entry.error = (f"worker process died after {elapsed:.2f}s "
+                           f"on attempt {entry.attempts} (crash or kill)")
+        self._retry_or_fail(entry, entry.error)
+
+    def _retry_or_fail(self, entry: JobEntry, note: str) -> None:
+        if entry.attempts < entry.max_attempts and not self._stopping:
+            self._count("serve.retries")
+            delay = self.retry.delay(entry.attempts, seed=entry.key)
+            entry.mark(RETRY_WAIT, f"{note}; retrying in {delay:.2f}s")
+            asyncio.get_running_loop().create_task(
+                self._requeue_later(entry, delay))
+        else:
+            entry.mark(FAILED, note)
+            self._job_finished(entry)
+            self._count("serve.failed")
+
+    async def _requeue_later(self, entry: JobEntry, delay: float) -> None:
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if entry.terminal or self._stopping:
+            return
+        entry.mark(QUEUED, "requeued for retry")
+        self._requeue(entry)
+
+    def _job_finished(self, entry: JobEntry) -> None:
+        self._pending = max(0, self._pending - 1)
+        self._check_drained()
+        self._update_gauges()
+
+    def _check_drained(self) -> None:
+        if self._pending == 0:
+            self._drained.set()
+
+    def _note_known_result(self, entry: JobEntry) -> None:
+        if entry.value_payload is None:
+            return
+        self._stale_index[self._logical_key(entry.job)] = {
+            "payload": entry.value_payload,
+            "digest": entry.telemetry_digest,
+            "fingerprint": self.fingerprint,
+        }
+
+    # -- the reaper ------------------------------------------------------------
+
+    async def _reap_loop(self) -> None:
+        while not self._stopping:
+            await asyncio.sleep(self.config.reaper_tick_s)
+            now = time.monotonic()
+            for shard in self.shards:
+                if (shard.state == STATE_BUSY
+                        and shard.deadline is not None
+                        and now > shard.deadline):
+                    shard.kill("deadline")
+
+    # -- request handling ------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, OSError):
+                    break
+                if not line:
+                    break
+                try:
+                    request = protocol.decode(line)
+                except protocol.ProtocolError as exc:
+                    writer.write(protocol.encode(protocol.error_response(
+                        protocol.BAD_REQUEST, str(exc))))
+                    await writer.drain()
+                    continue
+                op = request.get("op")
+                if op == "watch":
+                    await self._handle_watch(request, writer)
+                    continue
+                reply = self._dispatch(request)
+                writer.write(protocol.encode(reply))
+                await writer.drain()
+                if op == "shutdown":
+                    break
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "submit":
+            return self.submit(request)
+        if op == "status":
+            return self._handle_status(request)
+        if op == "fetch":
+            return self._handle_fetch(request)
+        if op == "healthz":
+            return self.healthz()
+        if op == "metrics":
+            self._update_gauges()
+            return protocol.response(
+                protocol.OK, snapshot=self.registry.snapshot(
+                    collect=False).as_dict())
+        if op == "shutdown":
+            self._shutdown_requested.set()
+            return protocol.response(protocol.OK, stopping=True)
+        return protocol.error_response(
+            protocol.BAD_REQUEST,
+            f"unknown op {op!r}; valid: {', '.join(protocol.OPS)}")
+
+    def _handle_status(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = request.get("job")
+        if not job_id:
+            return self.healthz()
+        entry = self._find(job_id)
+        if entry is None:
+            return protocol.error_response(protocol.NOT_FOUND,
+                                           f"unknown job {job_id!r}")
+        return protocol.response(protocol.OK, **entry.status_dict())
+
+    def _handle_fetch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        entry = self._find(request.get("job") or "")
+        if entry is None:
+            return protocol.error_response(
+                protocol.NOT_FOUND, f"unknown job {request.get('job')!r}")
+        if entry.state == DONE:
+            code = (protocol.DEGRADED_STALE if entry.stale
+                    else protocol.OK)
+            return protocol.response(code, value=entry.value_payload,
+                                     **entry.status_dict())
+        if entry.state == FAILED:
+            return protocol.response(protocol.FAILED,
+                                     stderr_tail=entry.stderr_tail,
+                                     full_error=entry.error,
+                                     **entry.status_dict())
+        return protocol.response(protocol.ACCEPTED,
+                                 **entry.status_dict())
+
+    async def _handle_watch(self, request: Dict[str, Any],
+                            writer: asyncio.StreamWriter) -> None:
+        """Stream status objects until the job reaches a terminal state."""
+        job_id = request.get("job")
+        entry = self._find(job_id or "")
+        if entry is None:
+            writer.write(protocol.encode(protocol.error_response(
+                protocol.NOT_FOUND, f"unknown job {job_id!r}")))
+            await writer.drain()
+            return
+        last_version = -1
+        while True:
+            if entry.version != last_version:
+                last_version = entry.version
+                writer.write(protocol.encode(protocol.response(
+                    protocol.OK, **entry.status_dict())))
+                await writer.drain()
+            if entry.terminal:
+                return
+            await asyncio.sleep(0.05)
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness + saturation — always served inline by the event
+        loop, never queued behind simulation work."""
+        self._update_gauges()
+        snapshot = self.registry.snapshot(collect=False)
+        return protocol.response(
+            protocol.OK,
+            live=True,
+            uptime_s=round(time.time() - self.started_at, 2),
+            host=host_snapshot(),
+            endpoint=self.endpoint,
+            fingerprint=self.fingerprint[:16],
+            queue={"depth": self.queue.qsize(),
+                   "pending": self._pending,
+                   "capacity": self.config.max_pending},
+            saturation=snapshot.gauges.get("serve.saturation", 0.0),
+            service_rate_jobs_per_s=round(self.service_rate(), 3),
+            workers=[shard.healthz() for shard in self.shards],
+            counters={k: v for k, v in snapshot.counters.items()
+                      if k.startswith("serve.")},
+            jobs={state: sum(1 for e in self.table.values()
+                             if e.state == state)
+                  for state in (QUEUED, RUNNING, RETRY_WAIT, DONE,
+                                FAILED)},
+        )

@@ -6,8 +6,8 @@ studies (the paper's purpose for DARCO) are plain parameter sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Tuple
+from dataclasses import dataclass, fields, replace
+from typing import Mapping, Tuple
 
 
 @dataclass
@@ -152,6 +152,39 @@ class TolConfig:
     #: the authoritative-emulator contract — the end-of-application
     #: comparison always runs.
     validate_min_icount_gap: int = 0
+
+    def with_overrides(self, overrides: Mapping[str, object]
+                       ) -> "TolConfig":
+        """A copy with ``overrides`` applied, coercing string values to
+        each field's type (the ``--set key=value`` path of the CLI and
+        the JSON config dict of the serve protocol share this parser).
+
+        Raises :class:`ValueError` for an unknown field name.
+        """
+        valid = {f.name for f in fields(TolConfig)}
+        coerced = {}
+        for key, value in overrides.items():
+            if key not in valid:
+                raise ValueError(
+                    f"unknown TolConfig field {key!r}; valid: "
+                    f"{', '.join(sorted(valid))}")
+            current = getattr(self, key)
+            if not isinstance(value, str):
+                # Native JSON value (serve protocol): adopt, but keep
+                # tuple-typed fields tuples.
+                coerced[key] = tuple(value) if isinstance(current, tuple) \
+                    and isinstance(value, (list, tuple)) else value
+            elif isinstance(current, bool):
+                coerced[key] = value.lower() in ("1", "true", "yes", "on")
+            elif isinstance(current, int):
+                coerced[key] = int(value, 0)
+            elif isinstance(current, float):
+                coerced[key] = float(value)
+            elif isinstance(current, tuple):
+                coerced[key] = tuple(v for v in value.split(",") if v)
+            else:
+                coerced[key] = value
+        return replace(self, **coerced)
 
     def scaled_thresholds(self, factor: float) -> "TolConfig":
         """A copy with promotion thresholds downscaled (warm-up

@@ -1,0 +1,85 @@
+"""Runaway-application budgets through the CLI: ``darco sweep`` and
+``darco inject`` accept ``--watchdog-stall-limit`` / ``--event-budget``
+and thread them into every run, so a livelocked job is killed and
+reported instead of hanging a worker."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.resilience.campaign import campaign_config
+from repro.tol.config import TolConfig
+
+
+def test_parser_accepts_budget_flags():
+    args = build_parser().parse_args(
+        ["sweep", "--event-budget", "123",
+         "--watchdog-stall-limit", "45"])
+    assert args.event_budget == 123
+    assert args.watchdog_stall_limit == 45
+    args = build_parser().parse_args(
+        ["inject", "--event-budget", "9", "--watchdog-stall-limit", "8",
+         "--set", "telemetry=off"])
+    assert args.event_budget == 9
+    assert args.watchdog_stall_limit == 8
+    assert args.set == ["telemetry=off"]
+
+
+def test_with_overrides_coerces_and_rejects():
+    config = TolConfig().with_overrides(
+        {"event_budget": "64", "watchdog_stall_limit": 7})
+    assert config.event_budget == 64
+    assert config.watchdog_stall_limit == 7
+    with pytest.raises(ValueError):
+        TolConfig().with_overrides({"no_such_field": 1})
+
+
+def test_campaign_config_applies_overrides():
+    config = campaign_config("recover",
+                             {"event_budget": 321,
+                              "watchdog_stall_limit": 11})
+    assert config.event_budget == 321
+    assert config.watchdog_stall_limit == 11
+    assert config.recovery_mode == "recover"
+    # No overrides: unchanged defaults.
+    assert campaign_config("recover").event_budget != 321
+
+
+def test_sweep_kills_and_reports_livelocked_job(capsys):
+    """A blown event budget must surface as a task failure record in
+    the sweep report — the worker is never left hanging."""
+    code = main(["sweep", "--workload", "429.mcf", "--scale", "0.05",
+                 "--no-cache", "-j", "1", "--event-budget", "2",
+                 "--timeout", "120"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "event budget exhausted" in out
+    assert "FAILED" in out
+    assert "runaway application?" in out
+
+
+def test_inject_threads_budgets_without_changing_results(capsys):
+    """A generous budget leaves the campaign identical (the flags only
+    bound runaways, never alter simulated behavior)."""
+    assert main(["inject", "-n", "4", "--json", "--site",
+                 "ir_drop"]) == 0
+    baseline = json.loads(capsys.readouterr().out)
+    assert main(["inject", "-n", "4", "--json", "--site",
+                 "ir_drop", "--event-budget", "8000000",
+                 "--watchdog-stall-limit", "100"]) == 0
+    bounded = json.loads(capsys.readouterr().out)
+    assert bounded["signature"] == baseline["signature"]
+    assert bounded["by_status"] == baseline["by_status"]
+
+
+def test_inject_tiny_event_budget_reports_not_hangs(capsys):
+    """With an absurdly small budget every campaign run dies fast with
+    the budget diagnostic — reported per-record, exit nonzero, no hang."""
+    code = main(["inject", "-n", "2", "--json", "--site",
+                 "ir_drop", "--event-budget", "1"])
+    report = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert all(r["error"] for r in report["records"])
+    assert any("event budget exhausted" in (r["error"] or "")
+               for r in report["records"])

@@ -1,0 +1,158 @@
+"""Multi-process cache safety: concurrent writers never leave a torn
+artifact, and stale temp files from killed writers are reclaimed."""
+
+import multiprocessing
+import os
+import pickle
+import time
+
+from repro.harness.parallel import _MISS, ResultCache
+from repro.ioutil import (
+    atomic_write_bytes, cleanup_stale_tmp, load_artifact, write_artifact,
+)
+
+# -- concurrent writers --------------------------------------------------------
+
+
+def _hammer_artifact(path, writer_id, rounds):
+    for i in range(rounds):
+        write_artifact(path, "race_probe", 1,
+                       {"writer": writer_id, "round": i,
+                        "fill": "x" * 4096})
+
+
+def test_concurrent_writers_never_tear_an_artifact(tmp_path):
+    """Two processes rewriting the same key through write_artifact must
+    never expose a torn file: every read mid-race is a complete, valid
+    envelope from one writer or the other."""
+    path = tmp_path / "artifact.json"
+    procs = [multiprocessing.Process(
+        target=_hammer_artifact, args=(str(path), wid, 200))
+        for wid in (1, 2)]
+    for p in procs:
+        p.start()
+    torn = 0
+    reads = 0
+    # Read continuously through (and past) the race window until the
+    # writers are done and we have a meaningful sample.
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if path.exists():  # once a rename lands, it never vanishes
+            try:
+                payload = load_artifact(path, "race_probe", 1)
+            except Exception:
+                torn += 1  # SchemaError / JSON error = torn state
+            else:
+                reads += 1
+                assert payload["writer"] in (1, 2)
+                assert len(payload["fill"]) == 4096
+        if reads >= 50 and not any(p.is_alive() for p in procs):
+            break
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    assert torn == 0
+    assert reads > 0
+    final = load_artifact(path, "race_probe", 1)
+    assert final["round"] == 199
+
+
+def _hammer_cache(directory, key, writer_id, rounds):
+    cache = ResultCache(directory)
+    for i in range(rounds):
+        cache.put(key, {"writer": writer_id, "round": i})
+
+
+def test_concurrent_result_cache_writers_same_key(tmp_path):
+    """Two sweep workers completing the identical job concurrently (the
+    coalescing race) must leave exactly one valid cache entry."""
+    key = "ab" + "0" * 62
+    procs = [multiprocessing.Process(
+        target=_hammer_cache, args=(str(tmp_path), key, wid, 40))
+        for wid in (1, 2)]
+    for p in procs:
+        p.start()
+    cache = ResultCache(tmp_path)
+    while any(p.is_alive() for p in procs):
+        value = cache.get(key)
+        if value is not _MISS:
+            assert value["writer"] in (1, 2)
+    for p in procs:
+        p.join(timeout=30)
+        assert p.exitcode == 0
+    assert cache.get(key) is not _MISS
+    leftovers = [p for p in tmp_path.rglob("*.tmp*")]
+    assert leftovers == []
+
+
+def test_atomic_temp_names_are_unique_across_threads(tmp_path):
+    """The temp-name scheme (pid + process-wide sequence) must not
+    collide when many threads write the same target concurrently."""
+    import threading
+    path = tmp_path / "shared.bin"
+    errors = []
+
+    def writer(i):
+        try:
+            for j in range(25):
+                atomic_write_bytes(path, f"{i}:{j}".encode())
+        except Exception as exc:          # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,))
+               for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert path.read_bytes().decode().count(":") == 1
+
+
+# -- stale temp cleanup --------------------------------------------------------
+
+
+def test_cleanup_reclaims_dead_writer_tmp(tmp_path):
+    """A temp file whose writer pid is gone is removed regardless of
+    age; a live writer's fresh temp file survives."""
+    sub = tmp_path / "ab"
+    sub.mkdir()
+    dead_pid = 999_999_999  # way past pid_max: guaranteed dead
+    dead = sub / f"entry.pkl.tmp{dead_pid}.0"
+    dead.write_bytes(b"partial")
+    mine = sub / f"entry.pkl.tmp{os.getpid()}.1"
+    mine.write_bytes(b"in-progress")
+    unrelated = sub / "entry.pkl"
+    unrelated.write_bytes(pickle.dumps(("k", "v")))
+
+    removed = cleanup_stale_tmp(tmp_path)
+    assert removed == 1
+    assert not dead.exists()
+    assert mine.exists()          # live pid, fresh mtime
+    assert unrelated.exists()     # real entries are never touched
+
+
+def test_cleanup_reclaims_old_tmp_even_with_live_pid(tmp_path):
+    """PID reuse defence: an ancient temp file is reclaimed even when
+    some process wears its writer's pid today."""
+    stale = tmp_path / f"entry.pkl.tmp{os.getpid()}.2"
+    stale.write_bytes(b"orphaned long ago")
+    old = time.time() - 7200
+    os.utime(stale, (old, old))
+    assert cleanup_stale_tmp(tmp_path, max_age_s=3600.0) == 1
+    assert not stale.exists()
+
+
+def test_cleanup_ignores_non_tmp_and_missing_root(tmp_path):
+    (tmp_path / "keep.json").write_text("{}")
+    assert cleanup_stale_tmp(tmp_path) == 0
+    assert cleanup_stale_tmp(tmp_path / "does-not-exist") == 0
+
+
+def test_result_cache_cleanup_stale_wired(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("cd" + "0" * 62, {"keep": True})
+    orphan = tmp_path / "cd" / "x.pkl.tmp999999999.7"
+    orphan.write_bytes(b"torn")
+    assert cache.cleanup_stale() == 1
+    assert cache.get("cd" + "0" * 62) is not _MISS

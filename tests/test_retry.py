@@ -1,0 +1,115 @@
+"""Shared RetryPolicy: validation, backoff math, and its integration
+with the sweep runner (bounded retries, retry surfacing, rescue)."""
+
+import pytest
+
+from repro.harness import parallel
+from repro.harness.parallel import SweepJob, retry_summary, sweep
+from repro.harness.retry import SWEEP_DEFAULT, RetryPolicy
+
+# -- policy unit behavior ------------------------------------------------------
+
+
+def test_validation_rejects_bad_budgets():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay_s=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+
+
+def test_allows_enforces_attempt_budget():
+    policy = RetryPolicy(max_attempts=3)
+    assert policy.allows(1)
+    assert policy.allows(2)
+    assert not policy.allows(3)
+    assert not policy.allows(7)
+
+
+def test_delay_grows_exponentially_and_caps():
+    policy = RetryPolicy(max_attempts=8, base_delay_s=0.1, backoff=2.0,
+                         max_delay_s=0.5, jitter=0.0)
+    assert policy.delay(1) == pytest.approx(0.1)
+    assert policy.delay(2) == pytest.approx(0.2)
+    assert policy.delay(3) == pytest.approx(0.4)
+    assert policy.delay(4) == pytest.approx(0.5)   # capped
+    assert policy.delay(10) == pytest.approx(0.5)
+
+
+def test_delay_jitter_is_seeded_and_bounded():
+    policy = RetryPolicy(max_attempts=4, base_delay_s=1.0, backoff=1.0,
+                         jitter=0.5)
+    a = policy.delay(1, seed="job-a")
+    b = policy.delay(1, seed="job-a")
+    c = policy.delay(1, seed="job-b")
+    assert a == b                      # same seed, same spread
+    assert a != c                      # different jobs decorrelate
+    for sample in (a, c):
+        assert 0.5 <= sample <= 1.0    # jitter only ever shortens
+
+
+def test_retry_after_hint_floor_and_cap():
+    policy = RetryPolicy()
+    assert policy.retry_after_hint(0, 0.0) == pytest.approx(1.0)
+    assert policy.retry_after_hint(10, 10.0) == pytest.approx(1.0)
+    assert policy.retry_after_hint(1000, 0.5) == pytest.approx(60.0)
+    assert policy.retry_after_hint(30, 2.0) == pytest.approx(15.0)
+
+
+def test_sweep_default_matches_historical_behavior():
+    # One immediate retry, no sleeping: what sweep() always did.
+    assert SWEEP_DEFAULT.max_attempts == 2
+    assert SWEEP_DEFAULT.delay(1) == 0.0
+
+
+# -- sweep integration ---------------------------------------------------------
+
+
+@parallel.register_task("_test_flaky_once")
+def _flaky_once(flag_path):
+    from pathlib import Path
+    flag = Path(flag_path)
+    if not flag.exists():
+        flag.write_text("tried")
+        raise RuntimeError("transient first-attempt failure")
+    return "recovered"
+
+
+def test_retry_rescues_transient_failure(tmp_path):
+    (result,) = sweep(
+        [SweepJob(task="_test_flaky_once",
+                  params={"flag_path": str(tmp_path / "flag")})],
+        n_jobs=2, use_cache=False, retries=2)
+    assert result.ok
+    assert result.value == "recovered"
+    assert result.attempts == 2
+    summary = retry_summary([result])
+    assert summary == {"tasks_retried": 1, "extra_attempts": 1,
+                       "rescued": 1}
+
+
+def test_retries_zero_disables_the_retry(tmp_path):
+    (result,) = sweep(
+        [SweepJob(task="_test_flaky_once",
+                  params={"flag_path": str(tmp_path / "flag")})],
+        n_jobs=2, use_cache=False, retries=0)
+    assert not result.ok
+    assert result.attempts == 1
+    assert retry_summary([result])["extra_attempts"] == 0
+
+
+def test_explicit_policy_bounds_attempts(tmp_path):
+    policy = RetryPolicy(max_attempts=4, base_delay_s=0.0, jitter=0.0)
+    (result,) = sweep(
+        [SweepJob(task="workload_metrics",
+                  params={"workload": "no.such.workload"})],
+        n_jobs=1, use_cache=False, retry=policy)
+    assert not result.ok
+    assert result.attempts == 4
+    summary = retry_summary([result])
+    assert summary["tasks_retried"] == 1
+    assert summary["extra_attempts"] == 3
+    assert summary["rescued"] == 0
