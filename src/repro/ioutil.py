@@ -94,6 +94,24 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
+def _pid_start_time(pid: int) -> Optional[float]:
+    """Epoch start time of ``pid``, or ``None`` when it cannot be read
+    (non-Linux hosts, procfs races, permission trouble).  Used to tell
+    a long-lived writer apart from a recycled pid."""
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            stat = handle.read()
+        with open("/proc/uptime", "r", encoding="ascii") as handle:
+            uptime = float(handle.read().split()[0])
+        # Fields after the parenthesised comm (which may itself contain
+        # spaces); starttime is overall field 22, i.e. index 19 here.
+        fields = stat[stat.rindex(b")") + 2:].split()
+        ticks = int(fields[19])
+        return time.time() - uptime + ticks / os.sysconf("SC_CLK_TCK")
+    except (OSError, ValueError, IndexError):
+        return None
+
+
 def cleanup_stale_tmp(root, max_age_s: float = 3600.0) -> int:
     """Remove orphaned atomic-write temp files under ``root``.
 
@@ -101,9 +119,14 @@ def cleanup_stale_tmp(root, max_age_s: float = 3600.0) -> int:
     by the watchdog, a serve worker shot by the chaos benchmark) leaks
     its ``*.tmp<pid>.<seq>`` file.  Those are this protocol's stale
     locks: they are never adopted, only ever renamed by their creator,
-    so any such file whose pid is dead — or whose mtime is older than
-    ``max_age_s`` (pid reuse guard) — is garbage.  Returns the number
-    of files removed.  Never raises: cleanup is opportunistic.
+    so any such file whose writer pid is dead is garbage.  When the pid
+    looks alive it may still be a *recycled* pid wearing a dead writer's
+    number: a process whose start time postdates the temp file did not
+    stage it, so a file older than ``max_age_s`` in that situation is
+    garbage too.  A live writer that demonstrably predates its temp
+    file is never touched, however old the file — a slow or suspended
+    job is not an orphan.  Returns the number of files removed.  Never
+    raises: cleanup is opportunistic.
     """
     root = Path(root)
     removed = 0
@@ -114,12 +137,19 @@ def cleanup_stale_tmp(root, max_age_s: float = 3600.0) -> int:
         match = _TMP_RE.search(tmp.name)
         if match is None:
             continue
+        pid = int(match.group(1))
         try:
-            stale = not _pid_alive(int(match.group(1))) \
-                or now - tmp.stat().st_mtime > max_age_s
-            if stale:
-                tmp.unlink()
-                removed += 1
+            if _pid_alive(pid):
+                if now - tmp.stat().st_mtime <= max_age_s:
+                    continue  # live pid, plausibly fresh: in flight
+                started = _pid_start_time(pid)
+                if started is not None \
+                        and started <= tmp.stat().st_mtime + 2.0:
+                    continue  # writer predates its file: still at work
+                # Old file + pid started after it was staged (or start
+                # time unknowable): recycled pid, the writer is gone.
+            tmp.unlink()
+            removed += 1
         except OSError:
             continue
     return removed

@@ -7,7 +7,13 @@ Robustness model (DESIGN.md §11):
   is *shed explicitly* (429 + ``retry_after_s`` derived from the
   observed service rate) instead of growing memory without bound.
   Already-accepted jobs bypass the bound on retry — acceptance is a
-  completion promise, shedding happens only at the door.
+  completion promise, shedding happens only at the door.  Client
+  budgets (``deadline_s``, ``max_attempts``) are validated at the door
+  too: garbage is the submitter's 400, never a worker-pool exception.
+  Completed/failed table entries are bounded as well
+  (``max_terminal_entries``, oldest-finished evicted; the stale index
+  is an LRU under ``max_stale_entries``) — evicted results remain
+  fetchable by full key from the on-disk result cache.
 - **Coalescing.**  Job identity is the sweep runner's content-addressed
   cache key, so identical submissions — same task, params, config and
   source fingerprint, from any number of tenants — ride one run and one
@@ -38,6 +44,7 @@ bit-identical however many times, on whichever shard, a job ran.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -50,7 +57,9 @@ from repro.harness.parallel import (
 from repro.harness.retry import RetryPolicy
 from repro.hostinfo import host_snapshot
 from repro.serve import protocol
-from repro.serve.supervisor import STATE_BACKOFF, STATE_BUSY, Shard
+from repro.serve.supervisor import (
+    STATE_BACKOFF, STATE_BUSY, STATE_IDLE, Shard,
+)
 from repro.telemetry.registry import MetricsRegistry
 
 #: Job states (terminal: done / failed).
@@ -100,6 +109,12 @@ class ServeConfig:
     #: Serve stale results (203) instead of shedding when possible.
     stale_serve: bool = True
     reaper_tick_s: float = 0.05
+    #: Terminal (done/failed) table entries kept in memory; beyond the
+    #: bound the oldest-finished are evicted (0 = unbounded).  Evicted
+    #: results stay fetchable by full key from the on-disk result cache.
+    max_terminal_entries: int = 512
+    #: Logical results kept for the stale-serving tier (LRU; 0 = unbounded).
+    max_stale_entries: int = 256
 
 
 @dataclass
@@ -189,6 +204,8 @@ class ServeService:
         self._duration_ewma = 0.0   # seconds per completed job
         self._server: Optional[asyncio.AbstractServer] = None
         self._tasks: List[asyncio.Task] = []
+        #: In-flight retry-wait sleepers (cancelled on stop()).
+        self._retry_tasks: set = set()
         self._stopping = False
         self._drained = asyncio.Event()
         self._shutdown_requested = asyncio.Event()
@@ -198,17 +215,22 @@ class ServeService:
 
     async def start(self) -> None:
         """Bind the socket and start shards + reaper."""
+        # Raise asyncio's default 64 KiB StreamReader limit to the
+        # protocol's own line bound (plus slack so the limit trips
+        # strictly *after* protocol.decode's check would): large-params
+        # submissions get a 400, not a dropped connection.
+        limit = protocol.MAX_LINE_BYTES + 4096
         if self.config.socket_path:
             path = Path(self.config.socket_path)
             path.parent.mkdir(parents=True, exist_ok=True)
             if path.exists():
                 path.unlink()
             self._server = await asyncio.start_unix_server(
-                self._handle_client, path=str(path))
+                self._handle_client, path=str(path), limit=limit)
         else:
             self._server = await asyncio.start_server(
                 self._handle_client, host=self.config.host,
-                port=self.config.port or 0)
+                port=self.config.port or 0, limit=limit)
         for shard in self.shards:
             self._tasks.append(asyncio.ensure_future(
                 self._run_shard(shard)))
@@ -251,14 +273,16 @@ class ServeService:
                 await self._server.wait_closed()
             except Exception:
                 pass
-        for task in self._tasks:
+        pending = self._tasks + list(self._retry_tasks)
+        for task in pending:
             task.cancel()
-        for task in self._tasks:
+        for task in pending:
             try:
                 await task
             except (asyncio.CancelledError, Exception):
                 pass
         self._tasks.clear()
+        self._retry_tasks.clear()
         # Closing pipes unblocks any recv threads; kill what's left.
         for shard in self.shards:
             shard.stop()
@@ -325,6 +349,28 @@ class ServeService:
         except (ValueError, TypeError) as exc:
             return protocol.error_response(
                 protocol.BAD_REQUEST, f"bad params: {exc}")
+        # Budgets are validated at the door: a bad value is the
+        # client's 400, never a worker-pool exception later.
+        deadline = spec.get("deadline_s", self.config.default_deadline_s)
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                deadline = math.nan
+            if not math.isfinite(deadline) or deadline <= 0:
+                return protocol.error_response(
+                    protocol.BAD_REQUEST,
+                    f"deadline_s must be a positive number, got "
+                    f"{spec.get('deadline_s')!r}")
+        try:
+            max_attempts = int(spec.get("max_attempts",
+                                        self.retry.max_attempts))
+        except (TypeError, ValueError):
+            return protocol.error_response(
+                protocol.BAD_REQUEST,
+                f"max_attempts must be an integer, got "
+                f"{spec.get('max_attempts')!r}")
+        max_attempts = max(1, min(MAX_ATTEMPTS_CAP, max_attempts))
         job = SweepJob(task=task, params=params,
                        label=spec.get("label", ""))
         key = job.key(self.fingerprint)
@@ -355,15 +401,11 @@ class ServeService:
                 return protocol.response(protocol.OK,
                                          **entry.status_dict())
 
-        deadline = spec.get("deadline_s", self.config.default_deadline_s)
-        max_attempts = min(MAX_ATTEMPTS_CAP,
-                           int(spec.get("max_attempts",
-                                        self.retry.max_attempts)))
         if self._pending >= self.config.max_pending:
             return self._degrade_or_shed(job, key)
 
         entry = JobEntry(key=key, job=job,
-                         max_attempts=max(1, max_attempts),
+                         max_attempts=max_attempts,
                          deadline_s=deadline)
         if self.table.get(key) is not None:
             entry.submits += self.table[key].submits
@@ -388,6 +430,7 @@ class ServeService:
                              f"(computed at {known['fingerprint'][:12]})")
             self.table[key] = entry
             self._count("serve.stale_served")
+            self._evict_terminal()
             return protocol.response(protocol.DEGRADED_STALE,
                                      **entry.status_dict())
         self._count("serve.shed")
@@ -419,7 +462,25 @@ class ServeService:
         entry.mark(DONE, "served from result cache" if cached else "")
         self.table[key] = entry
         self._note_known_result(entry)
+        self._evict_terminal()
         return entry
+
+    def _evict_terminal(self) -> None:
+        """Bound the table: a long-lived service must not accumulate one
+        payload per job forever.  Oldest-finished terminal entries go
+        first; their values remain fetchable (by full key) from the
+        on-disk result cache."""
+        cap = self.config.max_terminal_entries
+        if cap <= 0:
+            return
+        terminal = [e for e in self.table.values() if e.terminal]
+        excess = len(terminal) - cap
+        if excess <= 0:
+            return
+        terminal.sort(key=lambda e: e.finished or 0.0)
+        for entry in terminal[:excess]:
+            del self.table[entry.key]
+            self._count("serve.evicted")
 
     # -- shard supervision -----------------------------------------------------
 
@@ -429,7 +490,21 @@ class ServeService:
             shard.spawn()
             self._count("serve.worker_spawns")
             self._update_gauges()
-            clean = await self._pump_shard(shard)
+            try:
+                clean = await self._pump_shard(shard)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # Last-ditch net: supervision survives *any* pump bug.
+                # The in-flight job (if one) is charged and retried so
+                # it cannot wedge in RUNNING forever.
+                self._count("serve.supervisor_errors")
+                key, _reason = shard.take_crash_context()
+                entry = self.table.get(key) if key else None
+                if entry is not None and entry.state == RUNNING:
+                    entry.error = f"supervisor error: {exc!r}"
+                    self._retry_or_fail(entry, entry.error)
+                clean = False
             shard.reap()
             self._update_gauges()
             if clean or self._stopping:
@@ -466,6 +541,17 @@ class ServeService:
                 entry.mark(QUEUED, "worker lost before dispatch; requeued")
                 self._requeue(entry)
                 return False
+            except Exception as exc:
+                # Defence in depth: a job the pipe cannot carry (or any
+                # other unexpected dispatch failure) fails the *job* —
+                # it must never kill this shard's supervision task.
+                shard.abort_dispatch()
+                entry.error = (f"dispatch error on attempt "
+                               f"{entry.attempts}: {exc!r}")
+                self._count("serve.dispatch_errors")
+                self._retry_or_fail(entry, entry.error)
+                self._update_gauges()
+                continue
             self._update_gauges()
             started = time.monotonic()
             frame = await asyncio.to_thread(shard.recv)
@@ -476,7 +562,16 @@ class ServeService:
                 return False
             _tag, _key, status, payload, duration, stderr_tail = frame
             shard.note_job_done()
-            self._on_result(entry, status, payload, duration, stderr_tail)
+            try:
+                self._on_result(entry, status, payload, duration,
+                                stderr_tail)
+            except Exception as exc:
+                # A result we cannot process charges the job, not the
+                # supervision task (the worker itself is fine).
+                self._count("serve.supervisor_errors")
+                if not entry.terminal:
+                    entry.error = f"result handling error: {exc!r}"
+                    self._retry_or_fail(entry, entry.error)
             self._update_gauges()
         return True
 
@@ -548,8 +643,10 @@ class ServeService:
             self._count("serve.retries")
             delay = self.retry.delay(entry.attempts, seed=entry.key)
             entry.mark(RETRY_WAIT, f"{note}; retrying in {delay:.2f}s")
-            asyncio.get_running_loop().create_task(
+            task = asyncio.get_running_loop().create_task(
                 self._requeue_later(entry, delay))
+            self._retry_tasks.add(task)
+            task.add_done_callback(self._retry_tasks.discard)
         else:
             entry.mark(FAILED, note)
             self._job_finished(entry)
@@ -566,6 +663,7 @@ class ServeService:
     def _job_finished(self, entry: JobEntry) -> None:
         self._pending = max(0, self._pending - 1)
         self._check_drained()
+        self._evict_terminal()
         self._update_gauges()
 
     def _check_drained(self) -> None:
@@ -575,11 +673,18 @@ class ServeService:
     def _note_known_result(self, entry: JobEntry) -> None:
         if entry.value_payload is None:
             return
-        self._stale_index[self._logical_key(entry.job)] = {
+        logical = self._logical_key(entry.job)
+        # Re-insert for LRU recency (dicts preserve insertion order),
+        # then trim oldest-first down to the bound.
+        self._stale_index.pop(logical, None)
+        self._stale_index[logical] = {
             "payload": entry.value_payload,
             "digest": entry.telemetry_digest,
             "fingerprint": self.fingerprint,
         }
+        cap = self.config.max_stale_entries
+        while cap > 0 and len(self._stale_index) > cap:
+            self._stale_index.pop(next(iter(self._stale_index)))
 
     # -- the reaper ------------------------------------------------------------
 
@@ -602,6 +707,16 @@ class ServeService:
                 try:
                     line = await reader.readline()
                 except (ConnectionResetError, OSError):
+                    break
+                except (ValueError, asyncio.LimitOverrunError):
+                    # Line exceeded the reader limit.  Framing is lost
+                    # past this point, so answer 400 and hang up rather
+                    # than silently dropping the connection.
+                    writer.write(protocol.encode(protocol.error_response(
+                        protocol.BAD_REQUEST,
+                        f"request line exceeds "
+                        f"{protocol.MAX_LINE_BYTES} bytes")))
+                    await writer.drain()
                     break
                 if not line:
                     break
@@ -661,10 +776,24 @@ class ServeService:
         return protocol.response(protocol.OK, **entry.status_dict())
 
     def _handle_fetch(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        entry = self._find(request.get("job") or "")
+        job_id = request.get("job") or ""
+        entry = self._find(job_id)
         if entry is None:
+            # Evicted (or pre-restart) completions stay fetchable by
+            # full key from the on-disk result cache.  Full hex keys
+            # only: the key names a cache path, so a prefix (or any
+            # other client string) must not reach the filesystem.
+            if self.cache is not None and len(job_id) == 64 \
+                    and all(c in "0123456789abcdef" for c in job_id):
+                cached = self.cache.get(job_id)
+                if cached is not _MISS:
+                    self._count("serve.cache_hits")
+                    return protocol.response(
+                        protocol.OK, job=job_id[:16], key=job_id,
+                        state=DONE, cached=True, evicted=True,
+                        value=wire_value(cached))
             return protocol.error_response(
-                protocol.NOT_FOUND, f"unknown job {request.get('job')!r}")
+                protocol.NOT_FOUND, f"unknown job {job_id!r}")
         if entry.state == DONE:
             code = (protocol.DEGRADED_STALE if entry.stale
                     else protocol.OK)

@@ -119,6 +119,14 @@ class Shard:
         self.state = STATE_BUSY
         self.conn.send(("job", job_key, task, params))
 
+    def abort_dispatch(self) -> None:
+        """Forget a dispatch that never reached the worker (the frame
+        could not be sent, e.g. unpicklable params): the worker is still
+        idle and usable, only the parent-side bookkeeping rolls back."""
+        self.current_key = None
+        self.deadline = None
+        self.state = STATE_IDLE
+
     def recv(self) -> Optional[Tuple[Any, ...]]:
         """Blocking receive (run in a thread); ``None`` = worker died."""
         try:

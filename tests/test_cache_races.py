@@ -6,6 +6,8 @@ import os
 import pickle
 import time
 
+import pytest
+
 from repro.harness.parallel import _MISS, ResultCache
 from repro.ioutil import (
     atomic_write_bytes, cleanup_stale_tmp, load_artifact, write_artifact,
@@ -141,6 +143,19 @@ def test_cleanup_reclaims_old_tmp_even_with_live_pid(tmp_path):
     os.utime(stale, (old, old))
     assert cleanup_stale_tmp(tmp_path, max_age_s=3600.0) == 1
     assert not stale.exists()
+
+
+@pytest.mark.skipif(not os.path.exists("/proc/self/stat"),
+                    reason="needs procfs process start times")
+def test_cleanup_keeps_live_writer_that_predates_its_file(tmp_path):
+    """A slow writer is not an orphan: however old its temp file gets,
+    it survives cleanup while the writer process — demonstrably started
+    *before* the file was staged — is still alive."""
+    mine = tmp_path / f"entry.pkl.tmp{os.getpid()}.9"
+    mine.write_bytes(b"slow in-progress write")
+    time.sleep(0.05)
+    assert cleanup_stale_tmp(tmp_path, max_age_s=0.01) == 0
+    assert mine.exists()
 
 
 def test_cleanup_ignores_non_tmp_and_missing_root(tmp_path):

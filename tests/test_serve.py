@@ -303,6 +303,128 @@ def test_malformed_frames_get_400_not_disconnect(tmp_path):
         raw.close()
 
 
+def test_bad_budget_values_rejected_400_and_pool_survives(tmp_path):
+    """Garbage ``deadline_s``/``max_attempts`` must be the submitter's
+    400 at admission — never a TypeError inside a supervision task
+    (which would kill the shard and wedge every later submission)."""
+    with ServeHost(tmp_path, workers=1, use_cache=False) as host:
+        with host.client() as client:
+            for extra in ({"deadline_s": "soon"}, {"deadline_s": -1},
+                          {"deadline_s": 0}, {"max_attempts": "lots"},
+                          {"max_attempts": [3]}):
+                bad = client.submit("_serve_sleep", {"seconds": 0.01},
+                                    **extra)
+                assert bad["code"] == protocol.BAD_REQUEST, extra
+                assert "must be" in bad["error"]
+            # The pool is untouched: a well-formed job still completes.
+            ok = client.submit("_serve_sleep", {"seconds": 0.01},
+                               deadline_s=30, max_attempts=2)
+            assert ok["code"] == protocol.ACCEPTED
+            assert client.wait(ok["job"], timeout=60)["state"] == "done"
+            health = client.healthz()
+            assert any(w["alive"] for w in health["workers"])
+
+
+def test_dispatch_error_fails_job_not_supervision(tmp_path):
+    """An unexpected exception while handing a job to a worker fails
+    that job through the retry budget; the shard's supervision task and
+    worker survive to run the next job."""
+    with ServeHost(tmp_path, workers=1, use_cache=False) as host:
+        def boom(entry):
+            raise RuntimeError("boom")
+        host.service._exec_params = boom
+        with host.client() as client:
+            reply = client.submit("_serve_sleep", {"seconds": 0.01},
+                                  max_attempts=1)
+            final = client.wait(reply["job"], timeout=60)
+            assert final["state"] == "failed"
+            assert "dispatch error" in final["full_error"]
+        del host.service._exec_params
+        with host.client() as client:
+            ok = client.submit("_serve_sleep", {"seconds": 0.01,
+                                                "tag": "after"})
+            assert client.wait(ok["job"], timeout=60)["state"] == "done"
+            health = client.healthz()
+            assert health["counters"]["serve.dispatch_errors"] >= 1
+            assert any(w["alive"] for w in health["workers"])
+
+
+def test_oversized_request_lines_answered_400(tmp_path):
+    """A line above the protocol bound gets a 400, both under the
+    stream-reader limit (connection survives) and over it (answered,
+    then hung up) — never a silent disconnect."""
+    with ServeHost(tmp_path, workers=1) as host:
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.settimeout(30)
+        raw.connect(host.sock)
+        stream = raw.makefile("rb")
+        raw.sendall(b"x" * (protocol.MAX_LINE_BYTES + 10) + b"\n")
+        first = json.loads(stream.readline())
+        assert first["code"] == protocol.BAD_REQUEST
+        assert "exceeds" in first["error"]
+        raw.sendall(protocol.encode({"op": "healthz"}))
+        assert json.loads(stream.readline())["live"] is True
+        raw.close()
+
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.settimeout(30)
+        raw.connect(host.sock)
+        stream = raw.makefile("rb")
+        raw.sendall(b"y" * (protocol.MAX_LINE_BYTES + 4096 + 1000)
+                    + b"\n")
+        over = json.loads(stream.readline())
+        assert over["code"] == protocol.BAD_REQUEST
+        assert "exceeds" in over["error"]
+        raw.close()
+
+
+def test_terminal_entries_evicted_and_fetchable_from_cache(tmp_path):
+    """The job table is bounded: past ``max_terminal_entries`` the
+    oldest-finished entries are dropped from memory, and their values
+    remain fetchable by full key from the on-disk result cache."""
+    with ServeHost(tmp_path, workers=1, max_terminal_entries=2) as host:
+        with host.client() as client:
+            keys = []
+            for tag in "abcd":
+                reply = client.submit("_serve_sleep",
+                                      {"seconds": 0.01, "tag": tag})
+                client.wait(reply["job"], timeout=60)
+                keys.append(reply["key"])
+            table = host.service.table
+            assert sum(1 for e in table.values() if e.terminal) <= 2
+            assert keys[0] not in table
+            evicted = client.fetch(keys[0])
+            assert evicted["code"] == protocol.OK
+            assert evicted["evicted"] is True
+            assert evicted["value"]["tag"] == "a"
+            assert client.healthz()["counters"]["serve.evicted"] >= 2
+
+
+def test_stale_index_bounded_lru():
+    from repro.harness.parallel import SweepJob
+    from repro.serve.service import JobEntry
+
+    service = ServeService(ServeConfig(workers=1, use_cache=False,
+                                       max_stale_entries=2))
+    jobs = [SweepJob(task="workload_metrics",
+                     params={"workload": "429.mcf", "scale": 0.01 * (i + 1)})
+            for i in range(4)]
+
+    def note(i):
+        entry = JobEntry(key=f"k{i}", job=jobs[i])
+        entry.value_payload = {"i": i}
+        service._note_known_result(entry)
+
+    note(0), note(1), note(2)
+    assert len(service._stale_index) == 2
+    assert service._logical_key(jobs[0]) not in service._stale_index
+    note(1)  # LRU touch: 1 is now the most recent of {1, 2}
+    note(3)  # evicts 2, not 1
+    assert service._logical_key(jobs[2]) not in service._stale_index
+    assert service._logical_key(jobs[1]) in service._stale_index
+    assert service._logical_key(jobs[3]) in service._stale_index
+
+
 def test_unknown_op_rejected(tmp_path):
     with ServeHost(tmp_path, workers=1) as host:
         with host.client() as client:
