@@ -1,0 +1,130 @@
+"""Fuzzer throughput, coverage guidance, and sanitizer overhead.
+
+Three campaigns at the same candidate budget gate the fuzzing
+contract (§ DESIGN.md 12):
+
+- **guided**: the full engine — seed corpus, coverage-fed corpus
+  growth, mutation-energy scheduling, invariant sanitizer hot;
+- **unguided**: the classic blackbox baseline — blind random mutation
+  of a single seed, no coverage feedback (``guided=False,
+  corpus_limit=1``);
+- **sanitize-off**: the guided campaign with ``TolConfig.sanitize``
+  disabled, to price the invariant checks.
+
+Gated at full scale: guided coverage must reach **>= 1.5x** the edges
+of unguided at equal budget — the feedback loop has to pay for itself.
+Sanitizer overhead is recorded (throughput ratio), not gated: the
+checks ride cold paths (translation, invalidation, rollback), so the
+expected cost is small.
+
+Run as a script to (re)generate ``BENCH_fuzz.json`` at the repo root:
+
+    PYTHONPATH=src python benchmarks/bench_fuzz.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.fuzz import FuzzConfig, run_campaign
+from repro.hostinfo import host_snapshot
+
+SEED = 1
+BUDGET = 48
+BATCH = 12
+JOBS = 4
+
+#: Acceptance gate (enforced at full scale).
+GUIDED_EDGE_FLOOR = 1.5
+
+
+def _campaign(budget, batch, jobs, *, guided=True, corpus_limit=None,
+              sanitize=True):
+    return run_campaign(FuzzConfig(
+        seed=SEED, budget=budget, batch=batch, jobs=jobs,
+        guided=guided, corpus_limit=corpus_limit, sanitize=sanitize,
+        minimize=False, confirm=False))
+
+
+def compare(budget: int = BUDGET, batch: int = BATCH, jobs: int = JOBS):
+    guided = _campaign(budget, batch, jobs)
+    unguided = _campaign(budget, batch, jobs, guided=False,
+                         corpus_limit=1)
+    unchecked = _campaign(budget, batch, jobs, sanitize=False)
+
+    for result in (guided, unguided, unchecked):
+        assert result.executions == budget, "campaign under-ran budget"
+        assert not result.findings, \
+            [f.signature for f in result.findings]
+
+    edge_ratio = (len(guided.coverage) / len(unguided.coverage)
+                  if unguided.coverage else float("inf"))
+    overhead = (guided.elapsed_s / unchecked.elapsed_s - 1.0
+                if unchecked.elapsed_s else 0.0)
+    return {
+        "seed": SEED,
+        "budget": budget,
+        "batch": batch,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "host": host_snapshot(),
+        "guided_edges": len(guided.coverage),
+        "unguided_edges": len(unguided.coverage),
+        "guided_edge_ratio": round(edge_ratio, 2),
+        "guided_execs_per_sec": round(guided.execs_per_sec, 3),
+        "unguided_execs_per_sec": round(unguided.execs_per_sec, 3),
+        "guided_corpus_size": guided.corpus_size,
+        "guided_classified": guided.classified,
+        "unguided_classified": unguided.classified,
+        "sanitize_on_s": round(guided.elapsed_s, 3),
+        "sanitize_off_s": round(unchecked.elapsed_s, 3),
+        "sanitizer_overhead_pct": round(100 * overhead, 1),
+        "coverage_digest": guided.coverage_digest,
+        "edge_gate": (f">= {GUIDED_EDGE_FLOOR}x unguided edges "
+                      f"at equal budget"),
+    }
+
+
+def check_gates(results, smoke: bool = False) -> None:
+    assert results["guided_edges"] > 0, "coverage map is empty"
+    if smoke:
+        return
+    assert results["guided_edge_ratio"] >= GUIDED_EDGE_FLOOR, (
+        f"guided campaign reached only "
+        f"{results['guided_edge_ratio']}x the unguided edges "
+        f"(floor {GUIDED_EDGE_FLOOR}x)")
+
+
+def test_fuzz_guidance(benchmark):
+    results = benchmark.pedantic(
+        lambda: compare(budget=16, batch=8, jobs=2),
+        rounds=1, iterations=1)
+    print("\n=== fuzzer: coverage guidance and sanitizer cost ===")
+    print(f"guided  : {results['guided_edges']} edges "
+          f"({results['guided_execs_per_sec']:.2f} execs/s)")
+    print(f"unguided: {results['unguided_edges']} edges "
+          f"({results['guided_edge_ratio']:.2f}x)")
+    print(f"sanitizer overhead: {results['sanitizer_overhead_pct']}%")
+    check_gates(results, smoke=True)  # ratio gated at full scale only
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    if smoke:
+        results = compare(budget=12, batch=6, jobs=2)
+    else:
+        results = compare()
+    print(json.dumps(results, indent=2))
+    check_gates(results, smoke=smoke)
+    if not smoke:
+        out = Path(__file__).resolve().parent.parent / "BENCH_fuzz.json"
+        out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -501,6 +501,85 @@ def cmd_repro(args) -> int:
     return 0 if outcome.reproduced else 2
 
 
+def _parse_plant(spec: str) -> dict:
+    """``site:ordinal:salt@exec`` -> FuzzConfig.plant dict."""
+    try:
+        body, sep, exec_s = spec.partition("@")
+        if not sep:
+            raise ValueError("missing @exec")
+        site, ordinal, salt = body.split(":")
+        return {"site": site, "ordinal": int(ordinal),
+                "salt": int(salt, 0), "exec": int(exec_s)}
+    except (ValueError, TypeError):
+        raise SystemExit(
+            f"--plant expects SITE:ORDINAL:SALT@EXEC "
+            f"(e.g. host_bitflip:0:0x1@2), got {spec!r}")
+
+
+def cmd_fuzz(args) -> int:
+    """Run a coverage-guided differential fuzz campaign.
+
+    Exit status: 0 when the campaign completed and every finding was
+    fully triaged (minimized where enabled and confirmed by replay),
+    1 when any finding failed to confirm."""
+    import json
+
+    from repro.fuzz import FuzzConfig, run_campaign
+
+    config = FuzzConfig(
+        seed=args.seed, budget=args.budget,
+        jobs=args.jobs or 1, batch=args.batch,
+        sanitize=not args.no_sanitize,
+        timing_every=args.timing_every,
+        max_events=args.max_events, step_cap=args.step_cap,
+        repro_dir=args.repro_dir, corpus_dir=args.corpus_dir,
+        overrides=_parse_set_pairs(args.set),
+        plant=_parse_plant(args.plant) if args.plant else None,
+        minimize=not args.no_minimize,
+        confirm=not args.no_confirm)
+
+    def progress(executed, budget, edges, n_findings):
+        print(f"  fuzz: {executed}/{budget} execs  {edges} edges  "
+              f"{n_findings} findings", file=sys.stderr)
+
+    result = run_campaign(config, progress=progress)
+
+    if args.json or args.out:
+        text = json.dumps(result.as_dict(), indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.out}")
+        if args.json:
+            print(text)
+    else:
+        print(f"campaign: {result.executions} execs in "
+              f"{result.elapsed_s:.1f}s "
+              f"({result.execs_per_sec:.2f} execs/s)  "
+              f"seed={config.seed} jobs={config.jobs}")
+        classified = " ".join(f"{k}={v}" for k, v in
+                              sorted(result.classified.items()))
+        print(f"classified: {classified}")
+        print(f"coverage: {len(result.coverage)} edges  "
+              f"digest={result.coverage_digest[:16]}")
+        print(f"corpus: {result.corpus_size} entries")
+        print(f"findings: {len(result.findings)}")
+        for f in result.findings:
+            print(f"  [{f.kind}] leg={f.leg} exec={f.exec_index} "
+                  f"sig={f.signature[:16]} dupes={f.duplicates}")
+            if f.minimized_instructions is not None:
+                print(f"    minimized: {f.original_instructions} -> "
+                      f"{f.minimized_instructions} instructions")
+            if f.confirmed is not None:
+                print(f"    confirmed: {f.confirmed}")
+            if f.bundle_path:
+                print(f"    bundle: {f.bundle_path}")
+
+    untriaged = [f for f in result.findings
+                 if not args.no_confirm and f.confirmed is not True]
+    return 1 if untriaged else 0
+
+
 DEFAULT_SOCKET = ".darco-serve.sock"
 
 
@@ -848,6 +927,59 @@ def build_parser() -> argparse.ArgumentParser:
                                "campaign run (repeatable)")
     _add_budget_args(inject_p)
     inject_p.set_defaults(fn=cmd_inject)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided differential fuzz campaign across the "
+             "execution tiers with auto-minimized repro triage "
+             "(exit 0 iff every finding confirmed)")
+    fuzz_p.add_argument("--seed", type=int, default=1,
+                        help="campaign master seed (default: 1)")
+    fuzz_p.add_argument("--budget", "-n", type=int, default=200,
+                        help="candidate executions (default: 200)")
+    fuzz_p.add_argument("--jobs", "-j", type=int, default=None,
+                        help="fan candidates out over worker processes "
+                             "(default: sequential; the mutant stream "
+                             "and results are identical at any value)")
+    fuzz_p.add_argument("--batch", type=int, default=16,
+                        help="candidates per scheduling round "
+                             "(default: 16)")
+    fuzz_p.add_argument("--plant", metavar="SITE:ORD:SALT@EXEC",
+                        default=None,
+                        help="plant a deterministic fault on one "
+                             "execution (campaign self-test, e.g. "
+                             "host_bitflip:0:0x1@2)")
+    fuzz_p.add_argument("--repro-dir", default=None, metavar="DIR",
+                        help="write self-contained repro bundles for "
+                             "findings here")
+    fuzz_p.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="extra seed programs (corpus JSON files)")
+    fuzz_p.add_argument("--timing-every", type=int, default=0,
+                        metavar="N",
+                        help="run the annotated-timing oracle leg on "
+                             "every Nth candidate (default: off)")
+    fuzz_p.add_argument("--max-events", type=int, default=100_000,
+                        help="controller event budget per oracle leg "
+                             "(runaway mutants classify as 'runaway' "
+                             "and are skipped)")
+    fuzz_p.add_argument("--step-cap", type=int, default=400_000,
+                        help="reference-interpreter step cap per "
+                             "candidate")
+    fuzz_p.add_argument("--no-sanitize", action="store_true",
+                        help="do not run the TOL invariant sanitizer "
+                             "during oracle legs")
+    fuzz_p.add_argument("--no-minimize", action="store_true",
+                        help="skip ddmin minimization of findings")
+    fuzz_p.add_argument("--no-confirm", action="store_true",
+                        help="skip confirming findings by bundle replay")
+    fuzz_p.add_argument("--json", action="store_true",
+                        help="emit the full campaign result as JSON")
+    fuzz_p.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON campaign result here")
+    fuzz_p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                        help="override a TolConfig field for every "
+                             "oracle leg (repeatable)")
+    fuzz_p.set_defaults(fn=cmd_fuzz)
 
     metrics_p = sub.add_parser(
         "metrics",

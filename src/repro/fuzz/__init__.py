@@ -1,0 +1,27 @@
+"""Coverage-guided differential fuzzer for the co-designed stack.
+
+``darco fuzz`` mutates GISA guest programs to maximize TOL-path
+coverage (``cov.*`` telemetry: unit-exit arms, superblock shapes,
+quarantine ladder edges, direct-tier outcomes, annotated-timing
+fallback reasons) and runs every candidate through a differential
+oracle — the reference interpretive path vs the fastpath / direct /
+annotated-timing tiers, in strict and recover modes — flagging any
+divergence in architectural state, retirement counts or cycle reports.
+Findings are auto-triaged: deduped by incident signature, emitted as
+self-contained repro bundles, ddmin-minimized with a kind-matched
+oracle, and replayed for confirmation.
+"""
+
+from repro.fuzz.coverage import COVERAGE_NAMESPACES, CoverageMap
+from repro.fuzz.mutate import MutationEngine, load_corpus_program
+from repro.fuzz.oracle import DEFAULT_LEGS, FuzzOutcome, evaluate_candidate
+from repro.fuzz.engine import (
+    CampaignResult, Finding, FuzzConfig, run_campaign,
+)
+
+__all__ = [
+    "COVERAGE_NAMESPACES", "CoverageMap", "MutationEngine",
+    "load_corpus_program", "DEFAULT_LEGS", "FuzzOutcome",
+    "evaluate_candidate", "CampaignResult", "Finding", "FuzzConfig",
+    "run_campaign",
+]

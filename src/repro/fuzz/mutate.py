@@ -1,0 +1,184 @@
+"""Length-preserving GISA program mutations.
+
+The guest encoding is variable-length with absolute branch targets, so
+mutations never change an instruction's size: immediates are rewritten
+in place (same 5-byte ``Imm`` slot), opcodes swap only within the same
+operand signature, branches retarget only to decoded instruction
+boundaries, and whole instructions are NOP-masked rather than deleted
+(the minimizer's trick).  Every mutation re-encodes the instruction and
+asserts the byte length is unchanged — a mutation that cannot keep the
+length is skipped, never mis-applied.
+
+All randomness flows from a :class:`random.Random` seeded by the
+campaign, so a ``(seed, entry, round, k)`` tuple always produces the
+same mutant: the campaign is replay-deterministic at any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import List, Optional
+
+from repro.guest.encoding import encode_instr
+from repro.guest.isa import (
+    CONDITION_CODES, INSN_SPECS, GuestInstr, Imm, Reg,
+)
+from repro.guest.program import GuestProgram
+from repro.snapshot.minimize import (
+    _NOP_BYTE, _is_direct_branch, decode_program_instrs,
+)
+from repro.snapshot.serialize import program_from_dict, program_to_dict
+
+#: Values that historically shake out boundary bugs.
+_INTERESTING = (0, 1, 2, 0x7F, 0x80, 0xFF, 0x100, 0x7FFF, 0x8000,
+                0xFFFF, 0x10000, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF)
+
+#: Mnemonics grouped by operand signature + flags behaviour, so an
+#: opcode swap keeps the operand bytes valid *and* stays decodable.
+_SWAP_GROUPS = (
+    ("ADD", "SUB", "AND", "OR", "XOR", "CMP"),
+    ("TEST",),
+    ("INC", "DEC", "NEG", "NOT"),
+    ("SHL", "SHR", "SAR"),
+    ("MOV",),
+)
+_SWAP_OF = {}
+for _group in _SWAP_GROUPS:
+    for _m in _group:
+        _SWAP_OF[_m] = tuple(x for x in _group if x != _m)
+
+
+def load_corpus_program(path: str) -> GuestProgram:
+    """Load a corpus entry (a ``program_to_dict`` JSON file)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return program_from_dict(json.load(fh))
+
+
+def save_corpus_program(path: str, program: GuestProgram) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(program_to_dict(program), fh, sort_keys=True)
+
+
+class MutationEngine:
+    """Deterministic mutation of one guest program."""
+
+    def __init__(self, program: GuestProgram):
+        self.program = program
+        self.instrs: List[GuestInstr] = decode_program_instrs(program)
+        #: Valid absolute branch targets: instruction boundaries.
+        self.boundaries = tuple(i.addr for i in self.instrs)
+
+    # -- single mutations (each returns new code bytes or None) --------
+
+    def _patch(self, code: bytearray, instr: GuestInstr,
+               replacement: GuestInstr) -> bool:
+        """Re-encode ``replacement`` over ``instr``'s bytes in place;
+        False (no change) when the length would differ."""
+        try:
+            raw = encode_instr(replacement)
+        except Exception:
+            return False
+        if len(raw) != instr.length:
+            return False
+        off = instr.addr - self.program.base
+        code[off:off + instr.length] = raw
+        return True
+
+    def _mut_imm(self, rng: random.Random, code: bytearray) -> bool:
+        """Rewrite a random immediate: interesting constant, arithmetic
+        nudge, or single bit flip (all keep the 5-byte Imm slot)."""
+        cands = [(i, j) for i, ins in enumerate(self.instrs)
+                 for j, op in enumerate(ins.operands)
+                 if isinstance(op, Imm) and not _is_direct_branch(ins)]
+        if not cands:
+            return False
+        i, j = rng.choice(cands)
+        ins = self.instrs[i]
+        old = ins.operands[j].u32
+        kind = rng.randrange(3)
+        if kind == 0:
+            new = rng.choice(_INTERESTING)
+        elif kind == 1:
+            new = (old + rng.choice((-2, -1, 1, 2))) & 0xFFFFFFFF
+        else:
+            new = old ^ (1 << rng.randrange(32))
+        ops = list(ins.operands)
+        ops[j] = Imm(new)
+        return self._patch(code, ins,
+                           GuestInstr(ins.mnemonic, tuple(ops)))
+
+    def _mut_opcode(self, rng: random.Random, code: bytearray) -> bool:
+        """Swap a mnemonic within its operand-signature group."""
+        cands = [i for i, ins in enumerate(self.instrs)
+                 if _SWAP_OF.get(ins.mnemonic)]
+        if not cands:
+            return False
+        ins = self.instrs[rng.choice(cands)]
+        new = rng.choice(_SWAP_OF[ins.mnemonic])
+        return self._patch(code, ins, GuestInstr(new, ins.operands))
+
+    def _mut_cc(self, rng: random.Random, code: bytearray) -> bool:
+        """Flip a conditional branch's condition code (same target)."""
+        cands = [i for i, ins in enumerate(self.instrs)
+                 if ins.mnemonic.startswith("J")
+                 and ins.mnemonic[1:] in CONDITION_CODES]
+        if not cands:
+            return False
+        ins = self.instrs[rng.choice(cands)]
+        cc = rng.choice([c for c in CONDITION_CODES
+                         if c != ins.mnemonic[1:]])
+        if f"J{cc}" not in INSN_SPECS:
+            return False
+        return self._patch(code, ins, GuestInstr(f"J{cc}", ins.operands))
+
+    def _mut_branch_target(self, rng: random.Random,
+                           code: bytearray) -> bool:
+        """Retarget a direct branch to another instruction boundary —
+        the mutation that actually reshapes superblocks, chains and
+        quarantine paths."""
+        cands = [i for i, ins in enumerate(self.instrs)
+                 if _is_direct_branch(ins)]
+        if not cands:
+            return False
+        ins = self.instrs[rng.choice(cands)]
+        target = rng.choice(self.boundaries)
+        ops = (Imm(target),) + tuple(ins.operands[1:])
+        return self._patch(code, ins, GuestInstr(ins.mnemonic, ops))
+
+    def _mut_nop(self, rng: random.Random, code: bytearray) -> bool:
+        """NOP-mask one instruction (skip branches and the entry, which
+        tend to produce trivially-invalid programs)."""
+        cands = [i for i, ins in enumerate(self.instrs)
+                 if not ins.is_branch and ins.mnemonic != "SYSCALL"
+                 and ins.addr != self.program.entry]
+        if not cands:
+            return False
+        ins = self.instrs[rng.choice(cands)]
+        off = ins.addr - self.program.base
+        code[off:off + ins.length] = _NOP_BYTE * ins.length
+        return True
+
+    _MUTATIONS = ("_mut_imm", "_mut_opcode", "_mut_cc",
+                  "_mut_branch_target", "_mut_nop")
+    #: branch retargets and immediates dominate: they reshape control
+    #: flow and data values, the two axes the coverage map watches.
+    _WEIGHTS = (4, 2, 2, 3, 1)
+
+    def mutate(self, rng: random.Random,
+               n_mutations: Optional[int] = None) -> GuestProgram:
+        """A mutant: 1-4 stacked length-preserving mutations."""
+        code = bytearray(self.program.code)
+        n = n_mutations if n_mutations is not None else rng.randrange(1, 5)
+        applied = 0
+        for _ in range(n * 4):  # retry budget for skipped mutations
+            if applied >= n:
+                break
+            name = rng.choices(self._MUTATIONS,
+                               weights=self._WEIGHTS, k=1)[0]
+            if getattr(self, name)(rng, code):
+                applied += 1
+        return GuestProgram(
+            code=bytes(code), base=self.program.base,
+            entry=self.program.entry, data=dict(self.program.data),
+            stack_top=self.program.stack_top)

@@ -273,6 +273,29 @@ def _task_fault_run(site: str, ordinal: int, salt: int,
                           config_overrides=config_overrides)
 
 
+@register_task("fuzz_case")
+def _task_fuzz_case(program: Dict, base_overrides=None, fault=None,
+                    os_stdin_b64: str = "", os_seed: int = 0x5EED,
+                    max_events: int = 100_000, step_cap: int = 400_000,
+                    timing: bool = False, sanitize: bool = True,
+                    repro_dir=None):
+    """One fuzz candidate through the differential oracle matrix; the
+    value is a plain ``FuzzOutcome`` dict (classification, coverage
+    edges, finding metadata).  Pure per-candidate: results are
+    identical at any ``n_jobs``."""
+    import base64
+    from dataclasses import asdict
+    from repro.fuzz.oracle import evaluate_candidate
+    from repro.snapshot.serialize import program_from_dict
+    outcome = evaluate_candidate(
+        program_from_dict(program),
+        base_overrides=base_overrides, fault=fault,
+        os_stdin=base64.b64decode(os_stdin_b64 or ""),
+        os_seed=os_seed, max_events=max_events, step_cap=step_cap,
+        timing=timing, sanitize=sanitize, repro_dir=repro_dir)
+    return asdict(outcome)
+
+
 @register_task("arch_run", checkpointable=True)
 def _task_arch_run(workload: str, scale: float = 1.0, config=None,
                    validate: bool = True, _checkpoint=None):

@@ -43,6 +43,10 @@ class TranslationQuarantine:
     def __init__(self):
         self._levels: Dict[int, int] = {}
         self.escalations = 0
+        #: Ladder edges traversed, keyed ``<from name>-><to name>`` —
+        #: part of the fuzzer's coverage map (which rungs and which
+        #: transitions a workload actually exercised).
+        self.edges: Dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._levels)
@@ -53,9 +57,12 @@ class TranslationQuarantine:
     def escalate(self, pc: int, floor: int = LEVEL_NONE) -> int:
         """Raise ``pc`` one rung (at least to ``floor``); returns the new
         level."""
-        new = min(LEVEL_INTERPRET_ONLY, max(self.level(pc) + 1, floor))
+        old = self.level(pc)
+        new = min(LEVEL_INTERPRET_ONLY, max(old + 1, floor))
         self._levels[pc] = new
         self.escalations += 1
+        edge = f"{LEVEL_NAMES[old]}->{LEVEL_NAMES[new]}"
+        self.edges[edge] = self.edges.get(edge, 0) + 1
         return new
 
     def entries(self) -> List[Tuple[int, int]]:

@@ -30,6 +30,14 @@ The oracle is two runs per candidate: the plain authoritative
 *reference* is an invalid program, not an interesting one), then the
 full co-designed stack; a candidate is interesting iff the reference
 run is clean and the co-designed run raises or records incidents.
+
+Oracles are pluggable: :class:`ProgramOracle` is the generic divergence
+oracle; :class:`SanitizerOracle` keeps only candidates that still trip a
+``sanitizer_violation`` (so a sanitizer finding cannot degrade into an
+unrelated divergence during shrinking); :class:`TimingMismatchOracle`
+keeps candidates whose two timing legs still report different cycle
+counts.  :func:`minimize_bundle` picks the oracle from the bundle's
+``reason`` so every fuzz finding kind minimizes with its own signal.
 """
 
 from __future__ import annotations
@@ -139,6 +147,100 @@ class ProgramOracle:
         return bool(len(tol.incidents))
 
 
+class SanitizerOracle(ProgramOracle):
+    """Keeps only candidates that still violate a TOL invariant.
+
+    The config is forced to ``sanitize=True``; a candidate is
+    interesting iff the run raises :class:`SanitizerError` or records a
+    ``sanitizer_violation`` incident.  A candidate that diverges some
+    *other* way is rejected — shrinking must preserve the finding kind,
+    not trade it for a different bug."""
+
+    def __init__(self, config, **kwargs):
+        from dataclasses import replace
+        super().__init__(replace(config, sanitize=True), **kwargs)
+
+    def diverges(self, program: GuestProgram) -> bool:
+        from repro.system.controller import Controller
+        from repro.tol.sanitize import KIND_SANITIZER, SanitizerError
+
+        self.tests_run += 1
+        if not self.valid(program):
+            return False
+        controller = Controller(program, config=self.config,
+                                os=self._os())
+        tol = controller.codesigned.tol
+        if self.fault is not None:
+            from repro.resilience.faults import FaultInjector, FaultSpec
+            FaultInjector(FaultSpec(
+                site=self.fault["site"], ordinal=self.fault["ordinal"],
+                salt=self.fault["salt"])).attach(tol)
+        try:
+            controller.run(max_events=self.max_events)
+        except SanitizerError:
+            return True
+        except Exception:
+            pass  # a different failure kind: not this finding
+        return KIND_SANITIZER in tol.incidents.kinds()
+
+
+class TimingMismatchOracle:
+    """Keeps candidates whose two timing legs still disagree.
+
+    The legs are ``(timing_config, annotate=True)`` vs
+    ``(timing_config_b or timing_config, annotate=False)`` — with one
+    timing config this checks the cycle-annotation identity contract (a
+    mismatch is a timing-path bug); with two it shrinks any
+    configuration-sensitive kernel to the minimal cycle-divergent core.
+    A candidate whose annotated leg *raises* while the plain leg runs
+    clean is also a mismatch (an annotated-path-only failure)."""
+
+    def __init__(self, config, timing_config=None, timing_config_b=None,
+                 fault: Optional[Dict] = None, os_stdin: bytes = b"",
+                 os_seed: int = 0x5EED, max_events: int = 200_000,
+                 reference_step_cap: int = 2_000_000):
+        if fault is not None:
+            raise ValueError(
+                "TimingMismatchOracle does not support armed faults: "
+                "a timing mismatch is a property of the clean run")
+        self.config = config
+        self.timing_config = timing_config
+        self.timing_config_b = timing_config_b
+        self.fault = None
+        self.os_stdin = os_stdin
+        self.os_seed = os_seed
+        self.max_events = max_events
+        self.reference_step_cap = reference_step_cap
+        self.tests_run = 0
+
+    _os = ProgramOracle._os
+    valid = ProgramOracle.valid
+
+    def _leg(self, program: GuestProgram, timing_config, annotate: bool):
+        from repro.timing.run import run_with_timing
+        _, _, core = run_with_timing(
+            program, tol_config=self.config,
+            timing_config=timing_config, os=self._os(),
+            annotate=annotate)
+        return core.report()
+
+    def diverges(self, program: GuestProgram) -> bool:
+        self.tests_run += 1
+        if not self.valid(program):
+            return False
+        cfg_b = self.timing_config_b or self.timing_config
+        try:
+            report_b = self._leg(program, cfg_b, annotate=False)
+        except Exception:
+            return False  # plain leg fails: invalid candidate
+        try:
+            report_a = self._leg(program, self.timing_config,
+                                 annotate=True)
+        except Exception:
+            return True  # annotated-path-only failure
+        return report_a != report_b
+
+
 def _mask_code(instrs: List[GuestInstr], program: GuestProgram,
                keep: List[int]) -> GuestProgram:
     """Program with every instruction not in ``keep`` NOP-masked."""
@@ -231,17 +333,21 @@ def _compact(instrs: List[GuestInstr], keep: List[int],
                         stack_top=program.stack_top)
 
 
-def minimize_program(program: GuestProgram, config,
+def minimize_program(program: GuestProgram, config=None,
                      fault: Optional[Dict] = None,
                      os_stdin: bytes = b"", os_seed: int = 0x5EED,
-                     max_events: int = 200_000) -> MinimizeResult:
-    """Shrink ``program`` to a minimal instruction sequence that still
-    diverges under ``config`` (and ``fault``, when given).
+                     max_events: int = 200_000,
+                     oracle=None) -> MinimizeResult:
+    """Shrink ``program`` to a minimal instruction sequence for which
+    ``oracle.diverges`` still holds (default: the generic
+    :class:`ProgramOracle` divergence oracle built from ``config`` and
+    ``fault``).
 
     Raises :class:`ValueError` when the input program does not diverge
     in the first place (nothing to minimize)."""
-    oracle = ProgramOracle(config, fault=fault, os_stdin=os_stdin,
-                           os_seed=os_seed, max_events=max_events)
+    if oracle is None:
+        oracle = ProgramOracle(config, fault=fault, os_stdin=os_stdin,
+                               os_seed=os_seed, max_events=max_events)
     instrs = decode_program_instrs(program)
     all_indices = list(range(len(instrs)))
     if not oracle.diverges(program):
@@ -274,13 +380,32 @@ def minimize_program(program: GuestProgram, config,
         tests_run=oracle.tests_run, compacted=False)
 
 
+def oracle_for_reason(reason: str, config, fault: Optional[Dict] = None,
+                      os_stdin: bytes = b"", os_seed: int = 0x5EED,
+                      max_events: int = 200_000):
+    """The right oracle for a bundle/finding ``reason`` string:
+    sanitizer findings shrink against the sanitizer oracle, timing
+    findings against the timing-mismatch oracle, everything else
+    against the generic divergence oracle."""
+    common = dict(fault=fault, os_stdin=os_stdin, os_seed=os_seed,
+                  max_events=max_events)
+    if "sanitizer" in reason:
+        return SanitizerOracle(config, **common)
+    if "timing" in reason:
+        common.pop("fault")
+        return TimingMismatchOracle(config, **common)
+    return ProgramOracle(config, **common)
+
+
 def minimize_bundle(bundle, max_events: int = 200_000) -> MinimizeResult:
     """Minimize the guest program of a loaded
-    :class:`~repro.snapshot.bundle.ReproBundle`."""
-    return minimize_program(
-        bundle.program, bundle.config, fault=bundle.fault,
+    :class:`~repro.snapshot.bundle.ReproBundle`, with the oracle picked
+    from the bundle's ``reason``."""
+    oracle = oracle_for_reason(
+        bundle.reason or "", bundle.config, fault=bundle.fault,
         os_stdin=bundle.os_stdin, os_seed=bundle.os_seed,
         max_events=max_events)
+    return minimize_program(bundle.program, oracle=oracle)
 
 
 def format_program(program: GuestProgram) -> str:

@@ -17,6 +17,10 @@ Instrument namespace:
                    fastpath vs slow-path segment split
 ``mode.retired.*`` dynamic guest instructions per execution mode
 ``resilience.*``   incidents, quarantine ladder, armed/fired faults
+``cov.*``          TOL-path coverage edges for the fuzzer: unit-exit
+                   arms, translation shapes, direct-tier
+                   promotion/demotion outcomes, quarantine ladder
+                   transitions, sanitizer checks
 ``controller.*``   synchronization protocol: syscalls, data requests,
                    validations, recoveries, checkpoints
 ``timing.*``       timing model: cycles, per-unit-class issue counts,
@@ -103,6 +107,22 @@ def register_tol_collectors(telemetry, tol) -> None:
             reg.set_counter("resilience.faults_armed", 1)
             reg.set_counter("resilience.faults_fired",
                             1 if injector.fired else 0)
+
+        # Coverage namespace: the fuzzer's map is built from these.
+        for key, count in sorted(stats.exit_arms.items()):
+            reg.set_counter(f"cov.exit.{key}", count)
+        for key, count in sorted(stats.sb_shapes.items()):
+            reg.set_counter(f"cov.shape.{key}", count)
+        for key, count in sorted(stats.direct_tier.items()):
+            reg.set_counter(f"cov.direct.{key}", count)
+        for edge, count in sorted(tol.quarantine.edges.items()):
+            reg.set_counter(f"cov.quarantine.{edge}", count)
+        reg.set_counter("cov.direct.strips", cache.direct_strips)
+        sanitizer = tol.sanitizer
+        if sanitizer is not None:
+            reg.set_counter("cov.sanitizer.checks", sanitizer.checks_run)
+            reg.set_counter("cov.sanitizer.violations",
+                            sanitizer.violations)
 
     telemetry.register_collector(collect)
 

@@ -38,6 +38,9 @@ class CodeCache:
         #: still executes them from the translator's hand-back; they are
         #: simply never cached).
         self.oversize_rejections = 0
+        #: Direct-tier programs dropped from removed units (demotion
+        #: events of the direct tier — coverage-map signal).
+        self.direct_strips = 0
         #: Called with each unit removed from the cache (invalidate,
         #: invalidate_pc and flush), so dependent dispatch structures —
         #: the IBTC above all — can drop their references instead of
@@ -94,13 +97,13 @@ class CodeCache:
         self.insertions += 1
         return flushed
 
-    @staticmethod
-    def _strip_direct(unit: CodeUnit) -> None:
+    def _strip_direct(self, unit: CodeUnit) -> None:
         """Drop a removed unit's direct-tier programs.  A removed unit
         can still be referenced (it may be mid-execution), but its entry
         PC may have been quarantined — if a fresh translation ever
         re-promotes, it must recompile against its own instructions."""
-        unit.__dict__.pop("_directprog", None)
+        if unit.__dict__.pop("_directprog", None) is not None:
+            self.direct_strips += 1
         unit.__dict__.pop("_directprog_traced", None)
 
     def invalidate(self, unit: CodeUnit) -> None:

@@ -128,6 +128,14 @@ class TolConfig:
     #: Recent-dispatch window (host units entered, including chained and
     #: IBTC hops) kept for divergence implication and runaway diagnostics.
     dispatch_window_size: int = 64
+    #: Invariant-checker pass (``tol/sanitize.py``): verify code-cache
+    #: link integrity after every mutation, chain/IBTC target
+    #: consistency, quarantine-ladder monotonicity and undo-log balance
+    #: at rollback, so a corrupted dispatch structure fires a
+    #: ``sanitizer_violation`` incident *at the corrupting step* instead
+    #: of surfacing as an eventual state divergence.  Off by default
+    #: (zero cost when off: nothing is wrapped); the fuzzer runs it hot.
+    sanitize: bool = False
 
     # -- telemetry ----------------------------------------------------------------
     #: Observability mode: ``off`` (no snapshots, no tracing),

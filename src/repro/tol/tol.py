@@ -11,7 +11,7 @@ superblocks past the failure limit) and surfaces synchronization events
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro import costs
@@ -62,6 +62,22 @@ class TolStats:
     sb_blacklisted: int = 0
     watchdog_fires: int = 0
     direct_promotions: int = 0
+    # -- TOL-path coverage counters (fuzzer coverage map; cheap dict
+    # increments, deterministic across runs) ---------------------------
+    #: Unit-exit arm taken, keyed ``<mode>:<arm>`` (arm one of
+    #: page_fault / assert / spec / ibtc_miss / ibtc_fill / chain /
+    #: chained_exit / exit / promote_req).
+    exit_arms: Dict[str, int] = field(default_factory=dict)
+    #: Translation shapes, keyed ``bb`` or ``sb:<units>u:<insn bucket>``.
+    sb_shapes: Dict[str, int] = field(default_factory=dict)
+    #: Direct-tier promotion outcomes, keyed promoted / promoted_cluster
+    #: / rejected_bbm / rejected_quarantined / rejected_cap /
+    #: rejected_uncompilable.
+    direct_tier: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, table: str, key: str) -> None:
+        d = getattr(self, table)
+        d[key] = d.get(key, 0) + 1
 
 
 class Tol:
@@ -149,6 +165,14 @@ class Tol:
         #: when set, dispatch pauses once guest_icount reaches this value
         #: (sampling methodology support).
         self.pause_at_icount: Optional[int] = None
+        #: Invariant-checker pass (``tol/sanitize.py``): wraps the code
+        #: cache, quarantine ladder and host checkpoint machinery so a
+        #: corrupted dispatch structure fires at the corrupting step.
+        #: None unless ``config.sanitize`` — zero cost when off.
+        self.sanitizer = None
+        if self.config.sanitize:
+            from repro.tol.sanitize import TolSanitizer
+            self.sanitizer = TolSanitizer(self)
         self.overhead.charge("others", costs.TOL_INIT)
 
     # ------------------------------------------------------------------
@@ -310,21 +334,32 @@ class Tol:
         quarantine rung blocks the tier, and per-PC re-promotions are
         capped so invalidation churn cannot thrash the compiler."""
         pc = unit.entry_pc
-        if (unit.mode == UNIT_MODE_BBM
-                or self.quarantine.level(pc) > 0
-                or self.profiler.direct_promotions[pc]
+        if unit.mode == UNIT_MODE_BBM:
+            self.stats.bump("direct_tier", "rejected_bbm")
+            unit._directprog = None
+            return
+        if self.quarantine.level(pc) > 0:
+            self.stats.bump("direct_tier", "rejected_quarantined")
+            unit._directprog = None
+            return
+        if (self.profiler.direct_promotions[pc]
                 >= self.config.direct_max_repromotions):
+            self.stats.bump("direct_tier", "rejected_cap")
             unit._directprog = None
             return
         members = self._direct_cluster_members(unit)
         prog = compile_direct(unit, self.host, cluster=members)
+        clustered = prog is not None and len(members) > 1
         if prog is None and len(members) > 1:
             # A member may be individually ineligible (oversize, odd
             # op); the entry unit alone can still make the tier.
             prog = compile_direct(unit, self.host)
         unit._directprog = prog
         if prog is None:
+            self.stats.bump("direct_tier", "rejected_uncompilable")
             return
+        self.stats.bump("direct_tier",
+                        "promoted_cluster" if clustered else "promoted")
         # Compile the traced variant eagerly: a timing session may
         # attach its sink after the unit was promoted.
         unit._directprog_traced = compile_direct(unit, self.host,
@@ -395,6 +430,16 @@ class Tol:
         """Cold-path histogram observations: translation work cost, and
         superblock sizes.  Per-translation, so deterministic across runs
         and safely outside the dispatch hot loop."""
+        if superblock:
+            insns = max(u.guest_insn_count for u, _ in translation.units)
+            # Bucket by powers of two so the coverage key space stays
+            # small and a *new shape class* (not a new exact size) is
+            # what counts as fresh coverage.
+            self.stats.bump("sb_shapes",
+                            f"sb:{len(translation.units)}u:"
+                            f"{1 << (insns - 1).bit_length()}")
+        else:
+            self.stats.bump("sb_shapes", "bb")
         if not self.telemetry.counters_on:
             return
         reg = self.telemetry.registry
@@ -437,14 +482,17 @@ class Tol:
         self.overhead.charge("prologue", costs.EPILOGUE)
 
         if event.kind == EXIT_PAGE_FAULT:
+            self.stats.bump("exit_arms", f"{unit.mode}:page_fault")
             self.overhead.charge("others", costs.TOL_STATS_EVENT)
             return TolEvent(EVENT_DATA_REQUEST, fault_addr=event.fault_addr)
 
         if event.kind in (EXIT_ASSERT, EXIT_SPEC):
             if event.kind == EXIT_ASSERT:
                 self.stats.assert_failures += 1
+                self.stats.bump("exit_arms", f"{unit.mode}:assert")
             else:
                 self.stats.spec_failures += 1
+                self.stats.bump("exit_arms", f"{unit.mode}:spec")
             failing = event.unit
             if (failing.assert_failures + failing.spec_failures
                     > self.config.assert_fail_limit):
@@ -472,6 +520,7 @@ class Tol:
         if self._promote_request is not None:
             pc = self._promote_request
             self._promote_request = None
+            self.stats.bump("exit_arms", f"{unit.mode}:promote_req")
             if self._may_promote(pc):
                 promoted_unit = self.cache.lookup(pc)
                 if (promoted_unit is not None
@@ -483,14 +532,19 @@ class Tol:
             if variant is not None:
                 self._exit_variant_hint = (event.next_pc, variant)
         if event.ibtc_miss:
+            self.stats.bump("exit_arms", f"{unit.mode}:ibtc_miss")
             if self.config.ibtc_enable:
                 target = self.cache.lookup(event.next_pc)
                 if target is not None:
                     self.host.ibtc.insert(event.next_pc, target)
                     self.overhead.charge("chaining", costs.IBTC_FILL)
                     self.stats.ibtc_fills += 1
+                    self.stats.bump("exit_arms", f"{unit.mode}:ibtc_fill")
         elif self.config.chaining_enable and event.exit_index is not None:
+            self.stats.bump("exit_arms", f"{unit.mode}:exit")
             self._try_chain(event)
+        else:
+            self.stats.bump("exit_arms", f"{unit.mode}:exit")
         return None
 
     def _try_chain(self, event) -> None:
@@ -505,6 +559,8 @@ class Tol:
         if target is not None:
             self.cache.chain(event.unit, event.exit_index, target)
             self.stats.chains_made += 1
+            self.stats.bump("exit_arms",
+                            f"{event.unit.mode}:chain_made")
 
     # ------------------------------------------------------------------
     # Resilience: quarantine, implication, watchdog.

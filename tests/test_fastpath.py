@@ -318,6 +318,11 @@ def test_host_fastpath_full_system_identity():
 #: any simulated quantity.
 DIRECT_WALLCLOCK_COUNTERS = (
     "host.fastpath.", "host.slowpath.", "host.direct.", "tol.direct",
+    # Fuzzer coverage edges for the direct tier count promotions and
+    # strips — which-path instrumentation, not simulated quantities.
+    # (cov.exit/cov.shape/cov.quarantine stay under the identity
+    # contract: direct programs must mirror exit accounting exactly.)
+    "cov.direct.",
 )
 
 

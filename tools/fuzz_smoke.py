@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the fuzz campaign pipeline (CI job).
+
+Three pinned scenarios, asserted hard:
+
+1. **Clean campaign** (seed 1, small budget): the coverage map must be
+   non-empty and every finding fully triaged — minimized, confirmed —
+   so a red campaign is always actionable (here: zero findings at all).
+2. **Planted divergence** (seed 2, ``host_bitflip`` armed on exec 0):
+   the known-bad mutant must be caught as a divergence finding,
+   ddmin-minimized to <= 10 instructions, confirmed by replaying its
+   emitted repro bundle, and the bundle must replay red through the
+   real ``darco repro`` CLI.
+3. **Planted sanitizer violation** (seed 2, ``stale_chain`` armed):
+   same pipeline, sanitizer kind — and re-evaluating the same planted
+   candidate twice must yield the *same* incident signature, the key
+   campaign dedup relies on.
+
+Exit status 0 on success; any assertion failure exits non-zero with a
+diagnostic.  Run from the repository root::
+
+    PYTHONPATH=src python tools/fuzz_smoke.py
+"""
+
+import os
+import shutil
+import sys
+from pathlib import Path
+
+from repro.cli import main as darco
+from repro.fuzz import FuzzConfig, run_campaign
+
+WORKROOT = Path(".fuzz_smoke")
+
+#: Faults pinned to fire on the seed-2 exec-0 mutant (same pins as
+#: tests/test_fuzz.py).
+PLANT_DIVERGENCE = {"exec": 0, "site": "host_bitflip", "ordinal": 2,
+                    "salt": 7}
+PLANT_SANITIZER = {"exec": 0, "site": "stale_chain", "ordinal": 1,
+                   "salt": 11}
+
+
+def fail(message):
+    print(f"fuzz_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, message):
+    if not cond:
+        fail(message)
+
+
+def step(title):
+    print(f"fuzz_smoke: {title}", flush=True)
+
+
+def clean_campaign():
+    step("clean campaign (seed 1, budget 8)")
+    result = run_campaign(FuzzConfig(seed=1, budget=8, batch=4, jobs=2))
+    check(result.executions == 8, f"under-ran: {result.executions}/8")
+    check(len(result.coverage) > 0, "coverage map is empty")
+    check(result.coverage_digest, "no coverage digest")
+    untriaged = [f.signature for f in result.findings
+                 if f.confirmed is None]
+    check(not untriaged, f"un-triaged findings: {untriaged}")
+    check(not result.findings,
+          f"clean campaign found: {result.signatures()}")
+    print(f"  {len(result.coverage)} edges, "
+          f"{result.classified} classified")
+
+
+def planted_campaign(plant, kind, repro_dir):
+    step(f"planted {kind} campaign (seed 2, {plant['site']})")
+    result = run_campaign(FuzzConfig(
+        seed=2, budget=1, batch=1, jobs=1, plant=plant,
+        repro_dir=str(repro_dir)))
+    check(len(result.findings) == 1,
+          f"expected 1 finding, got {result.signatures()}")
+    finding = result.findings[0]
+    check(finding.kind == kind,
+          f"expected kind {kind}, got {finding.kind}")
+    check(finding.minimized_instructions is not None
+          and finding.minimized_instructions <= 10,
+          f"not minimized to <= 10 instructions: "
+          f"{finding.minimized_instructions}")
+    check(finding.original_instructions
+          and finding.minimized_instructions
+          < finding.original_instructions,
+          "minimizer did not shrink the mutant")
+    check(finding.confirmed is True, "finding did not confirm")
+    check(finding.bundle_path and os.path.exists(finding.bundle_path),
+          f"missing repro bundle: {finding.bundle_path}")
+    rc = darco(["repro", finding.bundle_path])
+    check(rc == 0, f"darco repro exited {rc} on the bundle")
+    print(f"  caught {finding.kind}@{finding.leg}, minimized "
+          f"{finding.original_instructions} -> "
+          f"{finding.minimized_instructions} insns, confirmed, "
+          f"bundle replays")
+    return finding
+
+
+def dedup_signature(plant):
+    """The same planted candidate evaluated twice must produce one
+    signature — the campaign's dedup key."""
+    import random
+
+    from repro.fuzz.engine import seed_corpus
+    from repro.fuzz.oracle import evaluate_candidate
+
+    step("dedup: identical candidate, identical signature")
+    entry = seed_corpus(2)[0]
+    rng = random.Random(f"2:{entry.entry_id}:0:0")
+    mutant = entry.engine.mutate(rng)
+    fault = {k: v for k, v in plant.items() if k != "exec"}
+    sigs = {evaluate_candidate(mutant, fault=fault).signature
+            for _ in range(2)}
+    check(len(sigs) == 1, f"signature not stable: {sigs}")
+    print(f"  signature stable: {next(iter(sigs))[:16]}…")
+
+
+def main():
+    shutil.rmtree(WORKROOT, ignore_errors=True)
+    WORKROOT.mkdir(parents=True)
+    try:
+        clean_campaign()
+        div = planted_campaign(PLANT_DIVERGENCE, "divergence",
+                               WORKROOT / "div")
+        san = planted_campaign(PLANT_SANITIZER, "sanitizer",
+                               WORKROOT / "san")
+        check(div.signature != san.signature,
+              "distinct bug kinds share a signature")
+        dedup_signature(PLANT_DIVERGENCE)
+    finally:
+        shutil.rmtree(WORKROOT, ignore_errors=True)
+    print("fuzz_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
