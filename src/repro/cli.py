@@ -417,7 +417,14 @@ def cmd_metrics(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    """Run a workload in full-trace mode and export the span trace."""
+    """Run a workload in full-trace mode and export the span trace, or
+    (--job/--trace-id) merge a served job's distributed span files into
+    one Perfetto timeline."""
+    if args.job or args.trace_id:
+        return _cmd_trace_merge(args)
+    if not args.target:
+        raise SystemExit("need a workload target (or --job/--trace-id "
+                         "to merge a served job's trace)")
     program, name = _load_program(args.target, args.scale)
     config = _apply_config_overrides(TolConfig(), args.set)
     config = replace(config, telemetry="full")
@@ -435,6 +442,34 @@ def cmd_trace(args) -> int:
         tracer.write_jsonl(args.jsonl)
         print(f"wrote {args.jsonl}")
     return 0 if result.exit_code == 0 else int(result.exit_code or 1)
+
+
+def _cmd_trace_merge(args) -> int:
+    """Assemble one timeline for a served job from the per-process span
+    files (client + service + workers).  Works offline: only the trace
+    directory is read, no live service needed."""
+    from repro.telemetry.tracemerge import write_merged_trace
+
+    doc = write_merged_trace(args.trace_dir, args.out,
+                             trace_id=args.trace_id, job=args.job)
+    events = [ev for ev in doc["traceEvents"] if ev.get("ph") != "M"]
+    other = doc.get("otherData", {})
+    if not events:
+        print(f"no spans matching "
+              f"{'job ' + args.job if args.job else ''}"
+              f"{'trace ' + args.trace_id if args.trace_id else ''} "
+              f"under {args.trace_dir} "
+              f"(is the service tracing? see darco serve --tracing)",
+              file=sys.stderr)
+        return 1
+    span_ms = max((ev.get("ts", 0) + ev.get("dur", 0)
+                   for ev in events), default=0) / 1000.0
+    print(f"wrote {args.out} ({len(events)} events from "
+          f"{len(other.get('span_files', []))} span files, "
+          f"{span_ms:.1f}ms timeline, trace ids: "
+          f"{', '.join(other.get('trace_ids', [])) or '-'}) — load in "
+          f"Perfetto (ui.perfetto.dev) or chrome://tracing")
+    return 0
 
 
 def cmd_repro(args) -> int:
@@ -608,7 +643,10 @@ def cmd_serve(args) -> int:
         use_cache=not args.no_cache, cache_dir=args.cache_dir,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
-        stale_serve=not args.no_stale)
+        stale_serve=not args.no_stale,
+        tracing=args.tracing, trace_dir=args.trace_dir,
+        metrics_interval_s=args.metrics_interval,
+        timeseries_capacity=args.timeseries_capacity)
     service = ServeService(config)
 
     async def _main():
@@ -664,11 +702,32 @@ def cmd_submit(args) -> int:
     if args.max_attempts is not None:
         extra["max_attempts"] = args.max_attempts
 
+    # Distributed tracing: mint the trace context here, at the very
+    # start of the job's lifecycle, and record the submit RPC as the
+    # timeline's first span.  Without --trace the server decides
+    # (its --tracing default); --trace off suppresses even that.
+    ctx = spans = None
+    if args.trace is not None:
+        from repro.telemetry.tracectx import (
+            SpanFileWriter, TraceContext, epoch_us, mint_trace_id)
+        ctx = TraceContext(trace_id=args.trace_id or mint_trace_id(),
+                           mode=args.trace)
+        if args.trace != "off":
+            spans = SpanFileWriter(args.trace_dir, "client")
+        extra["trace"] = ctx.as_wire()
+
     try:
         with _serve_client(args) as client:
+            if spans is not None:
+                submit_start = epoch_us()
             reply = client.submit(args.task, params,
                                   label=args.label or "", **extra)
             code = reply.get("code")
+            if spans is not None and "job" in reply:
+                spans.complete("submit", "client", submit_start,
+                               epoch_us(),
+                               ctx=ctx.with_job(reply["job"]),
+                               code=code, task=args.task)
             if code == 429:
                 print(f"shed: {reply.get('error')} "
                       f"(retry after {reply.get('retry_after_s')}s)",
@@ -682,11 +741,19 @@ def cmd_submit(args) -> int:
                 ", coalesced" if reply.get("coalesced") else "",
                 ", cached" if reply.get("cached") else "",
                 ", STALE" if reply.get("stale") else ""))
+            trace_note = (f" trace {reply['trace_id']}"
+                          if reply.get("trace_id") else "")
             print(f"job {reply['job']} {reply['state']} "
-                  f"(code {code}{note})")
+                  f"(code {code}{note}){trace_note}")
             if not args.wait:
                 return 0
+            if spans is not None:
+                wait_start = epoch_us()
             final = client.wait(reply["job"], timeout=args.timeout)
+            if spans is not None:
+                spans.complete("wait", "client", wait_start, epoch_us(),
+                               ctx=ctx.with_job(reply["job"]),
+                               state=final.get("state"))
             print(json.dumps(final, indent=2, sort_keys=True))
             return 0 if final.get("state") == "done" else 1
     except ServeError as exc:
@@ -729,6 +796,10 @@ def cmd_serve_status(args) -> int:
                   f"up {health['uptime_s']}s, "
                   f"saturation {health['saturation']:.2f} "
                   f"(pending {queue['pending']}/{queue['capacity']})")
+            for name, pct in (health.get("latency") or {}).items():
+                print(f"  {name:14s} p50={pct.get('p50', 0.0):g}ms "
+                      f"p95={pct.get('p95', 0.0):g}ms "
+                      f"p99={pct.get('p99', 0.0):g}ms")
             host = health["host"]
             load = host.get("loadavg") or {}
             print(f"host: {host['cpu_count']} cpus "
@@ -747,6 +818,19 @@ def cmd_serve_status(args) -> int:
     except ServeError as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 1
+
+
+KIND_POSTMORTEM = "job_postmortem"
+POSTMORTEM_SCHEMA_VERSION = 1
+
+
+def _write_postmortem(path, reply) -> None:
+    """Persist a failed job's record — flight recorder included — as a
+    versioned artifact for offline triage."""
+    from repro.ioutil import write_artifact
+    write_artifact(path, KIND_POSTMORTEM, POSTMORTEM_SCHEMA_VERSION,
+                   reply)
+    print(f"wrote postmortem {path}", file=sys.stderr)
 
 
 def cmd_fetch(args) -> int:
@@ -770,6 +854,20 @@ def cmd_fetch(args) -> int:
         print(f"job {args.job} failed after "
               f"{reply.get('attempts')} attempt(s): "
               f"{reply.get('last_error')}", file=sys.stderr)
+        flight = reply.get("flight")
+        if flight and flight.get("events"):
+            print(f"flight recorder ({len(flight['events'])} events, "
+                  f"{flight.get('dropped', 0)} dropped):",
+                  file=sys.stderr)
+            for ev in flight["events"]:
+                detail = {k: v for k, v in ev.items()
+                          if k not in ("t", "kind", "name")}
+                print(f"  {ev.get('kind', '?'):8s} "
+                      f"{ev.get('name', '?'):16s} "
+                      f"{json.dumps(detail, sort_keys=True)}",
+                      file=sys.stderr)
+        if args.postmortem:
+            _write_postmortem(args.postmortem, reply)
         return 1
     if state != "done":
         print(f"job {args.job} not done yet (state {state!r}); "
@@ -787,6 +885,41 @@ def cmd_fetch(args) -> int:
     else:
         print(text)
     return 0
+
+
+def cmd_top(args) -> int:
+    """Live service dashboard (curses-free); --once prints one frame."""
+    import time as _time
+
+    from repro.serve.client import ServeError
+    from repro.serve.dashboard import render
+
+    def frame(client) -> str:
+        health = client.healthz()
+        try:
+            series = client.timeseries(n=args.window)
+        except ServeError:
+            series = {}
+        return render(health, (series or {}).get("timeseries"),
+                      top_n=args.top)
+
+    try:
+        with _serve_client(args) as client:
+            if args.once:
+                print(frame(client))
+                return 0
+            while True:
+                text = frame(client)
+                # ANSI home + clear-to-end: a poor man's curses that
+                # works on every terminal the test suite cares about.
+                sys.stdout.write("\x1b[H\x1b[2J" + text + "\n")
+                sys.stdout.flush()
+                _time.sleep(max(0.2, args.interval))
+    except KeyboardInterrupt:
+        return 0
+    except ServeError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1011,8 +1144,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p = sub.add_parser(
         "trace",
         help="run a workload in full-trace mode and export a "
-             "Perfetto-viewable Chrome trace")
-    trace_p.add_argument("target", help="assembly file (*.s) or workload")
+             "Perfetto-viewable Chrome trace, or merge a served job's "
+             "distributed span files (--job) into one timeline")
+    trace_p.add_argument("target", nargs="?", default=None,
+                         help="assembly file (*.s) or workload "
+                              "(omit with --job/--trace-id)")
     trace_p.add_argument("--scale", type=float, default=1.0,
                          help="workload scale factor")
     trace_p.add_argument("--no-validate", action="store_true",
@@ -1025,6 +1161,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--jsonl", default=None, metavar="PATH",
                          help="additionally write one event per line "
                               "here (jq/pandas-friendly)")
+    trace_p.add_argument("--job", default=None, metavar="ID",
+                         help="merge a served job's end-to-end trace "
+                              "(job id prefix) from --trace-dir")
+    trace_p.add_argument("--trace-id", default=None, metavar="HEX",
+                         help="merge by trace id instead of job id")
+    trace_p.add_argument("--trace-dir", default=".darco-serve-traces",
+                         metavar="DIR",
+                         help="span-file directory (default: "
+                              ".darco-serve-traces)")
     trace_p.set_defaults(fn=cmd_trace)
 
     speed_p = sub.add_parser("speed", help="measure simulation speed")
@@ -1076,6 +1221,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--no-stale", action="store_true",
                          help="shed instead of serving stale results "
                               "under overload")
+    serve_p.add_argument("--tracing",
+                         choices=["off", "counters", "full"],
+                         default="counters",
+                         help="distributed-tracing default for jobs "
+                              "without their own context: lifecycle "
+                              "spans (counters), simulator-internal "
+                              "spans too (full), or none (off) "
+                              "(default: counters)")
+    serve_p.add_argument("--trace-dir", default=".darco-serve-traces",
+                         metavar="DIR",
+                         help="per-process span-file directory "
+                              "(default: .darco-serve-traces)")
+    serve_p.add_argument("--metrics-interval", type=float, default=1.0,
+                         metavar="S",
+                         help="time-series sampling interval in "
+                              "seconds (default: 1.0)")
+    serve_p.add_argument("--timeseries-capacity", type=int, default=512,
+                         help="time-series ring size in samples "
+                              "(default: 512)")
     serve_p.set_defaults(fn=cmd_serve)
 
     submit_p = sub.add_parser(
@@ -1108,6 +1272,20 @@ def build_parser() -> argparse.ArgumentParser:
                                "final fetch")
     submit_p.add_argument("--timeout", type=float, default=300.0,
                           help="--wait timeout in seconds")
+    submit_p.add_argument("--trace",
+                          choices=["off", "counters", "full"],
+                          default=None,
+                          help="mint a client-side trace context for "
+                               "this job (default: let the service "
+                               "decide; off suppresses tracing)")
+    submit_p.add_argument("--trace-id", default=None, metavar="HEX",
+                          help="use this trace id instead of a random "
+                               "one (with --trace)")
+    submit_p.add_argument("--trace-dir", default=".darco-serve-traces",
+                          metavar="DIR",
+                          help="client span-file directory (must match "
+                               "the service's; default: "
+                               ".darco-serve-traces)")
     submit_p.set_defaults(fn=cmd_submit)
 
     status_p = sub.add_parser(
@@ -1135,7 +1313,28 @@ def build_parser() -> argparse.ArgumentParser:
     fetch_p.add_argument("--out", default=None, metavar="PATH",
                          help="write the result JSON here instead of "
                               "stdout")
+    fetch_p.add_argument("--postmortem", default=None, metavar="PATH",
+                         help="on failure, write the job record (flight "
+                              "recorder included) as a versioned "
+                              "postmortem artifact")
     fetch_p.set_defaults(fn=cmd_fetch)
+
+    top_p = sub.add_parser(
+        "top",
+        help="live serve dashboard: throughput, latency percentiles, "
+             "queue-depth history, shard liveness, hottest tiers")
+    _endpoint_args(top_p)
+    top_p.add_argument("--once", action="store_true",
+                       help="print one frame and exit (CI/pipes)")
+    top_p.add_argument("--interval", type=float, default=2.0,
+                       metavar="S",
+                       help="refresh interval in seconds (default: 2)")
+    top_p.add_argument("--window", type=int, default=60,
+                       help="time-series samples per frame "
+                            "(default: 60)")
+    top_p.add_argument("--top", type=int, default=6,
+                       help="hottest-tier rows shown (default: 6)")
+    top_p.set_defaults(fn=cmd_top)
     return parser
 
 

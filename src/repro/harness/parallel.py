@@ -332,17 +332,71 @@ def _worker(task: str, params: Dict[str, Any]):
     Worker stderr is captured so a failing task's diagnostics (warnings,
     native-layer complaints) survive the process boundary; only the tail
     is kept, and only for failures.
+
+    An optional ``_trace`` exec param (a distributed trace context from
+    ``darco serve``) is consumed here, never passed to the task: like
+    ``_checkpoint`` it is execution plumbing, excluded from job identity.
+    While the job runs the context is active process-wide, so Telemetry
+    hubs adopt span tracers; at the end one ``attempt`` span plus every
+    collected tracer's events are flushed to the worker's span file.
     """
     start = time.perf_counter()
     captured = io.StringIO()
+    trace_wire = params.pop("_trace", None) if isinstance(params, dict) \
+        else None
+    ctx = writer = None
+    if trace_wire is not None:
+        try:
+            from repro.telemetry import tracectx
+            ctx = tracectx.TraceContext.from_wire(trace_wire.get("ctx"))
+            if ctx is not None and ctx.mode != "off":
+                writer = tracectx.SpanFileWriter(
+                    trace_wire.get("dir", tracectx.DEFAULT_TRACE_DIR),
+                    "worker")
+                tracectx.activate(ctx)
+            else:
+                ctx = None
+        except Exception:
+            ctx = writer = None  # tracing must never fail a job
+    start_us = None
+    if ctx is not None:
+        from repro.telemetry.tracectx import epoch_us
+        start_us = epoch_us()
+        try:
+            # Flushed before execution, so an attempt killed mid-run
+            # (SIGKILL, deadline) still leaves its start on the
+            # timeline; the closing "attempt" span below only exists
+            # for attempts that survive.
+            resume = bool((params.get("_checkpoint") or {})
+                          .get("resume")) \
+                if isinstance(params, dict) else False
+            writer.instant("attempt_start", "worker", ctx=ctx,
+                           ts_us=start_us, task=task, resume=resume)
+        except Exception:
+            pass
     try:
         with redirect_stderr(captured):
             value = _execute(task, params)
-        return ("ok", value, time.perf_counter() - start, "")
+        result = ("ok", value, time.perf_counter() - start, "")
     except Exception:
-        return ("error", traceback.format_exc(),
-                time.perf_counter() - start,
-                captured.getvalue()[-STDERR_TAIL_CHARS:])
+        result = ("error", traceback.format_exc(),
+                  time.perf_counter() - start,
+                  captured.getvalue()[-STDERR_TAIL_CHARS:])
+    if ctx is not None:
+        try:
+            from repro.telemetry import tracectx
+            from repro.telemetry.tracectx import epoch_us
+            tracers = tracectx.deactivate()
+            resume = bool((params.get("_checkpoint") or {}).get("resume")) \
+                if isinstance(params, dict) else False
+            writer.complete(
+                "attempt", "worker", start_us, epoch_us(), ctx=ctx,
+                task=task, status=result[0], resume=resume)
+            for tracer in tracers:
+                writer.tracer_events(tracer, ctx=ctx)
+        except Exception:
+            pass
+    return result
 
 
 # ---------------------------------------------------------------------------

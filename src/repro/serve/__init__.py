@@ -21,10 +21,24 @@ Layers:
   control, a bounded queue with explicit load shedding, coalescing,
   degradation tiers, the reaper, and the job table;
 - :mod:`repro.serve.client` — the small blocking client used by
-  ``darco submit`` / ``status`` / ``fetch`` and the benchmarks.
+  ``darco submit`` / ``status`` / ``fetch`` and the benchmarks;
+- :mod:`repro.serve.flightrec` — the per-job flight recorder: a
+  bounded ring of recent lifecycle events attached to failed jobs;
+- :mod:`repro.serve.dashboard` — the pure renderer behind
+  ``darco top``.
+
+Observability (DESIGN.md §13): jobs carry a distributed trace context
+(:mod:`repro.telemetry.tracectx`) from ``darco submit`` through the
+wire protocol and the shard pipe into the worker, each process
+appending spans to its own span file; ``darco trace --job`` merges
+them into one Perfetto timeline.  A time-series ring
+(:mod:`repro.telemetry.timeseries`) samples the service registry for
+``darco top`` and the ``timeseries`` op.
 """
 
 from repro.serve.service import JobEntry, ServeConfig, ServeService
 from repro.serve.client import ServeClient
+from repro.serve.flightrec import FlightRecorder
 
-__all__ = ["JobEntry", "ServeClient", "ServeConfig", "ServeService"]
+__all__ = ["FlightRecorder", "JobEntry", "ServeClient", "ServeConfig",
+           "ServeService"]

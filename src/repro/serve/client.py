@@ -102,9 +102,19 @@ class ServeClient:
     # -- ops -----------------------------------------------------------------
 
     def submit(self, task: str, params: Optional[Dict[str, Any]] = None,
-               label: str = "", **extra: Any) -> Dict[str, Any]:
+               label: str = "", trace: Optional[Dict[str, Any]] = None,
+               **extra: Any) -> Dict[str, Any]:
+        """Submit a job; ``trace`` is an optional distributed trace
+        context (:meth:`TraceContext.as_wire`) minted client-side."""
+        fields = dict(extra)
+        if trace is not None:
+            fields["trace"] = trace
         return self.request("submit", task=task, params=params or {},
-                            label=label, **extra)
+                            label=label, **fields)
+
+    def timeseries(self, n: Optional[int] = None) -> Dict[str, Any]:
+        fields = {"n": n} if n is not None else {}
+        return self.request("timeseries", **fields)
 
     def status(self, job: Optional[str] = None) -> Dict[str, Any]:
         fields = {"job": job} if job else {}

@@ -1,0 +1,81 @@
+"""Per-job flight recorder: the last-moments buffer for postmortems.
+
+When a job fails or is killed, the interesting evidence — which shard
+ran it, how long each attempt took, what the service observed between
+attempts, how the counters moved — is scattered across log lines that
+a long-lived service has long since rotated away.  The flight recorder
+fixes that: every job carries a small bounded ring of recent lifecycle
+events (spans, incidents, counter deltas) that costs a few KB while
+the job is alive and is *attached to the job's record* the moment it
+reaches a terminal failure, then embedded in any repro bundle written
+for it.
+
+Bounded by construction: the ring holds ``capacity`` entries and
+counts what it dropped, so a job that thrashes through hundreds of
+retries still carries a fixed-size recorder — the bound is the
+feature (DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Dict, Optional
+
+#: Default ring capacity (events kept per job).
+DEFAULT_CAPACITY = 64
+
+#: Entry kinds.
+SPAN = "span"          # a timed phase (queue wait, attempt)
+INCIDENT = "incident"  # something went wrong (death, kill, error)
+COUNTERS = "counters"  # a counter-delta snapshot (e.g. job digest)
+MARK = "mark"          # plain lifecycle marker
+
+
+class FlightRecorder:
+    """Bounded ring of recent per-job events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = max(4, int(capacity))
+        self._ring: deque = deque(maxlen=self.capacity)
+        self.dropped = 0
+        self.recorded = 0
+
+    def _push(self, entry: Dict[str, Any]) -> None:
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._ring.append(entry)
+        self.recorded += 1
+
+    def record(self, kind: str, name: str, **detail: Any) -> None:
+        """One event; ``detail`` must stay JSON-able (it rides in job
+        records and repro bundles)."""
+        self._push({"t": round(time.time(), 6), "kind": kind,
+                    "name": name, **detail})
+
+    def span(self, name: str, dur_ms: float, **detail: Any) -> None:
+        self.record(SPAN, name, dur_ms=round(float(dur_ms), 3), **detail)
+
+    def incident(self, name: str, **detail: Any) -> None:
+        self.record(INCIDENT, name, **detail)
+
+    def counters(self, name: str, deltas: Optional[Dict[str, int]],
+                 **detail: Any) -> None:
+        """A counter-delta snapshot (zero deltas are elided — the ring
+        is too small for noise)."""
+        deltas = {k: v for k, v in (deltas or {}).items() if v}
+        self.record(COUNTERS, name, deltas=deltas, **detail)
+
+    def mark(self, name: str, **detail: Any) -> None:
+        self.record(MARK, name, **detail)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able dump: what gets attached to failed job records and
+        embedded in repro bundles."""
+        return {"capacity": self.capacity,
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+                "events": list(self._ring)}

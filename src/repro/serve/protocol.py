@@ -27,6 +27,15 @@ params.  A ``config`` mapping inside ``params`` is inflated to a
 as the CLI's ``--set``), so job identity — the content-addressed cache
 key — is computed exactly as ``darco sweep`` computes it, and the two
 entry points share one result universe.
+
+A ``submit`` may additionally carry an optional ``trace`` object
+(:meth:`~repro.telemetry.tracectx.TraceContext.as_wire`): the
+distributed trace context minted client-side.  The field is additive
+within protocol version 1 — older clients simply never send it — and
+deliberately **excluded from job identity**: tracing a job must not
+fork the content-addressed result universe, so the trace context rides
+next to the job, never inside its key.  Malformed ``trace`` objects
+are a 400 at the door, like every other malformed field.
 """
 
 from __future__ import annotations
@@ -52,8 +61,8 @@ SHED = 429
 SHUTTING_DOWN = 503
 
 #: Ops a client may send.
-OPS = ("submit", "status", "fetch", "healthz", "metrics", "watch",
-       "shutdown")
+OPS = ("submit", "status", "fetch", "healthz", "metrics", "timeseries",
+       "watch", "shutdown")
 
 
 class ProtocolError(Exception):

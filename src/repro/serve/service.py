@@ -57,10 +57,16 @@ from repro.harness.parallel import (
 from repro.harness.retry import RetryPolicy
 from repro.hostinfo import host_snapshot
 from repro.serve import protocol
+from repro.serve.flightrec import FlightRecorder
 from repro.serve.supervisor import (
     STATE_BACKOFF, STATE_BUSY, STATE_IDLE, Shard,
 )
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.timeseries import TimeSeriesScraper
+from repro.telemetry.tracectx import (
+    DEFAULT_TRACE_DIR, SpanFileWriter, TraceContext, epoch_us,
+    mint_trace_id,
+)
 
 #: Job states (terminal: done / failed).
 QUEUED = "queued"
@@ -115,6 +121,18 @@ class ServeConfig:
     max_terminal_entries: int = 512
     #: Logical results kept for the stale-serving tier (LRU; 0 = unbounded).
     max_stale_entries: int = 256
+    #: Distributed tracing default for jobs that arrive without their
+    #: own context: ``off`` (no span files), ``counters`` (lifecycle
+    #: spans: submit/queue/attempt/retry), ``full`` (simulator-internal
+    #: spans too).  A client-supplied context overrides per job.
+    tracing: str = "counters"
+    #: Directory for per-process span files (client/service/worker).
+    trace_dir: str = DEFAULT_TRACE_DIR
+    #: Time-series sampling interval (seconds) and ring capacity.
+    metrics_interval_s: float = 1.0
+    timeseries_capacity: int = 512
+    #: Flight-recorder ring size per job (events).
+    flight_recorder_events: int = 64
 
 
 @dataclass
@@ -140,6 +158,16 @@ class JobEntry:
     stale: bool = False
     stale_fingerprint: Optional[str] = None
     duration_s: float = 0.0
+    #: Distributed trace context riding with (never inside) the job.
+    trace: Optional[TraceContext] = None
+    #: Flight recorder: bounded ring of recent lifecycle events,
+    #: attached to the record on terminal failure.
+    flight: Optional[FlightRecorder] = None
+    #: Epoch-µs instant of the most recent (re)queue — the left edge
+    #: of the next queue-wait span.
+    queued_us: int = 0
+    #: Epoch-µs instant of the most recent dispatch to a shard.
+    dispatched_us: int = 0
     #: Bumped on every visible change (watch streams on it).
     version: int = 0
 
@@ -171,6 +199,7 @@ class JobEntry:
             "stale": self.stale,
             "stale_fingerprint": self.stale_fingerprint,
             "duration_s": round(self.duration_s, 4),
+            "trace_id": self.trace.trace_id if self.trace else None,
             "telemetry_digest": self.telemetry_digest,
             # "error" is reserved for protocol-level failures; a job's
             # own (most recent) failure rides in "last_error".
@@ -210,6 +239,46 @@ class ServeService:
         self._drained = asyncio.Event()
         self._shutdown_requested = asyncio.Event()
         self.started_at = time.time()
+        #: Per-phase latency histograms (ms) promoted to p50/p95/p99 on
+        #: healthz and scraped into the time-series ring.
+        self.queue_wait_hist = self.registry.histogram(
+            "serve.queue_wait_ms")
+        self.run_hist = self.registry.histogram("serve.run_ms")
+        #: Bounded time-series ring sampled by :meth:`_sample_loop`.
+        self.scraper = TimeSeriesScraper(
+            self.registry,
+            interval_s=self.config.metrics_interval_s,
+            capacity=self.config.timeseries_capacity)
+        #: The service's span file (lazy: created on first traced job,
+        #: so a tracing-off service never touches the trace dir).
+        self._spans: Optional[SpanFileWriter] = None
+
+    def _span_writer(self) -> SpanFileWriter:
+        if self._spans is None:
+            self._spans = SpanFileWriter(self.config.trace_dir, "service")
+        return self._spans
+
+    def _trace_span(self, entry: JobEntry, name: str, start_us: int,
+                    end_us: int, **args: Any) -> None:
+        """One service-side X span for a traced job (no-op otherwise;
+        tracing must never fail service work)."""
+        if entry.trace is None or entry.trace.mode == "off":
+            return
+        try:
+            self._span_writer().complete(name, "service", start_us,
+                                         end_us, ctx=entry.trace, **args)
+        except Exception:
+            pass
+
+    def _trace_instant(self, entry: JobEntry, name: str,
+                       **args: Any) -> None:
+        if entry.trace is None or entry.trace.mode == "off":
+            return
+        try:
+            self._span_writer().instant(name, "service",
+                                        ctx=entry.trace, **args)
+        except Exception:
+            pass
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -235,7 +304,9 @@ class ServeService:
             self._tasks.append(asyncio.ensure_future(
                 self._run_shard(shard)))
         self._tasks.append(asyncio.ensure_future(self._reap_loop()))
+        self._tasks.append(asyncio.ensure_future(self._sample_loop()))
         self._update_gauges()
+        self.scraper.sample()
 
     @property
     def endpoint(self) -> str:
@@ -371,9 +442,22 @@ class ServeService:
                 f"max_attempts must be an integer, got "
                 f"{spec.get('max_attempts')!r}")
         max_attempts = max(1, min(MAX_ATTEMPTS_CAP, max_attempts))
+        try:
+            trace = TraceContext.from_wire(spec.get("trace"))
+        except ValueError as exc:
+            return protocol.error_response(
+                protocol.BAD_REQUEST, f"bad trace: {exc}")
         job = SweepJob(task=task, params=params,
                        label=spec.get("label", ""))
         key = job.key(self.fingerprint)
+        # No client context: mint one server-side (deterministically,
+        # from the job key) unless tracing is off.  The context rides
+        # next to the job, never inside its identity.
+        if trace is None and self.config.tracing != "off":
+            trace = TraceContext(trace_id=mint_trace_id(seed=key),
+                                 mode=self.config.tracing)
+        if trace is not None:
+            trace = trace.with_job(key[:16])
         self._count("serve.submitted")
 
         entry = self.table.get(key)
@@ -382,6 +466,11 @@ class ServeService:
             entry.submits += 1
             entry.version += 1
             self._count("serve.coalesced")
+            if entry.flight is not None:
+                entry.flight.mark("submit_coalesced",
+                                  submits=entry.submits)
+            self._trace_instant(entry, "submit_coalesced",
+                                submits=entry.submits)
             return protocol.response(
                 protocol.ACCEPTED, coalesced=True,
                 **entry.status_dict())
@@ -406,11 +495,20 @@ class ServeService:
 
         entry = JobEntry(key=key, job=job,
                          max_attempts=max_attempts,
-                         deadline_s=deadline)
+                         deadline_s=deadline,
+                         trace=trace,
+                         flight=FlightRecorder(
+                             self.config.flight_recorder_events))
         if self.table.get(key) is not None:
             entry.submits += self.table[key].submits
         self.table[key] = entry
         entry.mark(QUEUED, f"accepted (queue depth {self.queue.qsize()})")
+        entry.queued_us = epoch_us()
+        entry.flight.mark("accepted", task=task,
+                          queue_depth=self.queue.qsize(),
+                          trace_id=trace.trace_id if trace else None)
+        self._trace_instant(entry, "accepted",
+                            queue_depth=self.queue.qsize())
         self._enqueue(entry)
         self._count("serve.accepted")
         return protocol.response(protocol.ACCEPTED, coalesced=False,
@@ -531,14 +629,29 @@ class ServeService:
             entry.mark(RUNNING,
                        f"attempt {entry.attempts}/{entry.max_attempts} "
                        f"on shard {shard.index} (pid {shard.pid})")
+            now_us = epoch_us()
+            if entry.queued_us:
+                wait_ms = max(0.0, (now_us - entry.queued_us) / 1000.0)
+                self.queue_wait_hist.observe(wait_ms)
+                self._trace_span(entry, "queue_wait", entry.queued_us,
+                                 now_us, attempt=entry.attempts)
+                if entry.flight is not None:
+                    entry.flight.span("queue_wait", wait_ms,
+                                      attempt=entry.attempts)
+            entry.dispatched_us = now_us
+            if entry.flight is not None:
+                entry.flight.mark("dispatch", attempt=entry.attempts,
+                                  shard=shard.index, pid=shard.pid)
             try:
                 shard.send_job(entry.key, entry.job.task,
                                self._exec_params(entry),
-                               entry.deadline_s)
+                               entry.deadline_s,
+                               trace=self._wire_trace(entry))
             except (BrokenPipeError, OSError):
                 # Worker died between jobs: don't charge the attempt.
                 entry.attempts -= 1
                 entry.mark(QUEUED, "worker lost before dispatch; requeued")
+                entry.queued_us = epoch_us()
                 self._requeue(entry)
                 return False
             except Exception as exc:
@@ -582,6 +695,14 @@ class ServeService:
             return None
         return entry
 
+    def _wire_trace(self, entry: JobEntry) -> Optional[Dict[str, Any]]:
+        """The trace payload a dispatch carries to the worker (None when
+        this job is untraced): context + the span-file directory."""
+        if entry.trace is None or entry.trace.mode == "off":
+            return None
+        return {"ctx": entry.trace.as_wire(),
+                "dir": str(self.config.trace_dir)}
+
     def _exec_params(self, entry: JobEntry) -> Dict[str, Any]:
         """Execution params for this attempt: checkpoint plumbing rides
         outside job identity, exactly like the sweep runner's."""
@@ -600,6 +721,15 @@ class ServeService:
 
     def _on_result(self, entry: JobEntry, status: str, payload: Any,
                    duration: float, stderr_tail: str) -> None:
+        end_us = epoch_us()
+        run_ms = max(0.0, duration * 1000.0)
+        self.run_hist.observe(run_ms)
+        if entry.dispatched_us:
+            self._trace_span(entry, "run", entry.dispatched_us, end_us,
+                             attempt=entry.attempts, status=status)
+        if entry.flight is not None:
+            entry.flight.span("run", run_ms, attempt=entry.attempts,
+                              status=status)
         if status == "ok":
             entry.value = payload
             entry.value_payload = wire_value(payload)
@@ -607,6 +737,10 @@ class ServeService:
             entry.duration_s = duration
             entry.error = None
             entry.mark(DONE, f"completed in {duration:.2f}s")
+            if entry.flight is not None:
+                entry.flight.counters("digest", entry.telemetry_digest)
+            self._trace_instant(entry, "done",
+                                attempts=entry.attempts)
             self._job_finished(entry)
             self._count("serve.completed")
             alpha = 0.3
@@ -622,6 +756,10 @@ class ServeService:
         entry.error = payload
         entry.stderr_tail = stderr_tail
         self._count("serve.task_errors")
+        if entry.flight is not None:
+            last = (payload or "").strip().splitlines()
+            entry.flight.incident("task_error", attempt=entry.attempts,
+                                  error=last[-1] if last else "")
         self._retry_or_fail(entry, f"task error on attempt "
                                    f"{entry.attempts}")
 
@@ -636,6 +774,12 @@ class ServeService:
             self._count("serve.worker_deaths")
             entry.error = (f"worker process died after {elapsed:.2f}s "
                            f"on attempt {entry.attempts} (crash or kill)")
+        incident = ("deadline_kill" if reason == "deadline"
+                    else "worker_death")
+        if entry.flight is not None:
+            entry.flight.incident(incident, attempt=entry.attempts,
+                                  elapsed_s=round(elapsed, 3))
+        self._trace_instant(entry, incident, attempt=entry.attempts)
         self._retry_or_fail(entry, entry.error)
 
     def _retry_or_fail(self, entry: JobEntry, note: str) -> None:
@@ -643,12 +787,22 @@ class ServeService:
             self._count("serve.retries")
             delay = self.retry.delay(entry.attempts, seed=entry.key)
             entry.mark(RETRY_WAIT, f"{note}; retrying in {delay:.2f}s")
+            if entry.flight is not None:
+                entry.flight.mark("retry_wait", attempt=entry.attempts,
+                                  delay_s=round(delay, 3))
+            self._trace_instant(entry, "retry_wait",
+                                attempt=entry.attempts,
+                                delay_s=round(delay, 3))
             task = asyncio.get_running_loop().create_task(
                 self._requeue_later(entry, delay))
             self._retry_tasks.add(task)
             task.add_done_callback(self._retry_tasks.discard)
         else:
             entry.mark(FAILED, note)
+            if entry.flight is not None:
+                entry.flight.incident("failed", attempts=entry.attempts)
+            self._trace_instant(entry, "failed",
+                                attempts=entry.attempts)
             self._job_finished(entry)
             self._count("serve.failed")
 
@@ -658,6 +812,9 @@ class ServeService:
         if entry.terminal or self._stopping:
             return
         entry.mark(QUEUED, "requeued for retry")
+        entry.queued_us = epoch_us()
+        if entry.flight is not None:
+            entry.flight.mark("requeued", attempt=entry.attempts)
         self._requeue(entry)
 
     def _job_finished(self, entry: JobEntry) -> None:
@@ -673,6 +830,14 @@ class ServeService:
     def _note_known_result(self, entry: JobEntry) -> None:
         if entry.value_payload is None:
             return
+        # Accumulate the job's simulator digest into service-level
+        # counters ("work served, by tier") — the data behind darco
+        # top's hottest-tier panel.
+        for name, value in (entry.telemetry_digest or {}).items():
+            try:
+                self.registry.inc(f"jobs.{name}", int(value))
+            except (TypeError, ValueError):
+                continue
         logical = self._logical_key(entry.job)
         # Re-insert for LRU recency (dicts preserve insertion order),
         # then trim oldest-first down to the bound.
@@ -697,6 +862,14 @@ class ServeService:
                         and shard.deadline is not None
                         and now > shard.deadline):
                     shard.kill("deadline")
+
+    async def _sample_loop(self) -> None:
+        """Feed the time-series ring at the configured interval (cheap:
+        one registry snapshot per tick, no collectors)."""
+        while not self._stopping:
+            await asyncio.sleep(self.scraper.interval_s)
+            self._update_gauges()
+            self.scraper.sample()
 
     # -- request handling ------------------------------------------------------
 
@@ -758,6 +931,18 @@ class ServeService:
             return protocol.response(
                 protocol.OK, snapshot=self.registry.snapshot(
                     collect=False).as_dict())
+        if op == "timeseries":
+            n = request.get("n")
+            try:
+                n = None if n is None else max(1, int(n))
+            except (TypeError, ValueError):
+                return protocol.error_response(
+                    protocol.BAD_REQUEST,
+                    f"n must be an integer, got {request.get('n')!r}")
+            self._update_gauges()
+            self.scraper.sample()
+            return protocol.response(
+                protocol.OK, timeseries=self.scraper.wire_dict(n))
         if op == "shutdown":
             self._shutdown_requested.set()
             return protocol.response(protocol.OK, stopping=True)
@@ -803,6 +988,9 @@ class ServeService:
             return protocol.response(protocol.FAILED,
                                      stderr_tail=entry.stderr_tail,
                                      full_error=entry.error,
+                                     flight=entry.flight.as_dict()
+                                     if entry.flight is not None
+                                     else None,
                                      **entry.status_dict())
         return protocol.response(protocol.ACCEPTED,
                                  **entry.status_dict())
@@ -845,9 +1033,13 @@ class ServeService:
                    "capacity": self.config.max_pending},
             saturation=snapshot.gauges.get("serve.saturation", 0.0),
             service_rate_jobs_per_s=round(self.service_rate(), 3),
+            latency={
+                "queue_wait_ms": self.queue_wait_hist.percentiles(),
+                "run_ms": self.run_hist.percentiles(),
+            },
             workers=[shard.healthz() for shard in self.shards],
             counters={k: v for k, v in snapshot.counters.items()
-                      if k.startswith("serve.")},
+                      if k.startswith(("serve.", "jobs."))},
             jobs={state: sum(1 for e in self.table.values()
                              if e.state == state)
                   for state in (QUEUED, RUNNING, RETRY_WAIT, DONE,

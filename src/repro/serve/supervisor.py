@@ -59,7 +59,14 @@ def _worker_main(conn) -> None:
             break
         if frame[0] == "stop":
             break
-        _, job_key, task, params = frame
+        # Job frames are ("job", key, task, params[, trace]): the trace
+        # context is a protocol addition, so a 4-tuple from an older
+        # parent still executes.
+        _, job_key, task, params = frame[:4]
+        trace = frame[4] if len(frame) > 4 else None
+        if trace is not None:
+            params = dict(params)
+            params["_trace"] = trace
         status, payload, duration, stderr_tail = _worker(task, params)
         try:
             conn.send(("done", job_key, status, payload, duration,
@@ -112,12 +119,16 @@ class Shard:
         self.kill_reason = None
 
     def send_job(self, job_key: str, task: str, params: dict,
-                 deadline_s: Optional[float]) -> None:
+                 deadline_s: Optional[float],
+                 trace: Optional[dict] = None) -> None:
         self.current_key = job_key
         self.deadline = (time.monotonic() + deadline_s
                          if deadline_s else None)
         self.state = STATE_BUSY
-        self.conn.send(("job", job_key, task, params))
+        if trace is not None:
+            self.conn.send(("job", job_key, task, params, trace))
+        else:
+            self.conn.send(("job", job_key, task, params))
 
     def abort_dispatch(self) -> None:
         """Forget a dispatch that never reached the worker (the frame

@@ -59,11 +59,18 @@ class ReproBundle:
     #: ``None`` for bundles written with telemetry off or by older
     #: versions — the field is additive within schema version 1).
     telemetry: Optional[Dict[str, Any]] = None
+    #: Flight-recorder dump (bounded ring of recent lifecycle events,
+    #: :meth:`repro.serve.flightrec.FlightRecorder.as_dict`) when the
+    #: failure happened under a recorder — serve jobs, or any caller
+    #: passing one to :func:`write_bundle`.  Additive within schema
+    #: version 1, like ``telemetry``.
+    flight: Optional[Dict[str, Any]] = None
     path: Optional[Path] = None
 
 
 def write_bundle(directory, controller, reason: str,
-                 error: Optional[str] = None) -> Path:
+                 error: Optional[str] = None,
+                 flight: Optional[Dict[str, Any]] = None) -> Path:
     """Emit a repro bundle for ``controller``'s current run into
     ``directory``; returns the bundle path."""
     tol = controller.codesigned.tol
@@ -101,6 +108,7 @@ def write_bundle(directory, controller, reason: str,
         },
         "checkpoint": checkpoint,
         "telemetry": None if snapshot is None else snapshot.as_dict(),
+        "flight": flight,
     }
     digest = content_hash(payload)
     path = Path(directory) / f"bundle-{reason}-{digest[:12]}.json"
@@ -127,6 +135,7 @@ def load_bundle(path) -> ReproBundle:
         counters=dict(payload["counters"]),
         checkpoint=payload.get("checkpoint"),
         telemetry=payload.get("telemetry"),
+        flight=payload.get("flight"),
         path=Path(path),
     )
 

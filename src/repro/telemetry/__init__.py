@@ -60,6 +60,13 @@ class Telemetry:
         self.tracer: Optional[SpanTracer] = (
             SpanTracer(max_events=max_trace_events)
             if mode == MODE_FULL else None)
+        # Distributed tracing: while a worker-side trace context is
+        # active (serve jobs traced end to end), adopt a span tracer
+        # even in off/counters mode.  Tracer-only — the hub's mode and
+        # snapshot behaviour are untouched, so traced and untraced runs
+        # of one job stay bit-identical (one result universe).
+        from repro.telemetry import tracectx
+        tracectx.adopt(self)
 
     @property
     def counters_on(self) -> bool:

@@ -91,6 +91,55 @@ class Histogram:
         return {"bounds": list(self.bounds), "counts": list(self.counts),
                 "count": self.count, "total": self.total}
 
+    def percentiles(self, qs: Tuple[float, ...] = (50.0, 95.0, 99.0)
+                    ) -> Dict[str, float]:
+        """Promote the buckets to percentile estimates (``{"p50": ...}``).
+
+        Linear interpolation inside the winning bucket; the overflow
+        bucket clamps to the highest edge (its upper bound is open).
+        Deterministic — pure arithmetic over the counts — and exact
+        enough for latency summaries, which is what fixed-boundary
+        histograms buy in exchange for O(1) observation.  Empty
+        histograms report 0.0 everywhere.
+        """
+        return histogram_percentiles(self.as_dict(), qs)
+
+
+def histogram_percentiles(hist: Dict[str, Any],
+                          qs: Tuple[float, ...] = (50.0, 95.0, 99.0)
+                          ) -> Dict[str, float]:
+    """Percentile estimates from a histogram's ``as_dict`` form (shared
+    by live instruments, snapshots, and wire-serialized copies)."""
+    bounds = list(hist.get("bounds", ()))
+    counts = list(hist.get("counts", ()))
+    total = int(hist.get("count", 0))
+    out: Dict[str, float] = {}
+    for q in qs:
+        label = f"p{q:g}"
+        if total <= 0 or not counts:
+            out[label] = 0.0
+            continue
+        rank = q / 100.0 * total
+        cumulative = 0
+        value = float(bounds[-1]) if bounds else 0.0
+        for i, n in enumerate(counts):
+            if n <= 0:
+                cumulative += n
+                continue
+            if cumulative + n >= rank:
+                lo = bounds[i - 1] if i > 0 else 0.0
+                hi = bounds[i] if i < len(bounds) else bounds[-1] \
+                    if bounds else 0.0
+                if hi <= lo:
+                    value = float(hi)
+                else:
+                    frac = (rank - cumulative) / n
+                    value = lo + (hi - lo) * min(1.0, max(0.0, frac))
+                break
+            cumulative += n
+        out[label] = round(float(value), 6)
+    return out
+
 
 class MetricsRegistry:
     """Named instruments plus the collector callbacks that fill them.

@@ -1,0 +1,190 @@
+"""Windowed time-series metrics scraped from a registry.
+
+One-shot :class:`~repro.telemetry.registry.TelemetrySnapshot` freezes
+answer "what happened overall"; a live service needs "what is happening
+*now* and over the last few minutes".  :class:`TimeSeriesScraper`
+bridges the two: at a fixed interval it samples a
+:class:`~repro.telemetry.registry.MetricsRegistry` into a bounded ring
+of samples, each carrying
+
+- **counter rates** (delta / elapsed, per second) for every counter,
+- **gauge values** as-is,
+- **histogram percentile summaries** (p50/p95/p99) promoted from the
+  fixed-boundary buckets,
+
+so dashboards (``darco top``) render jobs/s and latency percentiles
+from one poll, and the whole window exports as a versioned artifact /
+JSONL stream for offline analysis.
+
+The ring is bounded (``capacity`` samples) — a service up for a month
+holds the same memory as one up for an hour.  Sampling reads live
+instruments without collectors (collector scrapes belong to snapshot
+boundaries; a wall-clock sampler must not perturb deterministic
+snapshot state).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.telemetry.registry import MetricsRegistry, histogram_percentiles
+
+KIND_TIMESERIES = "timeseries"
+TIMESERIES_SCHEMA_VERSION = 1
+
+#: Default ring capacity (samples kept).
+DEFAULT_CAPACITY = 512
+
+#: Percentiles promoted from histograms.
+DEFAULT_QS: Tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+class TimeSeriesScraper:
+    """Bounded ring of registry samples taken at a fixed interval."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 interval_s: float = 1.0,
+                 capacity: int = DEFAULT_CAPACITY,
+                 qs: Tuple[float, ...] = DEFAULT_QS):
+        self.registry = registry
+        self.interval_s = max(1e-3, float(interval_s))
+        self.capacity = max(2, int(capacity))
+        self.qs = tuple(qs)
+        self.samples: deque = deque(maxlen=self.capacity)
+        self._last_counters: Dict[str, int] = {}
+        self._last_t: Optional[float] = None
+        self.samples_taken = 0
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Take one sample; returns it (and appends it to the ring)."""
+        t = time.time() if now is None else float(now)
+        snap = self.registry.snapshot(collect=False)
+        elapsed = (t - self._last_t) if self._last_t is not None else None
+        rates: Dict[str, float] = {}
+        for name, value in snap.counters.items():
+            if elapsed is not None and elapsed > 0:
+                delta = value - self._last_counters.get(name, 0)
+                rates[name] = round(delta / elapsed, 6)
+        percentiles = {
+            name: histogram_percentiles(hist, self.qs)
+            for name, hist in snap.histograms.items()}
+        sample = {
+            "t": round(t, 6),
+            "elapsed_s": round(elapsed, 6) if elapsed is not None else None,
+            "counters": dict(snap.counters),
+            "rates": rates,
+            "gauges": dict(snap.gauges),
+            "percentiles": percentiles,
+        }
+        self.samples.append(sample)
+        self._last_counters = dict(snap.counters)
+        self._last_t = t
+        self.samples_taken += 1
+        return sample
+
+    # -- queries ------------------------------------------------------------
+
+    def window(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent ``n`` samples (all of them by default)."""
+        items = list(self.samples)
+        if n is not None:
+            items = items[-max(0, int(n)):]
+        return items
+
+    def series(self, name: str, field: str = "gauges",
+               n: Optional[int] = None) -> List[Tuple[float, float]]:
+        """One named metric as ``[(t, value), ...]`` over the window.
+        ``field`` picks the sample section (``gauges`` / ``rates`` /
+        ``counters``)."""
+        points = []
+        for sample in self.window(n):
+            value = sample.get(field, {}).get(name)
+            if value is not None:
+                points.append((sample["t"], value))
+        return points
+
+    def wire_dict(self, n: Optional[int] = None) -> Dict[str, Any]:
+        """JSON-able projection for the serve ``timeseries`` op."""
+        return {
+            "interval_s": self.interval_s,
+            "capacity": self.capacity,
+            "samples_taken": self.samples_taken,
+            "samples": self.window(n),
+        }
+
+    # -- export -------------------------------------------------------------
+
+    def export_artifact(self, path) -> None:
+        """Versioned single-file export via the shared artifact
+        envelope (atomic write, schema-checked load)."""
+        from repro.ioutil import write_artifact
+        write_artifact(path, KIND_TIMESERIES, TIMESERIES_SCHEMA_VERSION,
+                       self.wire_dict())
+
+    def export_jsonl(self, path) -> None:
+        """Versioned JSONL export: a header line naming kind/schema,
+        then one sample per line (jq/pandas-friendly).  Written
+        atomically through the shared IO layer."""
+        from repro.ioutil import atomic_write_bytes
+        header = {"kind": KIND_TIMESERIES,
+                  "schema_version": TIMESERIES_SCHEMA_VERSION,
+                  "interval_s": self.interval_s,
+                  "samples_taken": self.samples_taken}
+        lines = [json.dumps(header, sort_keys=True,
+                            separators=(",", ":"))]
+        lines += [json.dumps(sample, sort_keys=True,
+                             separators=(",", ":"))
+                  for sample in self.samples]
+        atomic_write_bytes(path, ("\n".join(lines) + "\n").encode())
+
+
+def load_timeseries_jsonl(path) -> Dict[str, Any]:
+    """Load an :meth:`~TimeSeriesScraper.export_jsonl` file; raises
+    :class:`~repro.ioutil.SchemaError` on a bad header."""
+    from repro.ioutil import SchemaError
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+    except OSError as exc:
+        raise SchemaError(f"unreadable timeseries file: {exc}") from None
+    if not lines:
+        raise SchemaError("empty timeseries file")
+    try:
+        header = json.loads(lines[0])
+    except ValueError as exc:
+        raise SchemaError(f"bad timeseries header: {exc}") from None
+    if (not isinstance(header, dict)
+            or header.get("kind") != KIND_TIMESERIES):
+        raise SchemaError("not a timeseries artifact")
+    if header.get("schema_version") != TIMESERIES_SCHEMA_VERSION:
+        raise SchemaError(
+            f"timeseries schema {header.get('schema_version')!r} "
+            f"!= expected {TIMESERIES_SCHEMA_VERSION}")
+    samples = []
+    for line in lines[1:]:
+        try:
+            samples.append(json.loads(line))
+        except ValueError:
+            continue  # torn tail from a killed writer: not fatal
+    return {"header": header, "samples": samples}
+
+
+def sparkline(values: List[float], width: int = 32) -> str:
+    """Render values as a unicode sparkline (dashboard helper; pure)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    tail = values[-width:]
+    lo, hi = min(tail), max(tail)
+    if hi <= lo:
+        return blocks[0] * len(tail)
+    span = hi - lo
+    return "".join(
+        blocks[min(len(blocks) - 1,
+                   int((v - lo) / span * (len(blocks) - 1) + 0.5))]
+        for v in tail)

@@ -1,0 +1,260 @@
+"""Distributed trace context for the serve platform.
+
+The serve pipeline spans four processes — ``darco submit`` (client),
+the asyncio service, a forked shard worker, and the simulation run
+inside it — and a slow or flaky job is invisible end to end unless one
+identity follows it across every boundary.  This module is that
+identity plus the plumbing around it:
+
+- :class:`TraceContext`: an immutable ``trace_id``/``span_id`` pair
+  (plus the job id and tracing mode) minted at ``darco submit``,
+  carried in the wire protocol's ``trace`` field, forwarded over the
+  shard pipe, and finally activated inside the worker process;
+- :class:`SpanFileWriter`: an append-only per-process span file
+  (JSON lines of Chrome trace events stamped with **epoch**
+  microseconds, so events from different processes sort onto one
+  timeline without clock negotiation).  Files are named
+  ``<role>-<pid>.jsonl`` under one trace directory; the merge step
+  (:mod:`repro.telemetry.tracemerge`) assembles a job's full causal
+  lifecycle from them;
+- worker-side activation (:func:`activate` / :func:`deactivate` /
+  :func:`adopt`): while a context is active, every
+  :class:`~repro.telemetry.Telemetry` hub constructed in the process
+  gets a span tracer — even when the job's own config asked for
+  ``off``/``counters`` — and the tracer is collected at job end so its
+  dispatch/translate/validate spans land in the worker's span file.
+
+The tracer upgrade is deliberately *tracer-only*: the hub's ``mode``
+(and therefore its snapshot behaviour, and therefore every simulated
+quantity and cached payload) is untouched, so a traced job's value
+stays bit-identical with an untraced one — tracing must never split
+the content-addressed result universe.
+
+Span ids are per-writer sequence numbers, not random: two identical
+runs produce identical span structure, which is what lets the test
+suite diff merged timelines across runs (modulo the wall-clock ``ts``
+/``dur`` fields).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Default directory for per-process span files (next to the serve
+#: socket and result cache; override via ``ServeConfig.trace_dir``).
+DEFAULT_TRACE_DIR = ".darco-serve-traces"
+
+#: Schema version written into every span-file header line.
+SPAN_FILE_VERSION = 1
+
+#: Upper bound on client-supplied id strings (wire validation).
+MAX_ID_CHARS = 64
+
+#: Tracing modes a context can request (mirrors Telemetry's ladder:
+#: ``counters`` = lifecycle spans only, ``full`` = simulator-internal
+#: spans too).
+TRACE_MODES = ("off", "counters", "full")
+
+
+def mint_trace_id(seed: Optional[str] = None) -> str:
+    """A 16-hex-char trace id: random by default, deterministic when a
+    seed (e.g. the job's content-addressed key) is given."""
+    if seed is not None:
+        import hashlib
+        return hashlib.sha256(seed.encode()).hexdigest()[:16]
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity a job carries across process boundaries."""
+
+    trace_id: str
+    #: Span id of the context's minting site (the client submit span).
+    parent_span_id: str = ""
+    #: Job id (short key) the context belongs to, once known.
+    job: str = ""
+    #: Effective tracing mode for this job (``off`` never propagates).
+    mode: str = "counters"
+
+    def as_wire(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id,
+                "parent_span_id": self.parent_span_id,
+                "job": self.job, "mode": self.mode}
+
+    @staticmethod
+    def from_wire(obj: Any) -> Optional["TraceContext"]:
+        """Validate an untrusted wire object; ``None`` when absent.
+
+        Raises ``ValueError`` on garbage — the service turns that into
+        the submitter's 400, never a worker exception later.
+        """
+        if obj is None:
+            return None
+        if not isinstance(obj, dict):
+            raise ValueError("trace must be a JSON object")
+        trace_id = obj.get("trace_id", "")
+        parent = obj.get("parent_span_id", "")
+        job = obj.get("job", "")
+        mode = obj.get("mode", "counters")
+        for name, value in (("trace_id", trace_id),
+                            ("parent_span_id", parent), ("job", job)):
+            if not isinstance(value, str) or len(value) > MAX_ID_CHARS:
+                raise ValueError(
+                    f"trace.{name} must be a string of at most "
+                    f"{MAX_ID_CHARS} chars")
+        if mode not in TRACE_MODES:
+            raise ValueError(
+                f"trace.mode must be one of {', '.join(TRACE_MODES)}")
+        if not trace_id:
+            raise ValueError("trace.trace_id must be non-empty")
+        return TraceContext(trace_id=trace_id, parent_span_id=parent,
+                            job=job, mode=mode)
+
+    def with_job(self, job: str) -> "TraceContext":
+        return TraceContext(trace_id=self.trace_id,
+                            parent_span_id=self.parent_span_id,
+                            job=job, mode=self.mode)
+
+
+def epoch_us() -> int:
+    """Wall-clock epoch microseconds (the cross-process trace ruler)."""
+    return time.time_ns() // 1000
+
+
+class SpanFileWriter:
+    """Append-only per-process span file: one Chrome trace event per
+    line, timestamps in epoch microseconds.
+
+    Appends are line-atomic enough for the merge step (a torn final
+    line from a killed process is skipped, not fatal), and a header
+    line written at file creation names the role/pid so the merge can
+    label process tracks.  Span ids are sequential per writer, keeping
+    two identical runs structurally identical.
+    """
+
+    def __init__(self, trace_dir, role: str, pid: Optional[int] = None):
+        self.trace_dir = Path(trace_dir)
+        self.role = role
+        self.pid = pid if pid is not None else os.getpid()
+        self.path = self.trace_dir / f"{self.role}-{self.pid}.jsonl"
+        self._seq = 0
+        self._wrote_header = self.path.exists()
+        self.written = 0
+
+    # -- internals ----------------------------------------------------------
+
+    def next_span_id(self) -> str:
+        self._seq += 1
+        return f"{self.role}:{self.pid}:{self._seq}"
+
+    def _append(self, lines: List[str]) -> None:
+        self.trace_dir.mkdir(parents=True, exist_ok=True)
+        if not self._wrote_header:
+            header = {"ph": "M", "kind": "span_file_header",
+                      "v": SPAN_FILE_VERSION, "role": self.role,
+                      "pid": self.pid}
+            lines = [json.dumps(header, separators=(",", ":"))] + lines
+            self._wrote_header = True
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        self.written += len(lines)
+
+    def _args(self, ctx: Optional[TraceContext],
+              args: Dict[str, Any]) -> Dict[str, Any]:
+        if ctx is not None:
+            args = {"trace_id": ctx.trace_id, "job": ctx.job, **args}
+        return args
+
+    # -- event emission -----------------------------------------------------
+
+    def complete(self, name: str, cat: str, start_us: int, end_us: int,
+                 ctx: Optional[TraceContext] = None, **args) -> str:
+        """One self-contained ``X`` span with known start/end."""
+        span_id = self.next_span_id()
+        event = {"name": name, "cat": cat, "ph": "X",
+                 "ts": int(start_us),
+                 "dur": max(0, int(end_us) - int(start_us)),
+                 "pid": self.pid, "tid": 0,
+                 "args": {**self._args(ctx, args), "span_id": span_id}}
+        self._append([json.dumps(event, separators=(",", ":"))])
+        return span_id
+
+    def instant(self, name: str, cat: str,
+                ctx: Optional[TraceContext] = None,
+                ts_us: Optional[int] = None, **args) -> None:
+        event = {"name": name, "cat": cat, "ph": "i", "s": "t",
+                 "ts": int(ts_us if ts_us is not None else epoch_us()),
+                 "pid": self.pid, "tid": 0,
+                 "args": self._args(ctx, args)}
+        self._append([json.dumps(event, separators=(",", ":"))])
+
+    def tracer_events(self, tracer, ctx: Optional[TraceContext] = None
+                      ) -> int:
+        """Flush a :class:`SpanTracer`'s buffered events, shifted from
+        its process-relative clock onto the epoch ruler and stamped
+        with the context.  Returns the number of events written."""
+        origin = getattr(tracer, "epoch_origin_us", None)
+        if origin is None:
+            origin = epoch_us()
+        lines = []
+        for event in tracer.events:
+            shifted = dict(event)
+            shifted["ts"] = int(origin + event.get("ts", 0.0))
+            shifted["pid"] = self.pid
+            # Simulator-internal lanes start above the lifecycle lane.
+            shifted["tid"] = int(event.get("tid", 0)) + 1
+            shifted["args"] = self._args(ctx, dict(event.get("args", {})))
+            lines.append(json.dumps(shifted, separators=(",", ":")))
+        if lines:
+            self._append(lines)
+        return len(lines)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side activation.
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[TraceContext] = None
+_COLLECTED: List[Any] = []
+
+
+def activate(ctx: TraceContext) -> None:
+    """Install ``ctx`` as the process's active trace context.  While
+    active, every Telemetry hub constructed adopts a span tracer (see
+    :func:`adopt`)."""
+    global _ACTIVE
+    _ACTIVE = ctx
+    _COLLECTED.clear()
+
+
+def deactivate() -> List[Any]:
+    """Clear the active context; returns the tracers adopted while it
+    was active (for the caller to flush into its span file)."""
+    global _ACTIVE
+    _ACTIVE = None
+    collected, _COLLECTED[:] = list(_COLLECTED), []
+    return collected
+
+
+def active_context() -> Optional[TraceContext]:
+    return _ACTIVE
+
+
+def adopt(telemetry) -> None:
+    """Called by ``Telemetry.__init__``: while a context is active in
+    ``full`` mode, give the hub a span tracer (tracer-only upgrade —
+    the hub's mode, snapshots and therefore every simulated quantity
+    are untouched) and remember it for collection at job end."""
+    ctx = _ACTIVE
+    if ctx is None or ctx.mode != "full":
+        return
+    if telemetry.tracer is None:
+        from repro.telemetry.tracer import SpanTracer
+        telemetry.tracer = SpanTracer()
+    _COLLECTED.append(telemetry.tracer)

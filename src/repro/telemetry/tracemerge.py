@@ -1,0 +1,191 @@
+"""Merge per-process span files into one Perfetto timeline.
+
+The serve platform writes one span file per participating process
+(:class:`~repro.telemetry.tracectx.SpanFileWriter`): ``client-<pid>``
+for ``darco submit``, ``service-<pid>`` for the asyncio service,
+``worker-<pid>`` for each shard attempt.  Every event is stamped with
+epoch-microsecond timestamps and carries ``args.trace_id`` /
+``args.job``, so assembling a job's end-to-end story is a filter, a
+stable sort, and a normalisation — no clock negotiation, no live
+service required (``darco trace --job`` works from the trace directory
+alone, even after the service exited).
+
+The merged document is a standard Chrome trace-event JSON dict:
+process-name metadata is synthesised from each span file's header line
+so Perfetto labels the client / service / worker tracks, and all
+timestamps are shifted down by the earliest event's so the timeline
+starts at zero.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.tracectx import SPAN_FILE_VERSION
+
+#: Phases the merge accepts (anything else in a span file is a bug in
+#: the writer, and dropping it beats producing an unloadable trace).
+_KNOWN_PHASES = ("B", "E", "X", "i", "C", "M")
+
+
+def read_span_file(path) -> Dict[str, Any]:
+    """One span file → ``{"header": ..., "events": [...]}``.
+
+    Torn trailing lines (a killed writer) and unknown phases are
+    skipped; a missing/foreign header yields a synthetic one so merge
+    still labels the track.
+    """
+    path = Path(path)
+    header: Optional[Dict[str, Any]] = None
+    events: List[Dict[str, Any]] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return {"header": None, "events": []}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            continue  # torn line from a killed process
+        if not isinstance(obj, dict):
+            continue
+        if obj.get("kind") == "span_file_header":
+            if obj.get("v") == SPAN_FILE_VERSION:
+                header = obj
+            continue
+        if obj.get("ph") not in _KNOWN_PHASES:
+            continue
+        events.append(obj)
+    if header is None:
+        stem = path.stem  # e.g. worker-1234
+        role, _, pid = stem.rpartition("-")
+        header = {"role": role or stem,
+                  "pid": int(pid) if pid.isdigit() else 0,
+                  "v": SPAN_FILE_VERSION, "synthetic": True}
+    return {"header": header, "events": events}
+
+
+def _matches(event: Dict[str, Any], trace_id: Optional[str],
+             job: Optional[str]) -> bool:
+    args = event.get("args") or {}
+    if trace_id is not None and args.get("trace_id") != trace_id:
+        return False
+    if job is not None:
+        ev_job = args.get("job", "")
+        # Jobs are addressed by key prefix everywhere else in the CLI;
+        # honour the same convention here.
+        if not isinstance(ev_job, str) or not ev_job.startswith(job):
+            return False
+    return True
+
+
+def merge_trace(trace_dir, trace_id: Optional[str] = None,
+                job: Optional[str] = None) -> Dict[str, Any]:
+    """Assemble one Chrome trace dict from every span file in
+    ``trace_dir``, keeping only events matching ``trace_id`` and/or
+    ``job`` (both ``None`` = everything)."""
+    trace_dir = Path(trace_dir)
+    files = sorted(trace_dir.glob("*.jsonl")) if trace_dir.is_dir() else []
+    merged: List[Dict[str, Any]] = []
+    meta: List[Dict[str, Any]] = []
+    roles: Dict[int, str] = {}
+    trace_ids = set()
+    contributing: List[str] = []
+    for path in files:
+        loaded = read_span_file(path)
+        header = loaded["header"]
+        kept = [ev for ev in loaded["events"]
+                if _matches(ev, trace_id, job)]
+        if not kept:
+            continue
+        contributing.append(path.name)
+        pid = int(header.get("pid", 0))
+        roles[pid] = str(header.get("role", "unknown"))
+        for ev in kept:
+            tid = (ev.get("args") or {}).get("trace_id")
+            if tid:
+                trace_ids.add(tid)
+        merged.extend(kept)
+    # Normalise to a zero-based timeline (Perfetto renders epoch-µs
+    # offsets fine, but zero-based diffs cleanly across runs).
+    numeric_ts = [ev["ts"] for ev in merged
+                  if isinstance(ev.get("ts"), (int, float))]
+    origin = min(numeric_ts) if numeric_ts else 0
+    for ev in merged:
+        if isinstance(ev.get("ts"), (int, float)):
+            ev["ts"] = ev["ts"] - origin
+    merged.sort(key=lambda ev: (ev.get("ts", 0), ev.get("pid", 0),
+                                ev.get("tid", 0),
+                                0 if ev.get("ph") == "B" else 1))
+    for pid in sorted(roles):
+        meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                     "tid": 0, "args": {"name": roles[pid]}})
+        meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                     "tid": 0, "args": {"name": "lifecycle"}})
+    return {"traceEvents": meta + merged,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "trace_ids": sorted(trace_ids),
+                "job": job or "",
+                "origin_epoch_us": origin,
+                "span_files": contributing,
+                "span_files_scanned": len(files),
+            }}
+
+
+def write_merged_trace(trace_dir, out_path,
+                       trace_id: Optional[str] = None,
+                       job: Optional[str] = None) -> Dict[str, Any]:
+    """Merge and atomically write; returns the merged dict (plain JSON,
+    not the artifact envelope: Perfetto must open the file as-is)."""
+    from repro.ioutil import atomic_write_bytes
+    doc = merge_trace(trace_dir, trace_id=trace_id, job=job)
+    blob = json.dumps(doc, separators=(",", ":")).encode()
+    atomic_write_bytes(out_path, blob)
+    return doc
+
+
+def _strip_pid(span_id: Any) -> Any:
+    """``role:pid:seq`` → ``role:seq`` (pids vary run to run; the role
+    and per-writer sequence number are the stable identity)."""
+    if isinstance(span_id, str) and span_id.count(":") == 2:
+        role, _, seq = span_id.split(":")
+        return f"{role}:{seq}"
+    return span_id
+
+
+def strip_wallclock(doc: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """A merged trace with every run-varying field removed — what two
+    runs of the same job must agree on exactly (the determinism half
+    of the cross-process tests).  Pids are replaced by the process
+    role, span ids keep only their role and per-writer sequence, and
+    events are re-sorted by that stable identity (ts order can differ
+    across runs for near-simultaneous events in different processes).
+    """
+    roles: Dict[int, str] = {}
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            roles[ev.get("pid", 0)] = ev.get("args", {}).get("name", "")
+    skeleton = []
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") == "M":
+            continue
+        args = {k: v for k, v in (ev.get("args") or {}).items()
+                if k not in ("duration_s", "ts", "wall", "icount")}
+        for key in ("span_id", "parent_span_id"):
+            if key in args:
+                args[key] = _strip_pid(args[key])
+        skeleton.append({
+            "name": ev.get("name"), "cat": ev.get("cat"),
+            "ph": ev.get("ph"),
+            "role": roles.get(ev.get("pid", 0), "unknown"),
+            "tid": ev.get("tid", 0),
+            "args": args,
+        })
+    skeleton.sort(key=lambda ev: json.dumps(ev, sort_keys=True))
+    return skeleton

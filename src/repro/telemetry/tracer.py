@@ -45,6 +45,10 @@ class SpanTracer:
         self._suppressed = 0
         self._tids: Dict[str, int] = {}
         self._t0 = time.perf_counter_ns()
+        #: Epoch microseconds at ``_t0`` — the offset that maps this
+        #: tracer's process-relative timestamps onto the cross-process
+        #: wall-clock ruler (span-file merge, ``darco trace --job``).
+        self.epoch_origin_us = time.time_ns() // 1000
 
     # -- internals ----------------------------------------------------------
 

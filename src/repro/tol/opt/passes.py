@@ -169,53 +169,72 @@ _STORE_TO_LOAD = {"st32": "ld32", "stf": "ldf", "stv": "ldv"}
 def cse_rle_forwarding(ops: List[IRInstr]):
     """Common subexpression elimination; loads participate under a memory
     version that bumps at every store, giving redundant-load elimination;
-    exact-match store-to-load forwarding is applied on top."""
+    exact-match store-to-load forwarding is applied on top.
+
+    Every operand in an expression key — and every remembered result or
+    forwarded store value — carries its definition-count version, so a
+    redefined register never matches (or substitutes for) a stale value.
+    Like constprop, the pass is safe on non-SSA regions.
+    """
     stats = PassStats("cse", ops_in=len(ops))
-    exprs: Dict[tuple, object] = {}
+    version: Dict[object, int] = {}
+
+    def vkey(operand):
+        return (operand, version.get(operand, 0))
+
+    def valid(entry) -> bool:
+        operand, at_version = entry
+        return version.get(operand, 0) == at_version
+
+    exprs: Dict[tuple, tuple] = {}      # key -> (result, version-at-def)
     mem_version = 0
-    last_store: Dict[tuple, object] = {}
+    last_store: Dict[tuple, tuple] = {}  # key -> (value, version-at-store)
     out = []
     for instr in ops:
         replaced = False
         if instr.is_store:
             mem_version += 1
             last_store.clear()
-            key = (_STORE_TO_LOAD[instr.op], instr.srcs[0], instr.imm)
-            last_store[key] = instr.srcs[1]
+            key = (_STORE_TO_LOAD[instr.op], vkey(instr.srcs[0]), instr.imm)
+            last_store[key] = vkey(instr.srcs[1])
         elif instr.is_load:
-            fwd_key = (instr.op, instr.srcs[0], instr.imm)
-            if fwd_key in last_store:
+            fwd_key = (instr.op, vkey(instr.srcs[0]), instr.imm)
+            fwd = last_store.get(fwd_key)
+            if fwd is not None and valid(fwd):
                 move = {"ld32": "mov", "ldf": "fmov", "ldv": "vmov"}[instr.op]
                 out.append(instr.with_changes(
-                    op=move, srcs=(last_store[fwd_key],), imm=0))
+                    op=move, srcs=(fwd[0],), imm=0))
                 stats.changed += 1
                 replaced = True
             else:
-                key = (instr.op, instr.srcs[0], instr.imm, mem_version)
+                key = (instr.op, vkey(instr.srcs[0]), instr.imm, mem_version)
                 prior = exprs.get(key)
-                if prior is not None:
+                if prior is not None and valid(prior):
                     move = {"ld32": "mov", "ldf": "fmov",
                             "ldv": "vmov"}[instr.op]
                     out.append(instr.with_changes(
-                        op=move, srcs=(prior,), imm=0))
+                        op=move, srcs=(prior[0],), imm=0))
                     stats.changed += 1
                     replaced = True
                 else:
-                    exprs[key] = instr.dst
+                    exprs[key] = (instr.dst, version.get(instr.dst, 0) + 1)
         elif (instr.op in _CSEABLE and instr.dst is not None
               and isinstance(instr.dst, (Tmp, FTmp, VTmp))):
-            key = (instr.op, instr.srcs, instr.imm)
+            key = (instr.op, tuple(vkey(s) for s in instr.srcs), instr.imm)
             prior = exprs.get(key)
-            if prior is not None:
+            if prior is not None and valid(prior):
                 move = ("fmov" if isinstance(instr.dst, FTmp) else
                         "vmov" if isinstance(instr.dst, VTmp) else "mov")
-                out.append(instr.with_changes(op=move, srcs=(prior,), imm=0))
+                out.append(instr.with_changes(op=move, srcs=(prior[0],),
+                                              imm=0))
                 stats.changed += 1
                 replaced = True
             else:
-                exprs[key] = instr.dst
+                exprs[key] = (instr.dst, version.get(instr.dst, 0) + 1)
         if not replaced:
             out.append(instr)
+        if instr.dst is not None:
+            version[instr.dst] = version.get(instr.dst, 0) + 1
     stats.ops_out = len(out)
     return out, stats
 

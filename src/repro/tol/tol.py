@@ -553,14 +553,24 @@ class Tol:
             return
         self.overhead.charge("chaining", costs.CHAIN_ATTEMPT)
         variant = exit_instr.meta.get("prefer_variant")
+        # A variant-preferring exit (an unrolled loop's trip-count guard)
+        # must stay unchained until its preferred variant is cached:
+        # falling back to the default lookup hands back the *unrolled*
+        # unit — possibly this very unit — and the host follows chain
+        # links inside one dispatch, so a self-linked zero-retirement
+        # guard exit spins until fuel exhaustion (the dispatch-level
+        # stall watchdog never runs mid-execute).  Happens whenever a
+        # capacity flush evicts the plain variant (DESIGN.md §12).
         target = self.cache.lookup(event.next_pc, variant)
-        if target is None and variant is not None:
-            target = self.cache.lookup(event.next_pc)
-        if target is not None:
-            self.cache.chain(event.unit, event.exit_index, target)
-            self.stats.chains_made += 1
-            self.stats.bump("exit_arms",
-                            f"{event.unit.mode}:chain_made")
+        if target is None:
+            return
+        if (target is event.unit
+                and exit_instr.meta.get("guest_insns", 0) == 0):
+            return  # a zero-progress self-link is a livelock by definition
+        self.cache.chain(event.unit, event.exit_index, target)
+        self.stats.chains_made += 1
+        self.stats.bump("exit_arms",
+                        f"{event.unit.mode}:chain_made")
 
     # ------------------------------------------------------------------
     # Resilience: quarantine, implication, watchdog.

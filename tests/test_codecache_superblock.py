@@ -424,6 +424,59 @@ def test_unroll_guard_exit_dispatches_plain_variant_without_chaining():
             == controller.codesigned.guest_icount)
 
 
+@pytest.mark.parametrize("capacity", [120, 140, 150])
+def test_unroll_guard_exit_never_self_chains_after_capacity_flush(capacity):
+    """Regression for the fuzzer-surfaced single-dispatch livelock
+    (DESIGN.md §12): with a tiny code cache, installing an unrolled loop
+    variant flushes the cache and evicts its own plain sibling.  The
+    trip-count guard exit then finds no plain variant, and the old
+    chain fallback (``lookup(pc)`` prefers unrolled) patched the guard
+    exit back to the unrolled unit *itself*.  The host follows chain
+    links inside one ``execute`` call, so the guard-fail → self-link →
+    re-enter spin retired zero guest instructions without ever
+    returning to the dispatch-level stall watchdog — only the 50M-insn
+    fuel backstop fired.  Chaining must honor ``prefer_variant``
+    strictly and never create a zero-progress self-link."""
+    import signal
+
+    from repro.system.controller import run_codesigned
+    from repro.workloads.generator import SyntheticSpec, generate
+
+    spec = SyntheticSpec(seed=484, hot_loops=2, trip_count=31, bb_size=5,
+                         branch_bias=1.0, branchy=False, mem_ops=1,
+                         fp_ops=2, cold_stanzas=1)
+    config = TolConfig(bbm_threshold=2, sbm_threshold=6,
+                       code_cache_capacity=capacity)
+
+    def _hang(signum, frame):
+        raise AssertionError(
+            "run livelocked: unroll guard exit self-chained after flush")
+
+    old = signal.signal(signal.SIGALRM, _hang)
+    signal.alarm(120)
+    try:
+        result, controller = run_codesigned(generate(spec), config=config,
+                                            validate=True)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old)
+    assert result.exit_code == 0
+    tol = controller.codesigned.tol
+    assert tol.cache.flushes >= 1          # the churn actually happened
+    # No unit may carry a link from a zero-progress exit back to itself.
+    for unit in tol.cache.units():
+        for ins in unit.instrs:
+            if ins.op != "exit":
+                continue
+            if (ins.meta.get("link") is unit
+                    and ins.meta.get("guest_insns", 0) == 0):
+                raise AssertionError(
+                    f"zero-progress self-link survives on unit "
+                    f"{unit.uid} @ {unit.entry_pc:#x}")
+    assert (controller.x86.icount
+            == controller.codesigned.guest_icount)
+
+
 def test_watchdog_quarantines_any_zero_retirement_translation():
     """Generalized livelock defense: whatever plants a translation that
     dispatches forever without retiring guest instructions (not just the

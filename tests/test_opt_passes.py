@@ -122,6 +122,49 @@ def test_store_to_load_forwarding():
     assert out[1].srcs == (t(5),)
 
 
+def test_store_forwarding_blocked_when_stored_reg_redefined():
+    # The forwarded value must be the register's value AT the store; after
+    # ECX is overwritten, substituting ECX would read the new value.
+    ops = [
+        IRInstr("st32", None, (Const(0x9000), ECX), imm=24),
+        IRInstr("mov", ECX, (EAX,)),
+        IRInstr("ld32", t(5), (Const(0x9000),), imm=24),
+    ]
+    out, _ = cse_rle_forwarding(ops)
+    assert out[2].op == "ld32"  # stored value stale: reload
+
+
+def test_store_forwarding_blocked_when_address_reg_redefined():
+    ops = [
+        IRInstr("st32", None, (EAX, t(5)), imm=8),
+        IRInstr("mov", EAX, (Const(0x9000),)),
+        IRInstr("ld32", t(6), (EAX,), imm=8),
+    ]
+    out, _ = cse_rle_forwarding(ops)
+    assert out[2].op == "ld32"  # address register changed: reload
+
+
+def test_cse_blocked_when_source_reg_redefined():
+    # add over EAX before and after EAX is overwritten must not match.
+    ops = [
+        IRInstr("add", t(1), (EAX, EAX)),
+        IRInstr("mov", EAX, (EBX,)),
+        IRInstr("add", t(2), (EAX, EAX)),
+    ]
+    out, _ = cse_rle_forwarding(ops)
+    assert out[2].op == "add"
+
+
+def test_rle_blocked_when_address_reg_redefined():
+    ops = [
+        IRInstr("ld32", t(1), (EAX,), imm=4),
+        IRInstr("mov", EAX, (Const(0x9000),)),
+        IRInstr("ld32", t(2), (EAX,), imm=4),
+    ]
+    out, _ = cse_rle_forwarding(ops)
+    assert out[2].op == "ld32"
+
+
 def test_dce_removes_dead_flag_defs_lazy_flags():
     # Two flag defs; only the second is architecturally visible.
     ops = [
